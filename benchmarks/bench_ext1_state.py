@@ -1,0 +1,8 @@
+"""Benchmark E1 — forwarding-state ablation (table construction heavy)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e1_state(benchmark):
+    (table,) = benchmark(lambda: get_experiment("E1").execute(quick=True))
+    assert all(row["ratio"] > 1.0 for row in table.rows)

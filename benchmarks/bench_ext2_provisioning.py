@@ -1,0 +1,8 @@
+"""Benchmark E2 — provisioning-headroom ablation (pure closed forms)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e2_provisioning(benchmark):
+    (table,) = benchmark(lambda: get_experiment("E2").execute(quick=True))
+    assert table.column("k_max") == sorted(table.column("k_max"))

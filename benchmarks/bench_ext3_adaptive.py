@@ -1,0 +1,9 @@
+"""Benchmark E3 — adaptive source-routing ablation (placement + FCT)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e3_adaptive(benchmark):
+    (table,) = benchmark(lambda: get_experiment("E3").execute(quick=True))
+    policies = {row["policy"] for row in table.rows}
+    assert policies == {"adaptive", "fixed", "hashed", "vlb"}

@@ -1,0 +1,8 @@
+"""Benchmark E4 — layout/cabling ablation (rack assignment + pricing)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e4_layout(benchmark):
+    (table,) = benchmark(lambda: get_experiment("E4").execute(quick=True))
+    assert all(row["total_length_m"] > 0 for row in table.rows)

@@ -1,0 +1,9 @@
+"""Benchmark E5 — extended baseline field (torus + tree builds & flows)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e5_baselines(benchmark):
+    tables = benchmark(lambda: get_experiment("E5").execute(quick=True))
+    structural, throughput = tables
+    assert structural.rows and throughput.rows

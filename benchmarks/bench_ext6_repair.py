@@ -1,0 +1,9 @@
+"""Benchmark E6 — local-repair sweep (failure draws + greedy rerouting)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e6_repair(benchmark):
+    (table,) = benchmark(lambda: get_experiment("E6").execute(quick=True))
+    for row in table.rows:
+        assert row["greedy_ok"] + row["fallback"] <= row["reachable"]

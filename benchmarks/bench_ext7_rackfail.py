@@ -1,0 +1,10 @@
+"""Benchmark E7 — correlated rack-failure sweep."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e7_rackfail(benchmark):
+    (table,) = benchmark(lambda: get_experiment("E7").execute(quick=True))
+    for row in table.rows:
+        assert 0.0 <= row["connection_ratio"] <= 1.0
+        assert row["alive_servers"] < row["servers"]

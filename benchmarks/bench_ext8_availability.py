@@ -1,0 +1,10 @@
+"""Benchmark E8 — churn/availability simulation."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_e8_availability(benchmark):
+    (table,) = benchmark(lambda: get_experiment("E8").execute(quick=True))
+    for row in table.rows:
+        assert 0.0 <= row["pair_availability"] <= 1.0
+        assert row["path_availability"] >= row["pair_availability"]

@@ -1,0 +1,8 @@
+"""Benchmark F10 — packet-level simulation sweep (the DES hot path)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f10_packet(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F10").execute(quick=True))
+    assert all(row["delivered"] > 0 for row in table.rows)

@@ -1,0 +1,9 @@
+"""Benchmark F11 — the s-sweep trade-off frontier (pure closed forms)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f11_tradeoff(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F11").execute(quick=True))
+    assert table.rows[0]["equals"] == "BCCC"
+    assert table.rows[-1]["equals"] == "BCube"

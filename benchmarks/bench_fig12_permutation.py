@@ -1,0 +1,9 @@
+"""Benchmark F12 — permutation-strategy comparison under load."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f12_permutation(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F12").execute(quick=True))
+    strategies = {row["strategy"] for row in table.rows}
+    assert strategies == {"identity", "random", "locality", "balanced"}

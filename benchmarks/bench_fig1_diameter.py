@@ -1,0 +1,10 @@
+"""Benchmark F1 — diameter vs order k series."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f1_diameter(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F1").execute(quick=True))
+    # The trade-off ordering must hold in every row.
+    for row in table.rows:
+        assert row["bcube"] <= row["abccc_s5"] <= row["abccc_s2"]

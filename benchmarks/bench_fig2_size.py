@@ -1,0 +1,11 @@
+"""Benchmark F2 — network size vs order k series."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f2_size(benchmark):
+    tables = benchmark(lambda: get_experiment("F2").execute(quick=True))
+    sizes = tables[0]
+    for row in sizes.rows:
+        if row["k"] >= 1:
+            assert row["abccc_s2"] > row["bcube"]

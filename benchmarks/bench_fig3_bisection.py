@@ -1,0 +1,13 @@
+"""Benchmark F3 — bisection trade-off + measured-cut validation.
+
+Dominated by the exact max-flow cut evaluations; the assertion requires
+the measured best cut to equal the closed form on every cube-family row.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f3_bisection(benchmark):
+    tables = benchmark(lambda: get_experiment("F3").execute(quick=True))
+    measured = tables[1]
+    assert all(measured.column("match"))

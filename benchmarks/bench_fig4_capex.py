@@ -1,0 +1,8 @@
+"""Benchmark F4 — per-server CAPEX vs size sweep."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f4_capex(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F4").execute(quick=True))
+    assert {row["family"] for row in table.rows} >= {"abccc_s2", "bcube", "fattree"}

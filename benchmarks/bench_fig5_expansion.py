@@ -1,0 +1,15 @@
+"""Benchmark F5 — expansion-cost accounting (graph-diff based).
+
+The timing covers building both generations of every family and diffing
+them; the assertion pins the paper's headline: ABCCC grows by pure
+addition, BCube does not.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f5_expansion(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F5").execute(quick=True))
+    families = {row["family"]: row for row in table.rows}
+    assert families["abccc_s2"]["pure_addition"]
+    assert not families["bcube"]["pure_addition"]

@@ -1,0 +1,9 @@
+"""Benchmark F6 — routing-quality measurement (routes + BFS baselines)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f6_routing(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F6").execute(quick=True))
+    locality_rows = [r for r in table.rows if r["strategy"] == "locality"]
+    assert all(abs(r["mean_stretch"] - 1.0) < 1e-9 for r in locality_rows)

@@ -1,0 +1,9 @@
+"""Benchmark F7 — flow-level max-min throughput across topologies."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f7_throughput(benchmark):
+    (table,) = benchmark(lambda: get_experiment("F7").execute(quick=True))
+    assert all(row["agg_per_server"] > 0 for row in table.rows)
+    assert all(0 < row["jain"] <= 1.0 for row in table.rows)

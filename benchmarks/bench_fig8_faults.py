@@ -1,0 +1,11 @@
+"""Benchmark F8 — fault-tolerance sweep (failure draws + rerouting)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f8_faults(benchmark):
+    tables = benchmark(lambda: get_experiment("F8").execute(quick=True))
+    connection, ft_routing = tables
+    assert connection.rows and ft_routing.rows
+    for row in ft_routing.rows:
+        assert row["greedy_ok"] + row["fallback"] <= row["reachable"]

@@ -1,0 +1,10 @@
+"""Benchmark F9 — broadcast/multicast tree construction and comparison."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_f9_broadcast(benchmark):
+    tables = benchmark(lambda: get_experiment("F9").execute(quick=True))
+    broadcast = tables[0]
+    for row in broadcast.rows:
+        assert row["tree_stress"] <= row["unicast_max_link_load"]

@@ -1,0 +1,41 @@
+"""Micro-benchmarks: topology construction throughput.
+
+These time the builders themselves (not the experiments) at fixed sizes,
+so regressions in the graph substrate or the wiring loops show up
+directly.
+"""
+
+import pytest
+
+from repro.baselines import BcubeSpec, DcellSpec, FatTreeSpec
+from repro.core import AbcccSpec
+
+
+def test_bench_build_abccc_1k_servers(benchmark):
+    spec = AbcccSpec(4, 3, 2)  # 1024 servers
+    net = benchmark(spec.build)
+    assert net.num_servers == 1024
+
+
+def test_bench_build_abccc_s3(benchmark):
+    spec = AbcccSpec(4, 3, 3)  # 512 servers
+    net = benchmark(spec.build)
+    assert net.num_servers == spec.num_servers
+
+
+def test_bench_build_bcube(benchmark):
+    spec = BcubeSpec(4, 3)  # 256 servers
+    net = benchmark(spec.build)
+    assert net.num_servers == 256
+
+
+def test_bench_build_fattree(benchmark):
+    spec = FatTreeSpec(12)  # 432 servers
+    net = benchmark(spec.build)
+    assert net.num_servers == 432
+
+
+def test_bench_build_dcell(benchmark):
+    spec = DcellSpec(4, 2)  # 420 servers
+    net = benchmark(spec.build)
+    assert net.num_servers == 420

@@ -1,0 +1,60 @@
+"""Micro-benchmarks: routing primitives.
+
+The digit-correction router computes routes from addresses alone in
+O(k + c); this bench pins that constant factor and contrasts it with a
+full BFS, which is the fallback path's cost.
+"""
+
+import random
+
+import pytest
+
+from repro.core import AbcccSpec, ServerAddress, abccc_route
+from repro.routing.shortest import bfs_path
+
+
+@pytest.fixture(scope="module")
+def instance():
+    spec = AbcccSpec(4, 3, 2)  # 1024 servers
+    net = spec.build()
+    rng = random.Random(0)
+    pairs = [tuple(rng.sample(net.servers, 2)) for _ in range(200)]
+    return spec, net, pairs
+
+
+def test_bench_abccc_route_200_pairs(benchmark, instance):
+    spec, _, pairs = instance
+    params = spec.abccc
+    parsed = [
+        (ServerAddress.parse(s), ServerAddress.parse(d)) for s, d in pairs
+    ]
+
+    def run():
+        return [abccc_route(params, s, d) for s, d in parsed]
+
+    routes = benchmark(run)
+    assert len(routes) == 200
+
+
+def test_bench_bfs_route_20_pairs(benchmark, instance):
+    _, net, pairs = instance
+
+    def run():
+        return [bfs_path(net, s, d) for s, d in pairs[:20]]
+
+    routes = benchmark(run)
+    assert len(routes) == 20
+
+
+def test_bench_fault_tolerant_route(benchmark, instance):
+    from repro.core import fault_tolerant_route
+
+    spec, net, pairs = instance
+
+    def run():
+        return [
+            fault_tolerant_route(spec.abccc, net, s, d, seed=1) for s, d in pairs[:50]
+        ]
+
+    results = benchmark(run)
+    assert all(not r.fallback_used for r in results)

@@ -1,0 +1,15 @@
+"""Benchmark T1 — structural comparison table.
+
+Regenerates the paper's headline comparison (quick instances) under
+pytest-benchmark timing; asserts every validation row holds so a timing
+run can never silently report numbers from a broken build.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t1_properties(benchmark):
+    tables = benchmark(lambda: get_experiment("T1").execute(quick=True))
+    scale, validation = tables
+    assert scale.rows and validation.rows
+    assert all(validation.column("valid"))

@@ -1,0 +1,10 @@
+"""Benchmark T2 — CAPEX comparison table (closed-form inventories)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t2_capex(benchmark):
+    tables = benchmark(lambda: get_experiment("T2").execute(quick=True))
+    itemised = tables[0]
+    assert itemised.rows
+    assert all(row["total"] > 0 for row in itemised.rows)

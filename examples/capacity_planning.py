@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Capacity planning: requirements in, ranked designs out.
+
+An architect's session with the library: state what the deployment needs
+(scale, NIC budget, bandwidth floor, latency ceiling, future growth),
+let the planner enumerate the feasible ABCCC space, inspect the Pareto
+frontier, check the winner's theoretical throughput ceiling, and print
+its full report.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.planner import Requirements, best, plan
+from repro.metrics.bounds import all_to_all_bounds, per_server_ceiling
+from repro.report import topology_report
+
+
+def main() -> None:
+    req = Requirements(
+        min_servers=800,
+        max_servers=6000,
+        max_nic_ports=3,  # the servers on this year's contract
+        switch_radix=16,  # the switches already in the parts channel
+        min_bisection_per_server=0.2,
+        max_diameter=6,
+        expansion_headroom=1,  # must survive one growth step untouched
+    )
+    print("requirements:")
+    for field in (
+        "min_servers",
+        "max_servers",
+        "max_nic_ports",
+        "switch_radix",
+        "min_bisection_per_server",
+        "max_diameter",
+        "expansion_headroom",
+    ):
+        print(f"  {field:<26}: {getattr(req, field)}")
+
+    candidates = plan(req)
+    if not candidates:
+        print("\nnothing feasible — relax a constraint")
+        return
+    print(f"\n{len(candidates)} feasible configuration(s):")
+    header = (
+        f"  {'configuration':<26} {'servers':>8} {'diam':>5} "
+        f"{'bisect/srv':>11} {'$/server':>9}  pareto"
+    )
+    print(header)
+    for candidate in candidates:
+        print(
+            f"  {candidate.label:<26} {candidate.servers:>8} "
+            f"{candidate.diameter:>5} {candidate.bisection_per_server:>11.3f} "
+            f"{candidate.capex_per_server:>9,.0f}  "
+            f"{'*' if candidate.pareto else ''}"
+        )
+
+    winner = best(req, objective="cost")
+    print(f"\ncheapest feasible design: {winner.label}")
+    bounds = all_to_all_bounds(winner.spec)
+    print(
+        f"  all-to-all ceiling: {bounds.binding:,.0f} capacity units "
+        f"({per_server_ceiling(winner.spec):.3f}/server), "
+        f"binding constraint: {bounds.bottleneck}"
+    )
+
+    print("\nfull report for the winner:\n")
+    print(topology_report(winner.spec, max_measure_nodes=1500))
+
+
+if __name__ == "__main__":
+    main()

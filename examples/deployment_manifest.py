@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Deployment walk-through: from parameter choice to acceptance test.
+
+The full operator lifecycle on one screen:
+
+1. pick an ABCCC configuration and print its deployment manifest
+   (rack BOMs and the cable schedule under a real machine-room layout);
+2. plan the next expansion step as phased work orders (nothing
+   disruptive — that's the point of the design);
+3. *accept* the expanded build: verify the wired network against the
+   ABCCC construction rules with the conformance checker (and show that
+   the checker actually catches a miswired cable);
+4. run a day of jobs (shuffles, incasts, disseminations) on the expanded
+   fabric and report job completion statistics.
+
+Run:  python examples/deployment_manifest.py
+"""
+
+from repro import AbcccSpec
+from repro.core.conformance import check_abccc, conformance_problems, infer_params
+from repro.core.expansion import plan_abccc_growth
+from repro.deploy import build_manifest, expansion_work_orders, render_work_orders
+from repro.metrics.layout import LayoutConfig
+from repro.sim.jobs import disseminate_job, incast_job, shuffle_job, simulate_jobs
+
+
+def main() -> None:
+    layout = LayoutConfig(rack_capacity=24)
+
+    # 1. today's fabric and its paperwork -----------------------------
+    today = AbcccSpec(n=4, k=1, s=2)
+    net = today.build()
+    print(build_manifest(net, layout).render(max_racks=4, max_cables=4))
+
+    # 2. the expansion, phased ----------------------------------------
+    print("\n=== expansion to k = 2 ===")
+    plan = plan_abccc_growth(4, 1, 2)
+    grown_spec = AbcccSpec(4, 2, 2)
+    grown = grown_spec.build()
+    orders = expansion_work_orders(plan, grown, layout)
+    print(render_work_orders(orders, max_items=3))
+    assert plan.is_pure_addition
+    print("no disruptive phase: every step is plug-in work.\n")
+
+    # 3. acceptance test ----------------------------------------------
+    print("=== acceptance ===")
+    check_abccc(grown, grown_spec.abccc)
+    inferred = infer_params(grown)
+    print(f"conformance: PASS — network verified as {inferred}")
+
+    # Prove the checker has teeth: re-plug one cable wrongly.
+    sabotaged = grown.copy()
+    switch = sabotaged.switches_by_role("level")[0]
+    victim = next(iter(sabotaged.neighbors(switch)))
+    sabotaged.remove_link(switch, victim)
+    problems = conformance_problems(sabotaged, grown_spec.abccc)
+    print(f"sabotage drill: checker reports {len(problems)} problem(s), e.g.")
+    print(f"  - {problems[0]}")
+
+    # 4. a day of jobs --------------------------------------------------
+    print("\n=== production traffic on the expanded fabric ===")
+    servers = grown.servers
+    jobs = []
+    for hour in range(6):
+        jobs.append(shuffle_job(f"etl-{hour}", hour * 10.0, servers, 8, 6, seed=hour))
+        jobs.append(incast_job(f"agg-{hour}", hour * 10.0 + 3.0, servers, 10, seed=hour))
+        jobs.append(
+            disseminate_job(f"push-{hour}", hour * 10.0 + 6.0, servers, 12, seed=hour)
+        )
+    result = simulate_jobs(grown, jobs, grown_spec.route)
+    print(f"{len(jobs)} jobs, makespan {result.makespan:.1f} time units")
+    print(
+        f"job duration: mean {result.mean_duration:.2f}, p99 {result.p99_duration:.2f}"
+    )
+    worst = max(result.jobs, key=lambda j: j.duration)
+    print(f"slowest job: {worst.job_id} ({worst.duration:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""MapReduce shuffle on ABCCC vs BCube vs fat-tree.
+
+The all-to-all shuffle between mappers and reducers is the workload the
+server-centric DCN literature optimises for.  This script places a job on
+each topology (same seeded mapper/reducer draw over each server list),
+routes the m x r flow matrix natively, solves max-min fair rates, and
+then replays the shuffle in the packet simulator to estimate completion
+behaviour.
+
+Run:  python examples/mapreduce_shuffle.py
+"""
+
+from repro import AbcccSpec, BcubeSpec, FatTreeSpec
+from repro.metrics.bottleneck import load_stats
+from repro.routing.ecmp import EcmpRouter
+from repro.sim.flow import max_min_allocation, route_all
+from repro.sim.packet import PacketSimConfig, PacketSimulator
+from repro.sim.traffic import shuffle_traffic
+
+MAPPERS, REDUCERS = 12, 8
+
+
+def run_on(spec) -> dict:
+    net = spec.build()
+    router = EcmpRouter(net).route if spec.kind == "fattree" else spec.route
+    flows = shuffle_traffic(net.servers, MAPPERS, REDUCERS, seed=99)
+    routes = route_all(net, flows, router)
+
+    allocation = max_min_allocation(net, flows, routes)
+    loads = load_stats(net, routes.values())
+
+    sim = PacketSimulator(net, PacketSimConfig(queue_capacity=32))
+    result = sim.run(flows, routes, packets_per_flow=25, mean_interarrival=1.0, seed=5)
+
+    # Fluid-model shuffle completion: every mapper->reducer pair moves one
+    # unit of data at its max-min rate; the job ends with the slowest flow.
+    completion = 1.0 / allocation.min_rate if allocation.min_rate else float("inf")
+    return {
+        "label": spec.label,
+        "servers": net.num_servers,
+        "min_rate": allocation.min_rate,
+        "agg": allocation.aggregate_throughput,
+        "max_load": loads.max_load,
+        "completion": completion,
+        "p99_latency": result.p99_latency,
+        "delivery": result.delivery_ratio,
+    }
+
+
+def main() -> None:
+    print(f"shuffle: {MAPPERS} mappers x {REDUCERS} reducers = {MAPPERS * REDUCERS} flows\n")
+    specs = [AbcccSpec(4, 2, 2), AbcccSpec(4, 2, 3), BcubeSpec(4, 2), FatTreeSpec(8)]
+    rows = [run_on(spec) for spec in specs]
+
+    header = (
+        f"{'topology':<22} {'servers':>8} {'min rate':>9} {'aggregate':>10} "
+        f"{'hot link':>9} {'completion':>11} {'p99 lat':>8} {'delivered':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['label']:<22} {row['servers']:>8} {row['min_rate']:>9.3f} "
+            f"{row['agg']:>10.1f} {row['max_load']:>9.1f} "
+            f"{row['completion']:>11.1f} {row['p99_latency']:>8.2f} "
+            f"{row['delivery']:>10.1%}"
+        )
+    print(
+        "\nReading: 'completion' is the fluid-model shuffle time (1 unit per\n"
+        "flow at max-min rates) — richer per-server wiring (BCube, larger s)\n"
+        "buys shorter shuffles; ABCCC dials between cost and that speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

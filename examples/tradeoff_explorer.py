@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Trade-off explorer: pick the right (n, k, s) for a target deployment.
+
+The paper's claim is that ABCCC "achieves the best trade-off … by fine
+tuning its parameters".  This script makes that actionable: give it a
+target server count and a NIC budget, and it enumerates every ABCCC
+configuration in range, scores the candidates, and prints the frontier
+alongside the BCCC/BCube endpoints.
+
+Run:  python examples/tradeoff_explorer.py [target_servers] [max_nics]
+"""
+
+import sys
+
+from repro import AbcccSpec
+from repro.core import properties
+from repro.metrics.cost import capex
+
+
+def candidates(target: int, max_nics: int, tolerance: float = 0.5):
+    """All configs within +/-tolerance of the target server count."""
+    for n in (4, 6, 8, 16, 24, 48):
+        for k in range(0, 6):
+            for s in range(2, min(k + 3, max_nics + 1)):
+                spec = AbcccSpec(n, k, s)
+                if properties.crossbar_switch_ports(spec.abccc) > n:
+                    continue  # keep crossbars on commodity n-port switches
+                size = spec.num_servers
+                if abs(size - target) <= tolerance * target:
+                    yield spec
+
+
+def main() -> None:
+    target = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    max_nics = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    print(f"target: ~{target} servers, <= {max_nics} NIC ports per server\n")
+
+    rows = []
+    for spec in candidates(target, max_nics):
+        params = spec.abccc
+        rows.append(
+            {
+                "spec": spec,
+                "servers": spec.num_servers,
+                "diameter": spec.diameter_server_hops,
+                "bisection": properties.bisection_per_server(params),
+                "cost": capex(spec).per_server,
+            }
+        )
+    if not rows:
+        print("no configuration in range — widen the tolerance or NIC budget")
+        return
+
+    rows.sort(key=lambda r: (r["diameter"], r["cost"]))
+    header = (
+        f"{'configuration':<24} {'servers':>8} {'diam(sh)':>9} "
+        f"{'bisect/srv':>11} {'$/server':>9}  notes"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        spec = row["spec"]
+        note = ""
+        if spec.s == 2:
+            note = "= BCCC"
+        elif spec.abccc.crossbar_size == 1:
+            note = "= BCube"
+        bisect = f"{row['bisection']:.3f}" if row["bisection"] is not None else "-"
+        print(
+            f"{spec.label:<24} {row['servers']:>8} {row['diameter']:>9} "
+            f"{bisect:>11} {row['cost']:>9,.0f}  {note}"
+        )
+
+    # A simple dominance analysis: who is on the Pareto frontier of
+    # (diameter low, bisection high, cost low)?
+    frontier = []
+    for row in rows:
+        dominated = any(
+            other["diameter"] <= row["diameter"]
+            and (other["bisection"] or 0) >= (row["bisection"] or 0)
+            and other["cost"] <= row["cost"]
+            and other is not row
+            and (
+                other["diameter"] < row["diameter"]
+                or (other["bisection"] or 0) > (row["bisection"] or 0)
+                or other["cost"] < row["cost"]
+            )
+            for other in rows
+        )
+        if not dominated:
+            frontier.append(row["spec"].label)
+    print(f"\nPareto frontier (diameter / bisection / cost): {', '.join(frontier)}")
+
+
+if __name__ == "__main__":
+    main()

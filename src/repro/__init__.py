@@ -1,0 +1,83 @@
+"""repro — a reproduction of ABCCC (Li & Yang, ICDCS 2015).
+
+A server-centric data-center network library: the ABCCC topology with its
+addressing, routing, broadcast, conformance checking and expansion
+planning; the baseline topologies the paper compares against (BCube,
+BCCC, fat-tree, DCell, FiConn, hypercube) plus the wider field (3D
+torus, oversubscribed tree, Jellyfish); metrics (diameter, bisection,
+throughput, bounds, cost, layout, state); flow-, packet- and churn-level
+simulators; deployment artefacts; and the experiment harness that
+regenerates every table and figure of the evaluation plus eight
+ablations (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import AbcccSpec
+
+    spec = AbcccSpec(n=4, k=2, s=3)
+    net = spec.build()
+    route = spec.route(net, net.servers[0], net.servers[-1])
+"""
+
+from repro.baselines import (
+    BcccSpec,
+    BcubeSpec,
+    DcellSpec,
+    FatTreeSpec,
+    FiconnSpec,
+    HypercubeSpec,
+    Torus3dSpec,
+    TreeSpec,
+)
+from repro.core import (
+    AbcccParams,
+    AbcccSpec,
+    ServerAddress,
+    abccc_route,
+    broadcast_tree,
+    build_abccc,
+    fault_tolerant_route,
+    multicast_tree,
+    plan_abccc_growth,
+    plan_bccc_growth,
+    plan_bcube_growth,
+    plan_fattree_growth,
+)
+from repro.routing import Route, RoutingError, bfs_path
+from repro.topology import Network, TopologySpec, validate_network
+from repro.topology.registry import available as available_topologies
+from repro.topology.registry import create as create_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbcccParams",
+    "AbcccSpec",
+    "BcccSpec",
+    "BcubeSpec",
+    "DcellSpec",
+    "FatTreeSpec",
+    "FiconnSpec",
+    "HypercubeSpec",
+    "Network",
+    "Torus3dSpec",
+    "TreeSpec",
+    "Route",
+    "RoutingError",
+    "ServerAddress",
+    "TopologySpec",
+    "abccc_route",
+    "available_topologies",
+    "bfs_path",
+    "broadcast_tree",
+    "build_abccc",
+    "create_topology",
+    "fault_tolerant_route",
+    "multicast_tree",
+    "plan_abccc_growth",
+    "plan_bccc_growth",
+    "plan_bcube_growth",
+    "plan_fattree_growth",
+    "validate_network",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Baseline topologies the paper compares ABCCC against.
+
+Importing this package registers every baseline with
+:mod:`repro.topology.registry`.
+"""
+
+from repro.baselines.bccc import BcccSpec, build_bccc
+from repro.baselines.bcube import BcubeSpec, bcube_route, build_bcube
+from repro.baselines.dcell import DcellSpec, build_dcell, dcell_route
+from repro.baselines.fattree import FatTreeSpec, build_fattree
+from repro.baselines.ficonn import FiconnSpec, build_ficonn
+from repro.baselines.hypercube import HypercubeSpec, build_hypercube, hypercube_route
+from repro.baselines.jellyfish import JellyfishSpec
+from repro.baselines.torus import Torus3dSpec, build_torus3d, torus_route
+from repro.baselines.tree import TreeSpec
+from repro.topology.registry import register as _register
+
+for _spec in (
+    BcccSpec,
+    BcubeSpec,
+    DcellSpec,
+    FatTreeSpec,
+    FiconnSpec,
+    HypercubeSpec,
+    JellyfishSpec,
+    Torus3dSpec,
+    TreeSpec,
+):
+    _register(_spec)
+
+__all__ = [
+    "BcccSpec",
+    "BcubeSpec",
+    "DcellSpec",
+    "FatTreeSpec",
+    "FiconnSpec",
+    "HypercubeSpec",
+    "JellyfishSpec",
+    "Torus3dSpec",
+    "TreeSpec",
+    "bcube_route",
+    "build_bccc",
+    "build_bcube",
+    "build_dcell",
+    "build_fattree",
+    "build_ficonn",
+    "build_hypercube",
+    "build_torus3d",
+    "dcell_route",
+    "hypercube_route",
+    "torus_route",
+]

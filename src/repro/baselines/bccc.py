@@ -1,0 +1,146 @@
+"""BCCC(n, k) — BCube Connected Crossbars (Li & Yang), built directly.
+
+The dual-port-server predecessor ABCCC generalises: every BCube(n, k)
+virtual server becomes a *crossbar* of ``k + 1`` dual-port servers behind a
+local switch, server ``j`` handling BCube level ``j``.
+
+This module deliberately re-implements the construction **independently**
+of :mod:`repro.core.topology` — it does not call the ABCCC builder — and
+uses the same canonical node names.  The test suite then asserts that
+``BcccSpec(n, k).build()`` and ``AbcccSpec(n, k, 2).build()`` produce
+*identical* node and link sets, which is the strongest possible check that
+the ABCCC generalisation really contains BCCC as its ``s = 2`` case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.core.address import (
+    AbcccParams,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+from repro.routing.base import Route
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+def build_bccc(n: int, k: int) -> Network:
+    """Build BCCC(n, k) from first principles (no ABCCC code path)."""
+    net = Network(name=f"BCCC(n={n}, k={k})")
+    net.meta["kind"] = "bccc"
+    net.meta["n"], net.meta["k"] = n, k
+    levels = k + 1
+    crossbar_ports = max(n, levels)
+
+    if levels == 1:
+        # Degenerate single-level case: crossbars of one server collapse to
+        # plain n-port stars (BCube(n, 0)), matching the ABCCC convention.
+        for digits in itertools.product(range(n), repeat=1):
+            server = ServerAddress(tuple(digits), 0)
+            net.add_server(server.name, ports=2, address=server)
+        switch = LevelSwitchAddress(0, ())
+        net.add_switch(switch.name, ports=n, address=switch, role="level")
+        for value in range(n):
+            net.add_link(switch.name, ServerAddress((value,), 0).name)
+        return net
+
+    for digits in itertools.product(range(n), repeat=levels):
+        crossbar = CrossbarSwitchAddress(tuple(digits))
+        net.add_switch(crossbar.name, ports=crossbar_ports, address=crossbar, role="crossbar")
+        for j in range(levels):
+            server = ServerAddress(tuple(digits), j)
+            net.add_server(server.name, ports=2, address=server)
+            net.add_link(server.name, crossbar.name)
+
+    for level in range(levels):
+        for rest in itertools.product(range(n), repeat=k):
+            switch = LevelSwitchAddress(level, tuple(rest))
+            net.add_switch(switch.name, ports=n, address=switch, role="level")
+            for value in range(n):
+                member = ServerAddress(switch.member_digits(value), level)
+                net.add_link(switch.name, member.name)
+
+    return net
+
+
+def bccc_embed(name: str) -> str:
+    """Read a BCCC(n, k) node name inside BCCC(n, k+1) (top digit 0)."""
+    from repro.core.expansion import abccc_embed
+
+    return abccc_embed(name)
+
+
+class BcccSpec(TopologySpec):
+    """BCCC(n, k) as a registrable topology spec."""
+
+    kind = "bccc"
+
+    def __init__(self, n: int, k: int):
+        self._params = AbcccParams(n, k, 2)
+        self.n = n
+        self.k = k
+
+    def params(self) -> Dict[str, Any]:
+        return {"n": self.n, "k": self.k}
+
+    @property
+    def num_servers(self) -> int:
+        if self.k == 0:
+            return self.n
+        return (self.k + 1) * self.n ** (self.k + 1)
+
+    @property
+    def num_switches(self) -> int:
+        crossbars = self.n ** (self.k + 1) if self.k > 0 else 0
+        return crossbars + (self.k + 1) * self.n**self.k
+
+    @property
+    def num_links(self) -> int:
+        crossbar_links = self.num_servers if self.k > 0 else 0
+        return crossbar_links + (self.k + 1) * self.n ** (self.k + 1)
+
+    @property
+    def server_ports(self) -> int:
+        return 2
+
+    @property
+    def switch_ports(self) -> int:
+        return max(self.n, self.k + 1)
+
+    def switch_inventory(self) -> Dict[int, int]:
+        inventory = {self.n: (self.k + 1) * self.n**self.k}
+        if self.k > 0:
+            ports = max(self.n, self.k + 1)
+            inventory[ports] = inventory.get(ports, 0) + self.n ** (self.k + 1)
+        return inventory
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        if self.k == 0:
+            return 1
+        return 2 * self.k + 2  # k + c + 1 with c = k + 1
+
+    @property
+    def bisection_links(self) -> Optional[float]:
+        if self.n % 2 != 0:
+            return None
+        return self.n ** (self.k + 1) / 2
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.server_centric()
+
+    def build(self) -> Network:
+        return build_bccc(self.n, self.k)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        """BCCC routing is ABCCC routing at s = 2 (shared algorithm)."""
+        from repro.core.routing import abccc_route
+
+        return abccc_route(
+            self._params, ServerAddress.parse(src), ServerAddress.parse(dst)
+        )

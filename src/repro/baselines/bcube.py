@@ -1,0 +1,156 @@
+"""BCube(n, k) — Guo et al., SIGCOMM 2009.
+
+The structure ABCCC generalises away from: ``N = n^(k+1)`` servers with
+``k + 1`` NIC ports each, addressed by digit vectors in ``[0, n)^(k+1)``;
+for every level ``i`` and assignment of the other digits, an ``n``-port
+switch connects the ``n`` servers differing only in digit ``i``.
+
+Strengths the paper concedes to BCube: diameter ``k + 1`` server hops and
+full ``N/2`` bisection.  Weakness it attacks: growing ``k`` requires a NIC
+upgrade and a new cable on **every existing server** (see
+:func:`repro.core.expansion.plan_bcube_growth`).
+
+Node names: servers ``s2.0.1`` (digits MSB-first), level switches reuse
+the ``l<level>:…`` scheme of :class:`repro.core.address.LevelSwitchAddress`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.address import AddressError, LevelSwitchAddress
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+def server_name(digits: Sequence[int]) -> str:
+    """Canonical BCube server name, digits printed MSB-first."""
+    return "s" + ".".join(str(d) for d in reversed(tuple(digits)))
+
+
+def parse_server(name: str) -> Tuple[int, ...]:
+    """Inverse of :func:`server_name`."""
+    if not name.startswith("s") or "/" in name:
+        raise AddressError(f"not a BCube server name: {name!r}")
+    try:
+        return tuple(reversed([int(p) for p in name[1:].split(".")]))
+    except ValueError:
+        raise AddressError(f"bad digits in {name!r}") from None
+
+
+def build_bcube(n: int, k: int) -> Network:
+    """Build the full BCube(n, k) graph."""
+    net = Network(name=f"BCube(n={n}, k={k})")
+    net.meta["kind"] = "bcube"
+    net.meta["n"], net.meta["k"] = n, k
+    levels = k + 1
+    for digits in itertools.product(range(n), repeat=levels):
+        net.add_server(server_name(digits), ports=levels, address=tuple(digits))
+    for level in range(levels):
+        for rest in itertools.product(range(n), repeat=k):
+            switch = LevelSwitchAddress(level, tuple(rest))
+            net.add_switch(switch.name, ports=n, address=switch, role="level")
+            for value in range(n):
+                net.add_link(switch.name, server_name(switch.member_digits(value)))
+    return net
+
+
+def bcube_route(
+    n: int,
+    k: int,
+    src: Sequence[int],
+    dst: Sequence[int],
+    order: Optional[Sequence[int]] = None,
+) -> Route:
+    """BCube digit-correction (DCRouting) route.
+
+    ``order`` defaults to ascending level order over the differing digits.
+    """
+    src = tuple(src)
+    dst = tuple(dst)
+    if len(src) != k + 1 or len(dst) != k + 1:
+        raise RoutingError(f"addresses must have {k + 1} digits")
+    differing = [i for i in range(k + 1) if src[i] != dst[i]]
+    if order is None:
+        order = differing
+    nodes: List[str] = [server_name(src)]
+    digits = src
+    for level in order:
+        if digits[level] == dst[level]:
+            continue
+        switch = LevelSwitchAddress.serving(level, digits)
+        digits = digits[:level] + (dst[level],) + digits[level + 1 :]
+        nodes.append(switch.name)
+        nodes.append(server_name(digits))
+    if digits != dst:
+        raise RoutingError(f"order {list(order)} does not correct all digits")
+    return Route.of(nodes)
+
+
+def bcube_embed(name: str) -> str:
+    """Read a BCube(n, k) node name inside BCube(n, k+1) (top digit 0)."""
+    if name.startswith("s"):
+        return server_name(parse_server(name) + (0,))
+    if name.startswith("l"):
+        switch = LevelSwitchAddress.parse(name)
+        return LevelSwitchAddress(switch.level, switch.rest + (0,)).name
+    raise AddressError(f"unrecognised BCube node name {name!r}")
+
+
+class BcubeSpec(TopologySpec):
+    """BCube(n, k) as a registrable topology spec."""
+
+    kind = "bcube"
+
+    def __init__(self, n: int, k: int):
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.n = n
+        self.k = k
+
+    def params(self) -> Dict[str, Any]:
+        return {"n": self.n, "k": self.k}
+
+    @property
+    def num_servers(self) -> int:
+        return self.n ** (self.k + 1)
+
+    @property
+    def num_switches(self) -> int:
+        return (self.k + 1) * self.n**self.k
+
+    @property
+    def num_links(self) -> int:
+        return (self.k + 1) * self.n ** (self.k + 1)
+
+    @property
+    def server_ports(self) -> int:
+        return self.k + 1
+
+    @property
+    def switch_ports(self) -> int:
+        return self.n
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        return self.k + 1
+
+    @property
+    def bisection_links(self) -> Optional[float]:
+        if self.n % 2 != 0:
+            return None
+        return self.num_servers / 2
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.server_centric()
+
+    def build(self) -> Network:
+        return build_bcube(self.n, self.k)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        return bcube_route(self.n, self.k, parse_server(src), parse_server(dst))

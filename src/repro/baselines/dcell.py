@@ -1,0 +1,216 @@
+"""DCell(n, k) — Guo et al., SIGCOMM 2008.
+
+The recursively-defined server-centric baseline with direct server-server
+links: ``DCell_0`` is ``n`` servers on one ``n``-port switch; ``DCell_l``
+is ``g_l = t_{l-1} + 1`` copies of ``DCell_{l-1}`` wired as a complete
+graph — sub-cell ``i``'s server with uid ``j - 1`` connects to sub-cell
+``j``'s server with uid ``i`` for every ``i < j``.  Servers need ``k + 1``
+ports; size grows doubly exponentially in ``k``.
+
+Node names: servers ``d<a_k>.<…>.<a_0>`` (sub-cell path then in-cell
+index), switches ``w<path of the DCell_0>``.
+
+Includes the paper's recursive ``DCellRouting`` algorithm, whose route
+length is at most ``2^(k+1) - 1`` server hops.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+@functools.lru_cache(maxsize=None)
+def dcell_servers(n: int, level: int) -> int:
+    """``t_l``: number of servers in a DCell_l built from n-port DCell_0s."""
+    if level == 0:
+        return n
+    below = dcell_servers(n, level - 1)
+    return below * (below + 1)
+
+
+def dcell_subcells(n: int, level: int) -> int:
+    """``g_l``: number of DCell_{l-1} units inside a DCell_l (l >= 1)."""
+    return dcell_servers(n, level - 1) + 1
+
+
+def uid_to_path(n: int, level: int, uid: int) -> Tuple[int, ...]:
+    """Decode a server uid within a DCell_level into its digit path.
+
+    The path is ``(a_level, …, a_1, a_0)`` where ``a_level`` picks the
+    sub-cell at each recursion step and ``a_0`` the server in its DCell_0.
+    """
+    total = dcell_servers(n, level)
+    if not 0 <= uid < total:
+        raise ValueError(f"uid {uid} out of range [0, {total})")
+    if level == 0:
+        return (uid,)
+    below = dcell_servers(n, level - 1)
+    return (uid // below,) + uid_to_path(n, level - 1, uid % below)
+
+
+def path_to_uid(n: int, path: Sequence[int]) -> int:
+    """Inverse of :func:`uid_to_path`."""
+    level = len(path) - 1
+    if level == 0:
+        return path[0]
+    below = dcell_servers(n, level - 1)
+    return path[0] * below + path_to_uid(n, path[1:])
+
+
+def server_name(path: Sequence[int]) -> str:
+    return "d" + ".".join(str(d) for d in path)
+
+
+def parse_server(name: str) -> Tuple[int, ...]:
+    if not name.startswith("d"):
+        raise ValueError(f"not a DCell server name: {name!r}")
+    return tuple(int(p) for p in name[1:].split("."))
+
+
+def switch_name(prefix: Sequence[int]) -> str:
+    """Name of the DCell_0 switch under sub-cell ``prefix``."""
+    if prefix:
+        return "w" + ".".join(str(d) for d in prefix)
+    return "w"
+
+
+def level_link(
+    n: int, level: int, prefix: Tuple[int, ...], i: int, j: int
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """The level-``level`` link between sub-cells ``i < j`` under ``prefix``.
+
+    Returns the two server paths: ``(prefix, i, uid_to_path(j-1))`` and
+    ``(prefix, j, uid_to_path(i))``.
+    """
+    if not 0 <= i < j:
+        raise ValueError("level_link requires 0 <= i < j")
+    left = prefix + (i,) + uid_to_path(n, level - 1, j - 1)
+    right = prefix + (j,) + uid_to_path(n, level - 1, i)
+    return left, right
+
+
+def build_dcell(n: int, k: int) -> Network:
+    """Build the full DCell(n, k) graph."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    net = Network(name=f"DCell(n={n}, k={k})")
+    net.meta["kind"] = "dcell"
+    net.meta["n"], net.meta["k"] = n, k
+
+    def build_cell(prefix: Tuple[int, ...], level: int) -> None:
+        if level == 0:
+            switch = switch_name(prefix)
+            net.add_switch(switch, ports=n, role="dcell0")
+            for i in range(n):
+                name = server_name(prefix + (i,))
+                net.add_server(name, ports=k + 1, address=prefix + (i,))
+                net.add_link(name, switch)
+            return
+        for sub in range(dcell_subcells(n, level)):
+            build_cell(prefix + (sub,), level - 1)
+        for i in range(dcell_subcells(n, level)):
+            for j in range(i + 1, dcell_subcells(n, level)):
+                left, right = level_link(n, level, prefix, i, j)
+                net.add_link(server_name(left), server_name(right))
+
+    build_cell((), k)
+    return net
+
+
+def dcell_route(n: int, k: int, src: Sequence[int], dst: Sequence[int]) -> Route:
+    """The paper's recursive DCellRouting (server names, switches included)."""
+    src = tuple(src)
+    dst = tuple(dst)
+
+    def recurse(a: Tuple[int, ...], b: Tuple[int, ...], level: int) -> List[str]:
+        """Server/switch name walk from server a to server b, both inside
+        the same DCell_level (paths include the shared prefix)."""
+        if a == b:
+            return [server_name(a)]
+        prefix_len = len(a) - (level + 1)
+        if level == 0:
+            # Same DCell_0: two hops through the local switch.
+            return [server_name(a), switch_name(a[:-1]), server_name(b)]
+        if a[prefix_len] == b[prefix_len]:
+            return recurse(a, b, level - 1)
+        prefix = a[:prefix_len]
+        i, j = a[prefix_len], b[prefix_len]
+        if i < j:
+            exit_server, entry_server = level_link(n, level, prefix, i, j)
+        else:
+            entry_server, exit_server = level_link(n, level, prefix, j, i)
+        first = recurse(a, exit_server, level - 1)
+        last = recurse(entry_server, b, level - 1)
+        return first + last
+
+    nodes = recurse(src, dst, k)
+    return Route.of(nodes)
+
+
+class DcellSpec(TopologySpec):
+    """DCell(n, k) as a registrable topology spec."""
+
+    kind = "dcell"
+
+    def __init__(self, n: int, k: int):
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.n = n
+        self.k = k
+
+    def params(self) -> Dict[str, Any]:
+        return {"n": self.n, "k": self.k}
+
+    @property
+    def num_servers(self) -> int:
+        return dcell_servers(self.n, self.k)
+
+    @property
+    def num_switches(self) -> int:
+        return dcell_servers(self.n, self.k) // self.n
+
+    @property
+    def num_links(self) -> int:
+        total = self.num_servers  # server-switch links
+        for level in range(1, self.k + 1):
+            cells = dcell_servers(self.n, self.k) // dcell_servers(self.n, level)
+            g = dcell_subcells(self.n, level)
+            total += cells * g * (g - 1) // 2
+        return total
+
+    @property
+    def server_ports(self) -> int:
+        return self.k + 1
+
+    @property
+    def switch_ports(self) -> int:
+        return self.n
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        """Upper bound from DCellRouting: ``2^(k+1) - 1`` (the true
+        diameter can be slightly smaller; experiments measure it)."""
+        return 2 ** (self.k + 1) - 1
+
+    @property
+    def diameter_link_hops(self) -> Optional[int]:
+        return None  # mixed switch/direct hops; measured empirically
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.direct_server()
+
+    def build(self) -> Network:
+        return build_dcell(self.n, self.k)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        return dcell_route(self.n, self.k, parse_server(src), parse_server(dst))

@@ -1,0 +1,115 @@
+"""Three-tier fat-tree (k-ary Clos) — Al-Fares et al., SIGCOMM 2008.
+
+The switch-centric baseline: ``p`` pods of ``p/2`` edge and ``p/2``
+aggregation switches plus ``(p/2)^2`` core switches, all of radix ``p``;
+``p^3 / 4`` single-port servers.  Full bisection bandwidth, link-hop
+diameter 6, but scaling beyond ``p`` pods means replacing every switch —
+the expansion pain the ABCCC paper contrasts against.
+
+Node names: servers ``h<pod>.<edge>.<i>``, edge ``e<pod>.<i>``,
+aggregation ``a<pod>.<i>``, core ``x<i>.<j>``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.routing.base import Route
+from repro.routing.shortest import bfs_path
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+def build_fattree(p: int) -> Network:
+    """Build the p-ary fat-tree (``p`` even, ``p >= 2``)."""
+    if p < 2 or p % 2 != 0:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {p}")
+    net = Network(name=f"FatTree(p={p})")
+    net.meta["kind"] = "fattree"
+    net.meta["p"] = p
+    half = p // 2
+
+    for i in range(half):
+        for j in range(half):
+            net.add_switch(f"x{i}.{j}", ports=p, role="core")
+    for pod in range(p):
+        for i in range(half):
+            net.add_switch(f"e{pod}.{i}", ports=p, role="edge")
+            net.add_switch(f"a{pod}.{i}", ports=p, role="aggregation")
+        for i in range(half):
+            for h in range(half):
+                name = f"h{pod}.{i}.{h}"
+                net.add_server(name, ports=1, address=(pod, i, h))
+                net.add_link(name, f"e{pod}.{i}")
+            for j in range(half):
+                net.add_link(f"e{pod}.{i}", f"a{pod}.{j}")
+        for j in range(half):
+            for m in range(half):
+                net.add_link(f"a{pod}.{j}", f"x{j}.{m}")
+    return net
+
+
+def fattree_embed(name: str) -> str:
+    """FatTree(p) names are valid FatTree(p+2) names unchanged.
+
+    The old servers/switches keep their coordinates; the diff then shows
+    that although no cable is *removed*, every switch's radix grows — i.e.
+    the whole fabric is replaced.
+    """
+    return name
+
+
+class FatTreeSpec(TopologySpec):
+    """Fat-tree as a registrable topology spec."""
+
+    kind = "fattree"
+
+    def __init__(self, p: int):
+        if p < 2 or p % 2 != 0:
+            raise ValueError(f"fat-tree arity must be even and >= 2, got {p}")
+        self.p = p
+
+    def params(self) -> Dict[str, Any]:
+        return {"p": self.p}
+
+    @property
+    def num_servers(self) -> int:
+        return self.p**3 // 4
+
+    @property
+    def num_switches(self) -> int:
+        return 5 * self.p**2 // 4
+
+    @property
+    def num_links(self) -> int:
+        return 3 * self.p**3 // 4
+
+    @property
+    def server_ports(self) -> int:
+        return 1
+
+    @property
+    def switch_ports(self) -> int:
+        return self.p
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        return 1  # degenerate for switch-centric fabrics; see link hops
+
+    @property
+    def diameter_link_hops(self) -> Optional[int]:
+        return 6
+
+    @property
+    def bisection_links(self) -> Optional[float]:
+        return self.num_servers / 2  # rearrangeably non-blocking Clos
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.switch_centric()
+
+    def build(self) -> Network:
+        return build_fattree(self.p)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        return bfs_path(net, src, dst)

@@ -1,0 +1,231 @@
+"""FiConn(n, k) — Li et al., INFOCOM 2009.
+
+The *other* dual-port-server baseline: ``FiConn_0`` is ``n`` servers on an
+``n``-port switch; to build ``FiConn_k``, take ``g_k = b_{k-1}/2 + 1``
+copies of ``FiConn_{k-1}`` (where ``b_{k-1}`` is the number of servers with
+an idle backup port) and wire the copies into a complete graph, each copy
+spending **half** of its idle ports, keeping the other half for future
+levels.  Servers never need more than 2 ports — cheaper than DCell/BCube
+but with a longer diameter and weaker bisection; it brackets ABCCC from
+the low-cost side in the comparison tables.
+
+Pairing rule **[RECON]**: sub-cell ``u`` connects to sub-cell ``v``
+(``u < v``) by wiring entry ``v - 1`` of ``u``'s idle list to entry ``u``
+of ``v``'s idle list, after which the *unused second half* of each idle
+list stays idle — this reproduces FiConn's counts and degree structure;
+the original paper spreads the chosen servers evenly, which changes only
+cosmetic positions, not any metric this library reports.
+
+Node names: servers ``f<path>`` , switches ``v<path>``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+@functools.lru_cache(maxsize=None)
+def ficonn_counts(n: int, level: int) -> Tuple[int, int]:
+    """``(N_l, b_l)``: servers and idle-backup-port servers of FiConn_l.
+
+    ``n`` must be even (the recursion halves idle counts).
+    """
+    if n < 2 or n % 2 != 0:
+        raise ValueError(f"FiConn port count n must be even and >= 2, got {n}")
+    if level == 0:
+        return n, n
+    below_servers, below_idle = ficonn_counts(n, level - 1)
+    g = below_idle // 2 + 1
+    servers = below_servers * g
+    idle = (below_idle // 2) * g  # each copy keeps half its idle ports
+    return servers, idle
+
+
+def server_name(path: Sequence[int]) -> str:
+    return "f" + ".".join(str(d) for d in path)
+
+
+def parse_server(name: str) -> Tuple[int, ...]:
+    if not name.startswith("f"):
+        raise ValueError(f"not a FiConn server name: {name!r}")
+    return tuple(int(p) for p in name[1:].split("."))
+
+
+def switch_name(prefix: Sequence[int]) -> str:
+    if prefix:
+        return "v" + ".".join(str(d) for d in prefix)
+    return "v"
+
+
+@functools.lru_cache(maxsize=None)
+def idle_relative(n: int, level: int) -> Tuple[Tuple[int, ...], ...]:
+    """The ordered idle-server list of any FiConn_level, as paths
+    *relative* to that sub-cell (every instance is identical).
+
+    Mirrors :func:`build_ficonn`'s recursion exactly — the build's wiring
+    and this routing helper are cross-checked by the tests.
+    """
+    if level == 0:
+        return tuple((i,) for i in range(n))
+    below = idle_relative(n, level - 1)
+    g = len(below) // 2 + 1
+    remaining: List[Tuple[int, ...]] = []
+    for sub in range(g):
+        for rel in below[g - 1 :]:
+            remaining.append((sub,) + rel)
+    return tuple(remaining)
+
+
+def ficonn_level_link(
+    n: int, level: int, u: int, v: int
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """The level-``level`` link between sub-cells ``u < v`` (relative
+    paths within the enclosing FiConn_level)."""
+    if not 0 <= u < v:
+        raise ValueError("requires 0 <= u < v")
+    below = idle_relative(n, level - 1)
+    return (u,) + below[v - 1], (v,) + below[u]
+
+
+def ficonn_route(n: int, k: int, src: Sequence[int], dst: Sequence[int]) -> Route:
+    """FiConn's traffic-oblivious routing (TOR): recursive descent.
+
+    Same structure as DCellRouting: find the level where the paths
+    diverge, cross the single level link joining the two sub-cells,
+    recurse on both sides.  Length is bounded by ``2^(k+1) - 1`` server
+    hops.
+    """
+    src = tuple(src)
+    dst = tuple(dst)
+    if len(src) != k + 1 or len(dst) != k + 1:
+        raise RoutingError(f"addresses must have {k + 1} digits")
+
+    def recurse(a: Tuple[int, ...], b: Tuple[int, ...], level: int) -> List[str]:
+        if a == b:
+            return [server_name(a)]
+        prefix_len = len(a) - (level + 1)
+        if level == 0:
+            return [server_name(a), switch_name(a[:-1]), server_name(b)]
+        if a[prefix_len] == b[prefix_len]:
+            return recurse(a, b, level - 1)
+        prefix = a[:prefix_len]
+        i, j = a[prefix_len], b[prefix_len]
+        if i < j:
+            exit_rel, entry_rel = ficonn_level_link(n, level, i, j)
+        else:
+            entry_rel, exit_rel = ficonn_level_link(n, level, j, i)
+        exit_server = prefix + exit_rel
+        entry_server = prefix + entry_rel
+        return recurse(a, exit_server, level - 1) + recurse(entry_server, b, level - 1)
+
+    return Route.of(recurse(src, dst, k))
+
+
+def build_ficonn(n: int, k: int) -> Network:
+    """Build the full FiConn(n, k) graph.
+
+    Returns the network; each recursion level wires sub-cells with the
+    pairing rule from the module docstring and records the still-idle
+    server list bottom-up.
+    """
+    ficonn_counts(n, k)  # validate n early
+    net = Network(name=f"FiConn(n={n}, k={k})")
+    net.meta["kind"] = "ficonn"
+    net.meta["n"], net.meta["k"] = n, k
+
+    def build_cell(prefix: Tuple[int, ...], level: int) -> List[str]:
+        """Build the sub-cell; return its ordered idle-server list."""
+        if level == 0:
+            switch = switch_name(prefix)
+            net.add_switch(switch, ports=n, role="ficonn0")
+            idle: List[str] = []
+            for i in range(n):
+                name = server_name(prefix + (i,))
+                net.add_server(name, ports=2, address=prefix + (i,))
+                net.add_link(name, switch)
+                idle.append(name)
+            return idle
+
+        sub_idle: List[List[str]] = []
+        _, below_idle = ficonn_counts(n, level - 1)
+        g = below_idle // 2 + 1
+        for sub in range(g):
+            sub_idle.append(build_cell(prefix + (sub,), level - 1))
+        for u in range(g):
+            for v in range(u + 1, g):
+                net.add_link(sub_idle[u][v - 1], sub_idle[v][u])
+        # Each sub-cell consumed its first g - 1 = below_idle / 2 entries.
+        remaining: List[str] = []
+        for idle in sub_idle:
+            remaining.extend(idle[g - 1 :])
+        return remaining
+
+    build_cell((), k)
+    return net
+
+
+class FiconnSpec(TopologySpec):
+    """FiConn(n, k) as a registrable topology spec."""
+
+    kind = "ficonn"
+
+    def __init__(self, n: int, k: int):
+        ficonn_counts(n, 0)  # validates n
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.n = n
+        self.k = k
+
+    def params(self) -> Dict[str, Any]:
+        return {"n": self.n, "k": self.k}
+
+    @property
+    def num_servers(self) -> int:
+        return ficonn_counts(self.n, self.k)[0]
+
+    @property
+    def num_switches(self) -> int:
+        return self.num_servers // self.n
+
+    @property
+    def num_links(self) -> int:
+        total = self.num_servers  # server-switch links
+        for level in range(1, self.k + 1):
+            _, below_idle = ficonn_counts(self.n, level - 1)
+            g = below_idle // 2 + 1
+            cells = self.num_servers // ficonn_counts(self.n, level)[0]
+            total += cells * g * (g - 1) // 2
+        return total
+
+    @property
+    def server_ports(self) -> int:
+        return 2
+
+    @property
+    def switch_ports(self) -> int:
+        return self.n
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        """FiConn's routing bound: ``2^(k+1) - 1`` server hops."""
+        return 2 ** (self.k + 1) - 1
+
+    @property
+    def diameter_link_hops(self) -> Optional[int]:
+        return None  # mixed switch/direct hops; measured empirically
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.direct_server()
+
+    def build(self) -> Network:
+        return build_ficonn(self.n, self.k)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        """FiConn's native traffic-oblivious routing."""
+        return ficonn_route(self.n, self.k, parse_server(src), parse_server(dst))

@@ -1,0 +1,117 @@
+"""Binary hypercube Q_m — the classical cube the whole family descends from.
+
+``2^m`` servers, each with ``m`` ports, wired directly (no switches) to the
+``m`` servers whose binary address differs in one bit.  Included as the
+historical reference point of the "cube-based" lineage the paper's title
+invokes: excellent diameter (``m``) and bisection (``2^(m-1)``), but the
+per-server port count grows with the network — exactly the scaling problem
+BCube/BCCC/ABCCC re-solve with commodity switches.
+
+Node names: ``q<bits>`` with the most significant bit first, e.g. ``q0110``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+def server_name(value: int, m: int) -> str:
+    return "q" + format(value, f"0{m}b")
+
+
+def parse_server(name: str) -> int:
+    if not name.startswith("q"):
+        raise ValueError(f"not a hypercube server name: {name!r}")
+    return int(name[1:], 2)
+
+
+def build_hypercube(m: int) -> Network:
+    """Build Q_m (``m >= 1``)."""
+    if m < 1:
+        raise ValueError(f"hypercube dimension must be >= 1, got {m}")
+    net = Network(name=f"Hypercube(m={m})")
+    net.meta["kind"] = "hypercube"
+    net.meta["m"] = m
+    size = 1 << m
+    for value in range(size):
+        net.add_server(server_name(value, m), ports=m, address=value)
+    for value in range(size):
+        for bit in range(m):
+            other = value ^ (1 << bit)
+            if other > value:
+                net.add_link(server_name(value, m), server_name(other, m))
+    return net
+
+
+def hypercube_route(m: int, src: int, dst: int) -> Route:
+    """Bit-fixing (e-cube) routing, ascending bit order."""
+    size = 1 << m
+    if not (0 <= src < size and 0 <= dst < size):
+        raise RoutingError(f"addresses must be in [0, {size})")
+    nodes: List[str] = [server_name(src, m)]
+    current = src
+    for bit in range(m):
+        if (current ^ dst) & (1 << bit):
+            current ^= 1 << bit
+            nodes.append(server_name(current, m))
+    return Route.of(nodes)
+
+
+class HypercubeSpec(TopologySpec):
+    """Q_m as a registrable topology spec."""
+
+    kind = "hypercube"
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise ValueError(f"hypercube dimension must be >= 1, got {m}")
+        self.m = m
+
+    def params(self) -> Dict[str, Any]:
+        return {"m": self.m}
+
+    @property
+    def num_servers(self) -> int:
+        return 1 << self.m
+
+    @property
+    def num_switches(self) -> int:
+        return 0
+
+    @property
+    def num_links(self) -> int:
+        return self.m * (1 << (self.m - 1))
+
+    @property
+    def server_ports(self) -> int:
+        return self.m
+
+    @property
+    def switch_ports(self) -> int:
+        return 0
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        return self.m
+
+    @property
+    def diameter_link_hops(self) -> Optional[int]:
+        return self.m  # direct links: one link per logical hop
+
+    @property
+    def bisection_links(self) -> Optional[float]:
+        return float(1 << (self.m - 1))
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.direct_server()
+
+    def build(self) -> Network:
+        return build_hypercube(self.m)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        return hypercube_route(self.m, parse_server(src), parse_server(dst))

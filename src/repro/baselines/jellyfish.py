@@ -1,0 +1,219 @@
+"""Jellyfish — random regular ToR graph (Singla et al., NSDI 2012).
+
+The *other* famous answer to incremental expandability: wire top-of-rack
+switches into a random ``r``-regular graph and claim near-optimal
+bandwidth plus grow-by-one-rack expansion.  Including it makes the
+expandability comparison honest: Jellyfish also expands cheaply, but
+gives up structure — no closed-form diameter, no address-based routing
+(k-shortest-path state per pair), and rewiring *is* required on every
+expansion step (a few random cables are re-plugged to attach a new rack).
+
+``JellyfishSpec(switches, ports, servers_per_switch, seed)``: each of the
+``switches`` ToRs uses ``servers_per_switch`` ports downward and
+``r = ports - servers_per_switch`` ports for the random inter-switch
+fabric.  The graph is sampled with networkx's seeded regular-graph
+generator (retrying on disconnected draws), so every spec builds
+deterministically.
+
+Node names: servers ``j<switch>.<i>``, switches ``js<switch>``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.routing.base import Route
+from repro.routing.shortest import bfs_path
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+def _sample_regular_graph(
+    nodes: int, degree: int, seed: int
+) -> Set[Tuple[int, int]]:
+    """A connected simple ``degree``-regular graph on ``nodes`` vertices.
+
+    Uses networkx's seeded pairing-model generator (which already repairs
+    self-loops/multi-edges) and retries with derived seeds until the
+    sample is connected — a handful of draws at most for the parameters a
+    data center would use.  Raises ``ValueError`` when no such graph
+    exists (``n * d`` odd, ``d >= n``) or sampling keeps failing.
+    """
+    import networkx as nx
+
+    if degree >= nodes:
+        raise ValueError(f"degree {degree} needs more than {nodes} switches")
+    if (nodes * degree) % 2 != 0:
+        raise ValueError(f"{nodes} switches of fabric degree {degree}: odd stub count")
+    if degree == 0:
+        raise ValueError("fabric degree 0 cannot connect the switches")
+    for attempt in range(50):
+        graph = nx.random_regular_graph(degree, nodes, seed=seed * 1000 + attempt)
+        if nx.is_connected(graph):
+            return {(min(u, v), max(u, v)) for u, v in graph.edges()}
+    raise ValueError(
+        f"could not sample a connected {degree}-regular graph on {nodes} nodes"
+    )
+
+
+class JellyfishSpec(TopologySpec):
+    """Jellyfish as a registrable topology spec (seeded, deterministic)."""
+
+    kind = "jellyfish"
+
+    def __init__(self, switches: int, ports: int, servers_per_switch: int, seed: int = 0):
+        if switches < 3:
+            raise ValueError("need at least 3 switches")
+        if not 1 <= servers_per_switch < ports:
+            raise ValueError("servers_per_switch must leave fabric ports free")
+        self.switches_count = switches
+        self.ports = ports
+        self.servers_per_switch = servers_per_switch
+        self.seed = seed
+        self._fabric_degree = ports - servers_per_switch
+        # Validate samplability eagerly so bad specs fail at construction.
+        _sample_regular_graph(switches, self._fabric_degree, seed)
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "switches": self.switches_count,
+            "ports": self.ports,
+            "servers_per_switch": self.servers_per_switch,
+            "seed": self.seed,
+        }
+
+    @property
+    def num_servers(self) -> int:
+        return self.switches_count * self.servers_per_switch
+
+    @property
+    def num_switches(self) -> int:
+        return self.switches_count
+
+    @property
+    def num_links(self) -> int:
+        return self.num_servers + self.switches_count * self._fabric_degree // 2
+
+    @property
+    def server_ports(self) -> int:
+        return 1
+
+    @property
+    def switch_ports(self) -> int:
+        return self.ports
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        return None  # random graph: measured, not closed-form
+
+    @property
+    def diameter_link_hops(self) -> Optional[int]:
+        return None
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.switch_centric()
+
+    def build(self) -> Network:
+        net = Network(name=self.label)
+        net.meta["kind"] = "jellyfish"
+        net.meta["seed"] = self.seed
+        for s in range(self.switches_count):
+            net.add_switch(f"js{s}", ports=self.ports, role="tor")
+            for i in range(self.servers_per_switch):
+                name = f"j{s}.{i}"
+                net.add_server(name, ports=1, address=(s, i))
+                net.add_link(name, f"js{s}")
+        for u, v in sorted(
+            _sample_regular_graph(self.switches_count, self._fabric_degree, self.seed)
+        ):
+            net.add_link(f"js{u}", f"js{v}")
+        return net
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        return bfs_path(net, src, dst)
+
+
+def grow_jellyfish(net: Network, spec: JellyfishSpec, seed: int = 0):
+    """Jellyfish's incremental expansion: splice one new ToR into ``net``.
+
+    The published procedure: pick ``r/2`` random existing fabric edges,
+    *remove* them, and wire both freed endpoints to the new switch — the
+    new ToR lands with full fabric degree and every old switch keeps its
+    degree.  Returns an :class:`~repro.core.expansion.ExpansionPlan`
+    (same accounting as the structured families), and mutates ``net`` in
+    place to the expanded fabric.
+
+    The point for the F5 comparison: Jellyfish *does* grow one rack at a
+    time — but every step re-plugs live cables (``removed_links`` > 0),
+    which ABCCC's pure-addition growth never does.
+    """
+    import random as _random
+
+    from repro.core.expansion import ExpansionError, ExpansionPlan
+
+    rng = _random.Random(seed)
+    r = spec.ports - spec.servers_per_switch
+    if r % 2 != 0:
+        raise ExpansionError(
+            "incremental growth needs an even fabric degree (r/2 edges split)"
+        )
+    fabric_edges = [
+        (link.u, link.v)
+        for link in net.links()
+        if net.node(link.u).is_switch and net.node(link.v).is_switch
+    ]
+    if len(fabric_edges) < r // 2:
+        raise ExpansionError("not enough fabric edges to splice into")
+
+    new_switch = f"js{spec.switches_count}"
+    if new_switch in net:
+        raise ExpansionError(f"{new_switch} already exists; grow from the spec's size")
+    net.add_switch(new_switch, ports=spec.ports, role="tor")
+    new_servers = []
+    new_links = []
+    for i in range(spec.servers_per_switch):
+        name = f"j{spec.switches_count}.{i}"
+        net.add_server(name, ports=1, address=(spec.switches_count, i))
+        net.add_link(name, new_switch)
+        new_servers.append(name)
+        new_links.append(tuple(sorted((name, new_switch))))
+
+    removed = []
+    recabled = set()
+    # The spliced edges must be endpoint-disjoint: every freed port gets
+    # exactly one new cable to the new switch.
+    rng.shuffle(fabric_edges)
+    chosen = []
+    used: Set[str] = set()
+    for u, v in fabric_edges:
+        if u in used or v in used:
+            continue
+        chosen.append((u, v))
+        used.update((u, v))
+        if len(chosen) == r // 2:
+            break
+    if len(chosen) < r // 2:
+        raise ExpansionError("could not find enough endpoint-disjoint fabric edges")
+    for u, v in chosen:
+        net.remove_link(u, v)
+        removed.append(tuple(sorted((u, v))))
+        for endpoint in (u, v):
+            net.add_link(endpoint, new_switch)
+            new_links.append(tuple(sorted((endpoint, new_switch))))
+            recabled.add(endpoint)
+
+    bigger = JellyfishSpec(
+        spec.switches_count + 1, spec.ports, spec.servers_per_switch, spec.seed
+    )
+    return ExpansionPlan(
+        old_label=spec.label,
+        new_label=bigger.label,
+        new_servers=tuple(sorted(new_servers)),
+        new_switches=(new_switch,),
+        new_links=tuple(sorted(new_links)),
+        removed_links=tuple(sorted(removed)),
+        upgraded_servers=(),
+        replaced_switches=(),
+        recabled_nodes=tuple(sorted(recabled)),
+    )

@@ -1,0 +1,150 @@
+"""3D torus (k-ary 3-cube) — the CamCube-style direct-connect baseline.
+
+CamCube (Abu-Libdeh et al., SIGCOMM 2010) wired servers as a 3D torus
+with six NIC ports and no switches at all; it is the other "cube" design
+of the ABCCC era and brackets the family from the switchless side: zero
+switch CAPEX, but per-server port count fixed at 6 and diameter growing
+as the cube root of N times 3/2.
+
+``Torus3dSpec(a, b, c)`` builds an ``a x b x c`` torus (each dimension
+>= 2; a dimension of exactly 2 would duplicate the wrap-around link, so
+sizes of 2 use a single link per neighbour pair).
+
+Node names: ``t<x>.<y>.<z>``.  Native routing is dimension-ordered
+routing (DOR) with shortest wrap direction per dimension.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+def server_name(coord: Tuple[int, int, int]) -> str:
+    return "t{}.{}.{}".format(*coord)
+
+
+def parse_server(name: str) -> Tuple[int, int, int]:
+    if not name.startswith("t"):
+        raise ValueError(f"not a torus server name: {name!r}")
+    x, y, z = (int(p) for p in name[1:].split("."))
+    return (x, y, z)
+
+
+def build_torus3d(a: int, b: int, c: int) -> Network:
+    """Build the a x b x c torus (all dimensions >= 2)."""
+    dims = (a, b, c)
+    if any(d < 2 for d in dims):
+        raise ValueError(f"all torus dimensions must be >= 2, got {dims}")
+    net = Network(name=f"Torus3D({a}x{b}x{c})")
+    net.meta["kind"] = "torus3d"
+    net.meta["dims"] = dims
+    ports = sum(1 if d == 2 else 2 for d in dims)
+    for coord in itertools.product(range(a), range(b), range(c)):
+        net.add_server(server_name(coord), ports=ports, address=coord)
+    for coord in itertools.product(range(a), range(b), range(c)):
+        for axis, size in enumerate(dims):
+            neighbour = list(coord)
+            neighbour[axis] = (coord[axis] + 1) % size
+            neighbour = tuple(neighbour)
+            if neighbour == coord:
+                continue
+            if not net.has_link(server_name(coord), server_name(neighbour)):
+                net.add_link(server_name(coord), server_name(neighbour))
+    return net
+
+
+def torus_route(dims: Tuple[int, int, int], src: Tuple[int, ...], dst: Tuple[int, ...]) -> Route:
+    """Dimension-ordered routing, shortest wrap direction per axis."""
+    if len(src) != 3 or len(dst) != 3:
+        raise RoutingError("torus addresses have three coordinates")
+    for axis, size in enumerate(dims):
+        if not (0 <= src[axis] < size and 0 <= dst[axis] < size):
+            raise RoutingError(f"coordinate out of range on axis {axis}")
+    nodes: List[str] = [server_name(tuple(src))]
+    current = list(src)
+    for axis, size in enumerate(dims):
+        delta = (dst[axis] - current[axis]) % size
+        step = 1 if delta <= size - delta else -1
+        while current[axis] != dst[axis]:
+            current[axis] = (current[axis] + step) % size
+            nodes.append(server_name(tuple(current)))
+    return Route.of(nodes)
+
+
+class Torus3dSpec(TopologySpec):
+    """A 3D torus as a registrable topology spec."""
+
+    kind = "torus3d"
+
+    def __init__(self, a: int, b: int, c: int):
+        if any(d < 2 for d in (a, b, c)):
+            raise ValueError("all torus dimensions must be >= 2")
+        self.a, self.b, self.c = a, b, c
+
+    def params(self) -> Dict[str, Any]:
+        return {"a": self.a, "b": self.b, "c": self.c}
+
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        return (self.a, self.b, self.c)
+
+    @property
+    def num_servers(self) -> int:
+        return self.a * self.b * self.c
+
+    @property
+    def num_switches(self) -> int:
+        return 0
+
+    @property
+    def num_links(self) -> int:
+        total = 0
+        n = self.num_servers
+        for d in self.dims:
+            # d rings of length d have d links each — unless d == 2,
+            # where the "ring" is a single link.
+            per_ring = d if d > 2 else 1
+            total += (n // d) * per_ring
+        return total
+
+    @property
+    def server_ports(self) -> int:
+        return sum(1 if d == 2 else 2 for d in self.dims)
+
+    @property
+    def switch_ports(self) -> int:
+        return 0
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        return sum(d // 2 for d in self.dims)
+
+    @property
+    def diameter_link_hops(self) -> Optional[int]:
+        return self.diameter_server_hops  # direct links
+
+    @property
+    def bisection_links(self) -> Optional[float]:
+        """Cut across the largest even dimension: ``2 * N / d`` links
+        (two wrap surfaces of N/d links each)."""
+        even = [d for d in self.dims if d % 2 == 0]
+        if not even:
+            return None
+        d = max(even)
+        surfaces = 1 if d == 2 else 2
+        return surfaces * self.num_servers / d
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.direct_server()
+
+    def build(self) -> Network:
+        return build_torus3d(self.a, self.b, self.c)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        return torus_route(self.dims, parse_server(src), parse_server(dst))

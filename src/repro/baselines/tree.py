@@ -1,0 +1,156 @@
+"""Oversubscribed multi-rooted tree — the conventional-DCN baseline.
+
+Every server-centric paper of the era compares against "the tree": top-of
+-rack switches uplinked to an aggregation tier, aggregation uplinked to a
+core tier, with an oversubscription ratio at each tier because the uplink
+count is smaller than the downlink count.  Cheap and familiar, with a
+bisection that collapses as the network grows — the foil for ABCCC's
+bandwidth story.
+
+``TreeSpec(n, racks, oversub)`` uses ``n``-port ToR switches:
+``n - n/oversub`` ports face servers and ``n/oversub`` ports face the
+aggregation tier (``oversub`` is the per-ToR oversubscription ratio, an
+integer >= 1).  Aggregation switches are paired to core switches in a
+simple two-tier Clos above the ToRs, sized so each tier carries exactly
+the uplink capacity below it.
+
+Node names: servers ``r<rack>.<i>``, ToR ``tor<rack>``, aggregation
+``agg<i>``, core ``core<i>``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.routing.base import Route
+from repro.routing.shortest import bfs_path
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+class TreeSpec(TopologySpec):
+    """Oversubscribed 3-tier tree as a registrable topology spec."""
+
+    kind = "tree"
+
+    def __init__(self, n: int, racks: int, oversub: int = 4):
+        if n < 4 or n % 2 != 0:
+            raise ValueError(f"ToR radix must be even and >= 4, got {n}")
+        if oversub < 1:
+            raise ValueError(f"oversubscription ratio must be >= 1, got {oversub}")
+        uplinks = max(n // (oversub + 1), 1)
+        if uplinks >= n:
+            raise ValueError("oversubscription leaves no server ports")
+        if racks < 1:
+            raise ValueError("need at least one rack")
+        self.n = n
+        self.racks = racks
+        self.oversub = oversub
+        self._uplinks = uplinks
+        self._down = n - uplinks
+
+    def params(self) -> Dict[str, Any]:
+        return {"n": self.n, "racks": self.racks, "oversub": self.oversub}
+
+    # ------------------------------------------------------------------
+    # derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def servers_per_rack(self) -> int:
+        return self._down
+
+    @property
+    def uplinks_per_rack(self) -> int:
+        return self._uplinks
+
+    @property
+    def num_agg(self) -> int:
+        """One aggregation switch per uplink index, covering all racks.
+
+        Aggregation switch ``i`` takes uplink ``i`` of every rack; its
+        radix must be >= racks + core uplinks, so we provision the
+        smallest sufficient port count (reported by switch_ports).
+        """
+        return self._uplinks
+
+    @property
+    def num_core(self) -> int:
+        return max(self._uplinks // 2, 1)
+
+    @property
+    def num_servers(self) -> int:
+        return self.racks * self.servers_per_rack
+
+    @property
+    def num_switches(self) -> int:
+        return self.racks + self.num_agg + self.num_core
+
+    @property
+    def num_links(self) -> int:
+        return (
+            self.num_servers  # server - ToR
+            + self.racks * self._uplinks  # ToR - agg
+            + self.num_agg * self.num_core  # agg - core
+        )
+
+    @property
+    def server_ports(self) -> int:
+        return 1
+
+    @property
+    def switch_ports(self) -> int:
+        return max(self.n, self.racks + self.num_core)
+
+    def switch_inventory(self) -> Dict[int, int]:
+        inventory: Dict[int, int] = {self.n: self.racks}
+        agg_ports = self.racks + self.num_core
+        inventory[agg_ports] = inventory.get(agg_ports, 0) + self.num_agg + self.num_core
+        return inventory
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        return 1
+
+    @property
+    def diameter_link_hops(self) -> Optional[int]:
+        if self.racks == 1:
+            return 2
+        return 6  # server - tor - agg - core - agg - tor - server
+
+    @property
+    def bisection_links(self) -> Optional[float]:
+        """Limited by the ToR uplinks: half the racks' uplinks cross."""
+        if self.racks == 1:
+            return None
+        return self.racks * self._uplinks / 2
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.switch_centric()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self) -> Network:
+        net = Network(name=self.label)
+        net.meta["kind"] = "tree"
+        net.meta["racks"] = self.racks
+        agg_ports = self.racks + self.num_core
+        for i in range(self.num_core):
+            net.add_switch(f"core{i}", ports=agg_ports, role="core")
+        for i in range(self.num_agg):
+            net.add_switch(f"agg{i}", ports=agg_ports, role="aggregation")
+            for j in range(self.num_core):
+                net.add_link(f"agg{i}", f"core{j}")
+        for rack in range(self.racks):
+            net.add_switch(f"tor{rack}", ports=self.n, role="tor")
+            for i in range(self.servers_per_rack):
+                name = f"r{rack}.{i}"
+                net.add_server(name, ports=1, address=(rack, i))
+                net.add_link(name, f"tor{rack}")
+            for uplink in range(self._uplinks):
+                net.add_link(f"tor{rack}", f"agg{uplink}")
+        return net
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        return bfs_path(net, src, dst)

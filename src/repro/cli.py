@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — registered topologies and their parameters.
+* ``build KIND --params k=v…`` — build a topology, print its summary and
+  validate the structural invariants.
+* ``route KIND --params … SRC DST`` — print the native route between two
+  servers (server indexes or names).
+* ``export KIND --params … --format json|graphml|dot OUT`` — serialise a
+  built topology.
+* ``verify FILE [--params n=…,k=…,s=…]`` — load a JSON network and check
+  ABCCC conformance (parameters inferred when omitted).
+* ``manifest KIND --params …`` — print the deployment manifest (rack
+  BOMs + cable schedule).
+* ``experiments`` — list the evaluation suite.
+* ``run EXP_ID|all [--quick] [--out DIR]`` — regenerate tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.topology.registry import available, create, spec_class
+from repro.topology.validate import find_problems
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad parameter {pair!r}; expected name=value")
+        name, _, value = pair.partition("=")
+        try:
+            params[name] = int(value)
+        except ValueError:
+            raise SystemExit(f"parameter {name!r} must be an integer, got {value!r}")
+    return params
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    import inspect
+
+    for kind in available():
+        cls = spec_class(kind)
+        signature = inspect.signature(cls.__init__)
+        params = [p for p in signature.parameters if p != "self"]
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{kind:<10} params: {', '.join(params):<12} {doc}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    spec = create(args.kind, **_parse_params(args.param))
+    net = spec.build()
+    problems = find_problems(net, spec.link_policy())
+    print(f"{spec.label}: {net.num_servers} servers, {net.num_switches} switches, "
+          f"{net.num_links} links")
+    print(f"  server ports: {spec.server_ports}, switch ports: {spec.switch_ports}")
+    print(f"  diameter: {spec.diameter_server_hops} server hops / "
+          f"{spec.diameter_link_hops} link hops (analytic)")
+    if spec.bisection_links is not None:
+        print(f"  bisection: {spec.bisection_links:g} links")
+    if problems:
+        print("  INVALID:")
+        for problem in problems:
+            print(f"    - {problem}")
+        return 1
+    print("  structural invariants: OK")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    spec = create(args.kind, **_parse_params(args.param))
+    net = spec.build()
+    servers = net.servers
+
+    def resolve(token: str) -> str:
+        if token in net:
+            return token
+        try:
+            return servers[int(token)]
+        except (ValueError, IndexError):
+            raise SystemExit(f"{token!r} is neither a server name nor an index")
+
+    src, dst = resolve(args.src), resolve(args.dst)
+    route = spec.route(net, src, dst)
+    route.validate(net)
+    print(" -> ".join(route.nodes))
+    print(f"{route.link_hops} link hops, {route.server_hops(net)} server hops")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.topology.serialize import save_graphml, save_json, to_dot
+
+    spec = create(args.kind, **_parse_params(args.param))
+    net = spec.build()
+    if args.format == "json":
+        save_json(net, args.out)
+    elif args.format == "graphml":
+        save_graphml(net, args.out)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(to_dot(net))
+    print(f"wrote {spec.label} ({len(net)} nodes, {net.num_links} links) "
+          f"as {args.format} to {args.out}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.address import AbcccParams
+    from repro.core.conformance import conformance_problems, infer_params
+    from repro.topology.serialize import load_json
+
+    net = load_json(args.file)
+    if args.param:
+        params_dict = _parse_params(args.param)
+        params = AbcccParams(params_dict["n"], params_dict["k"], params_dict["s"])
+        problems = conformance_problems(net, params)
+        if problems:
+            print(f"FAIL: not ABCCC(n={params.n}, k={params.k}, s={params.s})")
+            for problem in problems[:10]:
+                print(f"  - {problem}")
+            return 1
+        print(f"OK: network conforms to ABCCC(n={params.n}, k={params.k}, s={params.s})")
+        return 0
+    try:
+        params = infer_params(net)
+    except ValueError as error:
+        print(f"FAIL: {error}")
+        return 1
+    print(f"OK: network verified as ABCCC(n={params.n}, k={params.k}, s={params.s})")
+    return 0
+
+
+def _cmd_manifest(args: argparse.Namespace) -> int:
+    from repro.deploy import build_manifest
+    from repro.metrics.layout import LayoutConfig
+
+    spec = create(args.kind, **_parse_params(args.param))
+    net = spec.build()
+    config = LayoutConfig(rack_capacity=args.rack_capacity)
+    print(build_manifest(net, config).render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import topology_report
+
+    spec = create(args.kind, **_parse_params(args.param))
+    print(topology_report(spec, max_measure_nodes=args.max_measure_nodes))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import Requirements, plan
+
+    req = Requirements(
+        min_servers=args.min_servers,
+        max_servers=args.max_servers,
+        max_nic_ports=args.max_nic_ports,
+        switch_radix=args.switch_radix,
+        min_bisection_per_server=args.min_bisection,
+        max_diameter=args.max_diameter,
+        expansion_headroom=args.headroom,
+    )
+    candidates = plan(req)
+    if not candidates:
+        print("no feasible ABCCC configuration for these requirements")
+        return 1
+    header = (
+        f"{'configuration':<26} {'servers':>8} {'diam':>5} "
+        f"{'bisect/srv':>11} {'$/server':>9}  pareto"
+    )
+    print(header)
+    print("-" * len(header))
+    for candidate in candidates[: args.limit]:
+        bisect = (
+            f"{candidate.bisection_per_server:.3f}"
+            if candidate.bisection_per_server is not None
+            else "-"
+        )
+        print(
+            f"{candidate.label:<26} {candidate.servers:>8} {candidate.diameter:>5} "
+            f"{bisect:>11} {candidate.capex_per_server:>9,.0f}  "
+            f"{'*' if candidate.pareto else ''}"
+        )
+    if len(candidates) > args.limit:
+        print(f"… {len(candidates) - args.limit} more (raise --limit)")
+    return 0
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments
+
+    for experiment in all_experiments():
+        print(f"{experiment.exp_id:<4} {experiment.title}")
+        print(f"     expect: {experiment.expectation}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all, run_experiment
+
+    if args.exp_id.lower() == "all":
+        run_all(quick=args.quick, out_dir=args.out)
+    else:
+        run_experiment(args.exp_id, quick=args.quick, out_dir=args.out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ABCCC (ICDCS 2015) reproduction: topologies, routing, evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered topologies").set_defaults(fn=_cmd_list)
+
+    build = sub.add_parser("build", help="build and summarise a topology")
+    build.add_argument("kind", choices=available())
+    build.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    build.set_defaults(fn=_cmd_build)
+
+    route = sub.add_parser("route", help="route between two servers")
+    route.add_argument("kind", choices=available())
+    route.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    route.add_argument("src", help="server name or index")
+    route.add_argument("dst", help="server name or index")
+    route.set_defaults(fn=_cmd_route)
+
+    export = sub.add_parser("export", help="serialise a built topology")
+    export.add_argument("kind", choices=available())
+    export.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    export.add_argument("--format", "-f", choices=("json", "graphml", "dot"), default="json")
+    export.add_argument("out", help="output file path")
+    export.set_defaults(fn=_cmd_export)
+
+    verify = sub.add_parser("verify", help="check a JSON network for ABCCC conformance")
+    verify.add_argument("file", help="network JSON produced by export")
+    verify.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    verify.set_defaults(fn=_cmd_verify)
+
+    manifest = sub.add_parser("manifest", help="print the deployment manifest")
+    manifest.add_argument("kind", choices=available())
+    manifest.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    manifest.add_argument("--rack-capacity", type=int, default=40)
+    manifest.set_defaults(fn=_cmd_manifest)
+
+    planner = sub.add_parser("plan", help="find ABCCC configs for requirements")
+    planner.add_argument("--min-servers", type=int, default=1)
+    planner.add_argument("--max-servers", type=int, default=None)
+    planner.add_argument("--max-nic-ports", type=int, default=4)
+    planner.add_argument("--switch-radix", type=int, default=48)
+    planner.add_argument("--min-bisection", type=float, default=0.0)
+    planner.add_argument("--max-diameter", type=int, default=None)
+    planner.add_argument("--headroom", type=int, default=0,
+                         help="future pure-addition growth steps required")
+    planner.add_argument("--limit", type=int, default=15)
+    planner.set_defaults(fn=_cmd_plan)
+
+    report = sub.add_parser("report", help="full property/measurement report")
+    report.add_argument("kind", choices=available())
+    report.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    report.add_argument("--max-measure-nodes", type=int, default=2000)
+    report.set_defaults(fn=_cmd_report)
+
+    sub.add_parser("experiments", help="list the evaluation suite").set_defaults(
+        fn=_cmd_experiments
+    )
+
+    run = sub.add_parser("run", help="run one experiment or 'all'")
+    run.add_argument("exp_id", help="experiment id (T1, F5, ...) or 'all'")
+    run.add_argument("--quick", action="store_true", help="small instances/samples")
+    run.add_argument("--out", default="results", help="CSV output directory")
+    run.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

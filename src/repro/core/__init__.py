@@ -1,0 +1,89 @@
+"""The paper's contribution: ABCCC topology, addressing, routing, expansion.
+
+Public surface::
+
+    from repro.core import AbcccParams, AbcccSpec, build_abccc
+    from repro.core import abccc_route, broadcast_tree, plan_abccc_growth
+"""
+
+from repro.core.address import (
+    AbcccParams,
+    AddressError,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+from repro.core.broadcast import BroadcastTree, broadcast_tree, multicast_tree
+from repro.core.expansion import (
+    ExpansionError,
+    ExpansionPlan,
+    plan_abccc_growth,
+    plan_bccc_growth,
+    plan_bcube_growth,
+    plan_expansion,
+    plan_fattree_growth,
+)
+from repro.core.fault_routing import FaultRouteResult, fault_tolerant_route
+from repro.core.paths import (
+    crossbar_disjoint_routes,
+    edge_disjoint_path_count,
+    node_disjoint_path_count,
+    rotation_routes,
+)
+from repro.core.permutation import STRATEGIES as PERMUTATION_STRATEGIES
+from repro.core.permutation import differing_levels, generate as generate_permutation
+from repro.core.planner import Requirements, best as best_configuration, plan as plan_configurations
+from repro.core.routing import abccc_route, logical_distance, route_with_order
+from repro.core.source_routing import (
+    PLACEMENT_POLICIES,
+    AdaptiveSourceRouter,
+    LinkLoadTracker,
+    place_flows_adaptive,
+    place_flows_fixed,
+    place_flows_hashed,
+)
+from repro.core.topology import AbcccSpec, build_abccc
+from repro.topology.registry import register as _register
+
+_register(AbcccSpec)
+
+__all__ = [
+    "AbcccParams",
+    "AbcccSpec",
+    "AdaptiveSourceRouter",
+    "AddressError",
+    "LinkLoadTracker",
+    "PLACEMENT_POLICIES",
+    "Requirements",
+    "best_configuration",
+    "plan_configurations",
+    "place_flows_adaptive",
+    "place_flows_fixed",
+    "place_flows_hashed",
+    "BroadcastTree",
+    "CrossbarSwitchAddress",
+    "ExpansionError",
+    "ExpansionPlan",
+    "FaultRouteResult",
+    "LevelSwitchAddress",
+    "PERMUTATION_STRATEGIES",
+    "ServerAddress",
+    "abccc_route",
+    "broadcast_tree",
+    "build_abccc",
+    "crossbar_disjoint_routes",
+    "differing_levels",
+    "edge_disjoint_path_count",
+    "fault_tolerant_route",
+    "generate_permutation",
+    "logical_distance",
+    "multicast_tree",
+    "node_disjoint_path_count",
+    "plan_abccc_growth",
+    "plan_bccc_growth",
+    "plan_bcube_growth",
+    "plan_expansion",
+    "plan_fattree_growth",
+    "rotation_routes",
+    "route_with_order",
+]

@@ -1,0 +1,288 @@
+"""ABCCC parameters and the addressing scheme.
+
+An ``ABCCC(n, k, s)`` network (see DESIGN.md §1.2) is parameterised by the
+switch radix ``n``, the order ``k`` (BCube levels ``0 … k``) and the number
+of NIC ports per server ``s``.  Each server spends one port on its local
+*crossbar* switch and ``s - 1`` ports on BCube levels, so a crossbar holds
+``c = ceil((k+1) / (s-1))`` servers; server ``j`` of a crossbar *owns*
+levels ``j*(s-1) … min((j+1)*(s-1) - 1, k)``.
+
+Addresses:
+
+* a **crossbar** is addressed by its digit vector
+  ``x = (x_0, …, x_k)``, each digit in ``[0, n)``.  We index digit tuples
+  by *level* (``digits[i]`` is the level-``i`` digit); human-readable forms
+  print most-significant (level ``k``) first, matching the literature.
+* a **server** is ``(x; j)`` — crossbar digits plus in-crossbar index;
+* the **crossbar switch** of ``x`` is ``⟨C; x⟩``;
+* the **level-i switch** is ``⟨L; i; x without digit i⟩`` — it connects the
+  ``n`` level-``i`` owner servers of the crossbars that differ from each
+  other only in digit ``i``.
+
+Every address has a dense integer encoding (``rank``) used by simulators,
+and a canonical node-name string used as the graph key.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+class AddressError(ValueError):
+    """Raised on malformed addresses or out-of-range digits."""
+
+
+@dataclass(frozen=True)
+class AbcccParams:
+    """The ``(n, k, s)`` parameter triple with derived quantities.
+
+    Attributes:
+        n: switch radix (and digit base), ``n >= 2``.
+        k: order; levels are ``0 … k``, so there are ``k + 1`` levels.
+        s: NIC ports per server, ``s >= 2``.  ``s = 2`` gives BCCC;
+           ``s >= k + 2`` degenerates to BCube (crossbars of one server).
+    """
+
+    n: int
+    k: int
+    s: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise AddressError(f"switch radix n must be >= 2, got {self.n}")
+        if self.k < 0:
+            raise AddressError(f"order k must be >= 0, got {self.k}")
+        if self.s < 2:
+            raise AddressError(f"server ports s must be >= 2, got {self.s}")
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of BCube levels, ``k + 1``."""
+        return self.k + 1
+
+    @property
+    def crossbar_size(self) -> int:
+        """Servers per crossbar, ``c = ceil((k+1) / (s-1))``."""
+        return math.ceil(self.levels / (self.s - 1))
+
+    @property
+    def has_crossbar_switch(self) -> bool:
+        """Crossbar switches exist only when a crossbar has >= 2 servers."""
+        return self.crossbar_size > 1
+
+    @property
+    def num_crossbars(self) -> int:
+        return self.n ** self.levels
+
+    def owner_of(self, level: int) -> int:
+        """In-crossbar index of the server that owns ``level``."""
+        self.check_level(level)
+        return level // (self.s - 1)
+
+    def levels_of(self, index: int) -> range:
+        """The contiguous levels owned by server ``index`` of any crossbar."""
+        self.check_index(index)
+        start = index * (self.s - 1)
+        stop = min(start + self.s - 1, self.levels)
+        return range(start, stop)
+
+    def level_ports_used(self, index: int) -> int:
+        """How many of server ``index``'s level ports are wired."""
+        return len(self.levels_of(index))
+
+    def spare_level_ports(self, index: int) -> int:
+        """Unwired level ports on server ``index`` (room for expansion)."""
+        return (self.s - 1) - self.level_ports_used(index)
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def check_level(self, level: int) -> None:
+        """Raise :class:`AddressError` unless ``0 <= level <= k``."""
+        if not 0 <= level <= self.k:
+            raise AddressError(f"level {level} out of range [0, {self.k}]")
+
+    def check_index(self, index: int) -> None:
+        """Raise :class:`AddressError` unless ``0 <= index < c``."""
+        if not 0 <= index < self.crossbar_size:
+            raise AddressError(
+                f"server index {index} out of range [0, {self.crossbar_size})"
+            )
+
+
+    def check_digits(self, digits: Sequence[int]) -> Tuple[int, ...]:
+        """Validate a crossbar digit vector and return it as a tuple."""
+        digits = tuple(digits)
+        if len(digits) != self.levels:
+            raise AddressError(
+                f"expected {self.levels} digits for k={self.k}, got {len(digits)}"
+            )
+        for i, digit in enumerate(digits):
+            if not 0 <= digit < self.n:
+                raise AddressError(
+                    f"digit {digit} at level {i} out of range [0, {self.n})"
+                )
+        return digits
+
+    # ------------------------------------------------------------------
+    # enumeration and ranking
+    # ------------------------------------------------------------------
+    def crossbar_rank(self, digits: Sequence[int]) -> int:
+        """Dense integer id of a crossbar: ``sum(x_i * n^i)``."""
+        digits = self.check_digits(digits)
+        rank = 0
+        for level in range(self.k, -1, -1):
+            rank = rank * self.n + digits[level]
+        return rank
+
+    def crossbar_digits(self, rank: int) -> Tuple[int, ...]:
+        """Inverse of :meth:`crossbar_rank`."""
+        if not 0 <= rank < self.num_crossbars:
+            raise AddressError(f"crossbar rank {rank} out of range")
+        digits: List[int] = []
+        for _ in range(self.levels):
+            digits.append(rank % self.n)
+            rank //= self.n
+        return tuple(digits)
+
+    def iter_crossbars(self) -> Iterator[Tuple[int, ...]]:
+        """All crossbar digit vectors, in rank order."""
+        for rank in range(self.num_crossbars):
+            yield self.crossbar_digits(rank)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ABCCC(n={self.n}, k={self.k}, s={self.s})"
+
+
+def _digits_msb_first(digits: Tuple[int, ...]) -> str:
+    return ".".join(str(d) for d in reversed(digits))
+
+
+def _parse_digits_msb_first(text: str) -> Tuple[int, ...]:
+    try:
+        msb_first = [int(part) for part in text.split(".")]
+    except ValueError:
+        raise AddressError(f"bad digit string {text!r}") from None
+    return tuple(reversed(msb_first))
+
+
+@dataclass(frozen=True, order=True)
+class ServerAddress:
+    """A server: crossbar digits (level-indexed) plus in-crossbar index."""
+
+    digits: Tuple[int, ...]
+    index: int
+
+    def digit(self, level: int) -> int:
+        return self.digits[level]
+
+    @property
+    def name(self) -> str:
+        """Canonical graph-node name, e.g. ``s2.0.1/0`` (MSB first)."""
+        return f"s{_digits_msb_first(self.digits)}/{self.index}"
+
+    @classmethod
+    def parse(cls, name: str) -> "ServerAddress":
+        if not name.startswith("s") or "/" not in name:
+            raise AddressError(f"not a server name: {name!r}")
+        body, _, idx = name[1:].rpartition("/")
+        try:
+            index = int(idx)
+        except ValueError:
+            raise AddressError(f"bad server index in {name!r}") from None
+        return cls(_parse_digits_msb_first(body), index)
+
+    def rank(self, params: AbcccParams) -> int:
+        """Dense id in ``[0, N)``: crossbars-major, index-minor."""
+        return params.crossbar_rank(self.digits) * params.crossbar_size + self.index
+
+    @classmethod
+    def from_rank(cls, params: AbcccParams, rank: int) -> "ServerAddress":
+        size = params.crossbar_size
+        total = params.num_crossbars * size
+        if not 0 <= rank < total:
+            raise AddressError(f"server rank {rank} out of range [0, {total})")
+        return cls(params.crossbar_digits(rank // size), rank % size)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class CrossbarSwitchAddress:
+    """The local switch of one crossbar."""
+
+    digits: Tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        """Canonical graph-node name, e.g. ``c2.0.1`` (MSB first)."""
+        return f"c{_digits_msb_first(self.digits)}"
+
+    @classmethod
+    def parse(cls, name: str) -> "CrossbarSwitchAddress":
+        if not name.startswith("c"):
+            raise AddressError(f"not a crossbar-switch name: {name!r}")
+        return cls(_parse_digits_msb_first(name[1:]))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class LevelSwitchAddress:
+    """A level-``level`` switch, identified by the other ``k`` digits.
+
+    ``rest`` holds the digit vector with the level's own position removed,
+    still level-indexed (``rest[i]`` is the digit of level ``i`` for
+    ``i < level`` and of level ``i + 1`` for ``i >= level``).
+    """
+
+    level: int
+    rest: Tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        """Canonical graph-node name, e.g. ``l1:2.*.1`` — the ``*`` marks
+        the varying digit position (MSB first)."""
+        full = list(self.rest[: self.level]) + ["*"] + list(self.rest[self.level :])
+        text = ".".join(str(d) for d in reversed(full))
+        return f"l{self.level}:{text}"
+
+    @classmethod
+    def parse(cls, name: str) -> "LevelSwitchAddress":
+        if not name.startswith("l") or ":" not in name:
+            raise AddressError(f"not a level-switch name: {name!r}")
+        head, _, body = name.partition(":")
+        try:
+            level = int(head[1:])
+        except ValueError:
+            raise AddressError(f"bad level in {name!r}") from None
+        parts = list(reversed(body.split(".")))
+        if parts[level] != "*":
+            raise AddressError(f"wildcard not at level {level} in {name!r}")
+        try:
+            rest = tuple(
+                int(p) for i, p in enumerate(parts) if i != level
+            )
+        except ValueError:
+            raise AddressError(f"bad digits in {name!r}") from None
+        return cls(level, rest)
+
+    def member_digits(self, value: int) -> Tuple[int, ...]:
+        """Digits of the member crossbar whose level digit equals ``value``."""
+        return self.rest[: self.level] + (value,) + self.rest[self.level :]
+
+    @classmethod
+    def serving(cls, level: int, digits: Sequence[int]) -> "LevelSwitchAddress":
+        """The level switch that serves crossbar ``digits`` at ``level``."""
+        digits = tuple(digits)
+        return cls(level, digits[:level] + digits[level + 1 :])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

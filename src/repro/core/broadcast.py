@@ -1,0 +1,210 @@
+"""One-to-all and one-to-many communication for ABCCC (GBC3 extension).
+
+The broadcast scheme is the dimensional sweep the cube family supports
+natively: the source first informs its own crossbar through the crossbar
+switch, then for each level ``0 … k`` every informed crossbar's owner
+server forwards through its level switch to the ``n - 1`` neighbouring
+crossbars, each of which informs its local servers.  The result is a
+spanning tree whose physical links are used exactly once (link stress 1)
+and whose depth is at most the network diameter.
+
+One-to-many multicast prunes that tree to the union of source→destination
+tree paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.address import (
+    AbcccParams,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+
+
+@dataclass
+class BroadcastTree:
+    """A spanning (or multicast) tree over servers.
+
+    ``parent`` maps each covered server name to its logical parent server
+    (``None`` for the source); ``via`` maps it to the switch name the
+    parent-child message traverses.
+    """
+
+    source: str
+    parent: Dict[str, Optional[str]]
+    via: Dict[str, str]
+
+    @property
+    def servers(self) -> List[str]:
+        return list(self.parent)
+
+    def depth(self, server: str) -> int:
+        """Logical server-hop depth of ``server`` in the tree."""
+        depth = 0
+        node = server
+        while True:
+            up = self.parent[node]
+            if up is None:
+                return depth
+            depth += 1
+            node = up
+            if depth > len(self.parent):
+                raise RoutingError("cycle in broadcast tree")
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.depth(s) for s in self.parent)
+
+    def physical_edges(self) -> List[Tuple[str, str]]:
+        """Every physical link the tree's messages traverse (with repeats)."""
+        edges: List[Tuple[str, str]] = []
+        for child, up in self.parent.items():
+            if up is None:
+                continue
+            switch = self.via[child]
+            edges.append((up, switch))
+            edges.append((switch, child))
+        return edges
+
+    def link_stress(self) -> int:
+        """Max number of tree messages crossing any single physical link."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for u, v in self.physical_edges():
+            key = (u, v) if u < v else (v, u)
+            counts[key] = counts.get(key, 0) + 1
+        return max(counts.values()) if counts else 0
+
+    def path_to(self, server: str) -> Route:
+        """The tree walk from the source to ``server``, switches included."""
+        names: List[str] = []
+        node: Optional[str] = server
+        while node is not None:
+            names.append(node)
+            up = self.parent[node]
+            if up is not None:
+                names.append(self.via[node])
+            node = up
+        names.reverse()
+        return Route.of(names)
+
+    def validate(self, net: Network) -> None:
+        """Assert every parent-child message uses live links of ``net``."""
+        for u, v in self.physical_edges():
+            if not net.has_link(u, v):
+                raise RoutingError(f"broadcast tree uses non-existent link {u} - {v}")
+
+    def children(self) -> Dict[str, List[str]]:
+        """Child lists per server (stable order)."""
+        result: Dict[str, List[str]] = {server: [] for server in self.parent}
+        for child, up in self.parent.items():
+            if up is not None:
+                result[up].append(child)
+        return result
+
+    def one_port_rounds(self) -> int:
+        """Optimal completion time of this tree under the one-port model.
+
+        Each informed server transmits to one child per round; a child is
+        informed one round after its parent sends.  For a *fixed* tree
+        the optimal schedule serves children in decreasing order of their
+        subtrees' completion times (the classic exchange argument), giving
+        ``T(v) = max_i (i + T(c_i))`` over the sorted children — computed
+        here bottom-up.  Tests cross-check against brute force over all
+        child orderings on small trees.
+        """
+        children = self.children()
+
+        # Bottom-up over the tree: process nodes in decreasing depth so
+        # every child is finished before its parent (avoids recursion
+        # limits on deep trees).
+        depth_cache: Dict[str, int] = {self.source: 0}
+
+        def depth(node: str) -> int:
+            trail = []
+            while node not in depth_cache:
+                trail.append(node)
+                node = self.parent[node]  # type: ignore[assignment]
+            base = depth_cache[node]
+            for name in reversed(trail):
+                base += 1
+                depth_cache[name] = base
+            return depth_cache[trail[0]] if trail else base
+
+        order = sorted(self.parent, key=depth, reverse=True)
+        completion: Dict[str, int] = {}
+        for node in order:
+            kids = children[node]
+            if not kids:
+                completion[node] = 0
+                continue
+            subtree = sorted((completion[c] for c in kids), reverse=True)
+            completion[node] = max(
+                index + 1 + finish for index, finish in enumerate(subtree)
+            )
+        return completion[self.source]
+
+
+def broadcast_tree(params: AbcccParams, source: ServerAddress) -> BroadcastTree:
+    """Spanning broadcast tree rooted at ``source`` (dimensional sweep)."""
+    parent: Dict[str, Optional[str]] = {source.name: None}
+    via: Dict[str, str] = {}
+
+    def inform_crossbar(digits: Tuple[int, ...], entry_index: int) -> None:
+        """Attach all other servers of a crossbar below its entry server."""
+        if not params.has_crossbar_switch:
+            return
+        entry = ServerAddress(digits, entry_index)
+        switch = CrossbarSwitchAddress(digits)
+        for j in range(params.crossbar_size):
+            if j == entry_index:
+                continue
+            child = ServerAddress(digits, j)
+            parent[child.name] = entry.name
+            via[child.name] = switch.name
+
+    inform_crossbar(source.digits, source.index)
+    # entry[digits] = the in-crossbar index at which the message arrived.
+    entry: Dict[Tuple[int, ...], int] = {source.digits: source.index}
+
+    for level in range(params.levels):
+        owner = params.owner_of(level)
+        for digits in list(entry):
+            sender = ServerAddress(digits, owner)
+            switch = LevelSwitchAddress.serving(level, digits)
+            for value in range(params.n):
+                if value == digits[level]:
+                    continue
+                member = switch.member_digits(value)
+                if member in entry:
+                    continue
+                child = ServerAddress(member, owner)
+                parent[child.name] = sender.name
+                via[child.name] = switch.name
+                entry[member] = owner
+                inform_crossbar(member, owner)
+
+    return BroadcastTree(source.name, parent, via)
+
+
+def multicast_tree(
+    params: AbcccParams, source: ServerAddress, destinations: Iterable[ServerAddress]
+) -> BroadcastTree:
+    """One-to-many tree: the broadcast tree pruned to the destinations."""
+    full = broadcast_tree(params, source)
+    keep: Set[str] = {source.name}
+    for dst in destinations:
+        node: Optional[str] = dst.name
+        if node not in full.parent:
+            raise RoutingError(f"destination {node!r} not covered by broadcast tree")
+        while node is not None and node not in keep:
+            keep.add(node)
+            node = full.parent[node]
+    parent = {name: full.parent[name] for name in keep}
+    via = {name: full.via[name] for name in keep if full.parent[name] is not None}
+    return BroadcastTree(source.name, parent, via)

@@ -1,0 +1,143 @@
+"""ABCCC conformance checking: is this network *really* ABCCC(n, k, s)?
+
+The builder is trusted, but networks also arrive from outside — loaded
+from JSON, hand-wired in a lab, or produced by an expansion crew working
+from the F5 work orders.  ``check_abccc`` verifies every structural rule
+of the construction (DESIGN.md §1.2) against a concrete network and
+returns a precise list of violations:
+
+1. node inventory: exactly the canonical servers, crossbar switches and
+   level switches for (n, k, s), with the right port counts and roles;
+2. crossbar wiring: every server has exactly one link, to its own
+   crossbar switch (when ``c > 1``);
+3. level wiring: every level-``i`` switch connects exactly the level
+   owners of the ``n`` member crossbars, and nothing else;
+4. no extra links.
+
+Used in tests to validate the builder against an independent rule set,
+and exposed publicly as the acceptance check an operator would run after
+an expansion (see ``examples/deployment_manifest.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.address import (
+    AbcccParams,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+from repro.core.topology import iter_level_switches
+from repro.topology.graph import Network
+
+
+def conformance_problems(net: Network, params: AbcccParams) -> List[str]:
+    """All rule violations (empty list = the network is ABCCC(n, k, s))."""
+    problems: List[str] = []
+    c = params.crossbar_size
+
+    # --- rule 1: node inventory -------------------------------------
+    expected_servers = {
+        ServerAddress(digits, j).name
+        for digits in params.iter_crossbars()
+        for j in range(c)
+    }
+    expected_crossbars = (
+        {CrossbarSwitchAddress(d).name for d in params.iter_crossbars()}
+        if params.has_crossbar_switch
+        else set()
+    )
+    expected_levels = {sw.name for sw in iter_level_switches(params)}
+
+    actual_servers = set(net.servers)
+    actual_switches = set(net.switches)
+    for missing in sorted(expected_servers - actual_servers)[:5]:
+        problems.append(f"missing server {missing}")
+    for extra in sorted(actual_servers - expected_servers)[:5]:
+        problems.append(f"unexpected server {extra}")
+    expected_switches = expected_crossbars | expected_levels
+    for missing in sorted(expected_switches - actual_switches)[:5]:
+        problems.append(f"missing switch {missing}")
+    for extra in sorted(actual_switches - expected_switches)[:5]:
+        problems.append(f"unexpected switch {extra}")
+    if problems:
+        return problems  # wiring checks below assume the inventory is right
+
+    for name in expected_servers:
+        node = net.node(name)
+        if node.ports != params.s:
+            problems.append(f"{name}: expected {params.s} ports, has {node.ports}")
+    for name in expected_crossbars:
+        node = net.node(name)
+        if node.ports < c:
+            problems.append(f"{name}: {node.ports} ports cannot host {c} servers")
+        if node.role != "crossbar":
+            problems.append(f"{name}: role {node.role!r} != 'crossbar'")
+    for name in expected_levels:
+        node = net.node(name)
+        if node.ports < params.n:
+            problems.append(f"{name}: {node.ports} ports < radix {params.n}")
+        if node.role != "level":
+            problems.append(f"{name}: role {node.role!r} != 'level'")
+
+    # --- rules 2+3: wiring -------------------------------------------
+    expected_links = set()
+    if params.has_crossbar_switch:
+        for digits in params.iter_crossbars():
+            csw = CrossbarSwitchAddress(digits).name
+            for j in range(c):
+                expected_links.add(_key(ServerAddress(digits, j).name, csw))
+    for switch in iter_level_switches(params):
+        owner = params.owner_of(switch.level)
+        for value in range(params.n):
+            member = ServerAddress(switch.member_digits(value), owner)
+            expected_links.add(_key(switch.name, member.name))
+
+    actual_links = {link.key for link in net.links()}
+    for missing in sorted(expected_links - actual_links)[:8]:
+        problems.append(f"missing link {missing[0]} - {missing[1]}")
+    for extra in sorted(actual_links - expected_links)[:8]:
+        problems.append(f"unexpected link {extra[0]} - {extra[1]}")
+    return problems
+
+
+def _key(u: str, v: str):
+    return (u, v) if u < v else (v, u)
+
+
+def check_abccc(net: Network, params: AbcccParams) -> None:
+    """Raise ``ValueError`` with the violation list if non-conformant."""
+    problems = conformance_problems(net, params)
+    if problems:
+        preview = "; ".join(problems[:6])
+        raise ValueError(
+            f"network is not ABCCC(n={params.n}, k={params.k}, s={params.s}): {preview}"
+        )
+
+
+def infer_params(net: Network) -> AbcccParams:
+    """Recover (n, k, s) from a conformant network's structure.
+
+    Works from the node names and port counts alone (no meta), so it can
+    identify networks loaded from external serialisations; raises
+    ``ValueError`` when the network cannot be ABCCC at all.
+    """
+    servers = net.servers
+    if not servers:
+        raise ValueError("no servers")
+    try:
+        first = ServerAddress.parse(servers[0])
+    except Exception:
+        raise ValueError("server names are not ABCCC addresses") from None
+    k = len(first.digits) - 1
+    s = net.node(servers[0]).ports
+    digit_values = set()
+    for name in servers:
+        addr = ServerAddress.parse(name)
+        digit_values.update(addr.digits)
+    n = max(digit_values) + 1
+    params = AbcccParams(n, k, s)
+    check_abccc(net, params)
+    return params

@@ -1,0 +1,279 @@
+"""Expansion planning and cost accounting (the headline ABCCC claim).
+
+An :class:`ExpansionPlan` is the exact bill of work to grow one built
+topology instance into a bigger one: which servers/switches are purchased,
+which cables are pulled, and — critically — which *existing* components
+must be altered (NIC upgrades, cable moves).  ABCCC/BCCC expansion touches
+nothing that exists; BCube upgrades every server; fat-tree growth rewires
+the fabric.  Experiment F5 is built directly on this module.
+
+The pure-addition property has an exact boundary the diff exposes: it
+holds while the *grown* crossbar still fits its ``n``-port crossbar switch
+(``ceil((k_new + 1) / (s - 1)) <= n``); past that, every crossbar switch
+must be replaced with a larger one (see the F5 boundary row and
+``tests/test_core_expansion.py``).
+
+Plans are computed by a **graph diff**: build the old and new networks,
+embed the old namespace into the new one (each family defines how an old
+address reads in the bigger network), and compare node and link sets.
+This makes the accounting exact by construction rather than by formula —
+and the formulas in the paper-facing tables are then *tested against* the
+diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.topology.graph import Network
+from repro.topology.node import NodeKind, link_key
+from repro.topology.spec import TopologySpec
+
+
+class ExpansionError(Exception):
+    """Raised when an expansion between the given specs is not meaningful."""
+
+
+@dataclass(frozen=True)
+class ExpansionPlan:
+    """The component-level delta between an old and a new instance.
+
+    All name lists use the *new* network's namespace.
+    """
+
+    old_label: str
+    new_label: str
+    new_servers: Tuple[str, ...]
+    new_switches: Tuple[str, ...]
+    new_links: Tuple[Tuple[str, str], ...]
+    removed_links: Tuple[Tuple[str, str], ...]
+    #: existing servers needing hardware changes (extra NIC ports).
+    upgraded_servers: Tuple[str, ...]
+    #: existing switches that must be replaced (port count grew).
+    replaced_switches: Tuple[str, ...]
+    #: existing servers/switches that gain or lose a cable (no hardware
+    #: change, but hands touch the machine).
+    recabled_nodes: Tuple[str, ...]
+    #: hardware specs of the new nodes: (name, kind, ports, role) — what
+    #: to purchase; makes the plan executable via :func:`apply_plan`.
+    new_node_info: Tuple[Tuple[str, str, int, str], ...] = ()
+    #: port counts after upgrade/replacement for touched nodes.
+    port_updates: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def num_new_components(self) -> int:
+        """Purchased equipment: servers + switches + cables."""
+        return len(self.new_servers) + len(self.new_switches) + len(self.new_links)
+
+    @property
+    def num_touched_existing(self) -> int:
+        """Existing components altered in any way — ABCCC's claim is that
+        this is zero apart from plugging cables into spare ports."""
+        return (
+            len(self.upgraded_servers)
+            + len(self.replaced_switches)
+            + len(self.removed_links)
+        )
+
+    @property
+    def is_pure_addition(self) -> bool:
+        """True iff nothing existing is altered or rewired."""
+        return self.num_touched_existing == 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "new_servers": len(self.new_servers),
+            "new_switches": len(self.new_switches),
+            "new_cables": len(self.new_links),
+            "removed_cables": len(self.removed_links),
+            "upgraded_servers": len(self.upgraded_servers),
+            "replaced_switches": len(self.replaced_switches),
+            "recabled_existing": len(self.recabled_nodes),
+        }
+
+
+def plan_expansion(
+    old_spec: TopologySpec,
+    new_spec: TopologySpec,
+    embed: Callable[[str], str],
+) -> ExpansionPlan:
+    """Diff two built instances under the given namespace embedding.
+
+    Args:
+        embed: maps an old node name to its name in the new network; must
+            be injective over the old node set.
+
+    Raises:
+        ExpansionError: if an embedded old node is absent from the new
+            network (the "expansion" would decommission equipment) or the
+            embedding collides.
+    """
+    old_net = old_spec.build()
+    new_net = new_spec.build()
+
+    mapping: Dict[str, str] = {}
+    images: Set[str] = set()
+    for name in old_net.node_names():
+        image = embed(name)
+        if image in images:
+            raise ExpansionError(f"embedding collides on {image!r}")
+        images.add(image)
+        mapping[name] = image
+        if image not in new_net:
+            raise ExpansionError(
+                f"old node {name!r} (as {image!r}) has no place in {new_spec.label}"
+            )
+
+    new_servers: List[str] = []
+    new_switches: List[str] = []
+    upgraded: List[str] = []
+    replaced: List[str] = []
+    for node in new_net.nodes():
+        if node.name not in images:
+            if node.kind is NodeKind.SERVER:
+                new_servers.append(node.name)
+            else:
+                new_switches.append(node.name)
+    for old_name, image in mapping.items():
+        old_ports = old_net.node(old_name).ports
+        new_ports = new_net.node(image).ports
+        if new_ports > old_ports:
+            if new_net.node(image).kind is NodeKind.SERVER:
+                upgraded.append(image)
+            else:
+                replaced.append(image)
+
+    old_links = {
+        link_key(mapping[link.u], mapping[link.v]) for link in old_net.links()
+    }
+    new_links_all = {link.key for link in new_net.links()}
+    added = sorted(new_links_all - old_links)
+    removed = sorted(old_links - new_links_all)
+
+    recabled: Set[str] = set()
+    for u, v in added + removed:
+        for endpoint in (u, v):
+            if endpoint in images:
+                recabled.add(endpoint)
+
+    new_node_info = tuple(
+        (node.name, node.kind.value, node.ports, node.role)
+        for node in new_net.nodes()
+        if node.name not in images
+    )
+    port_updates = tuple(
+        sorted(
+            (name, new_net.node(name).ports)
+            for name in list(upgraded) + list(replaced)
+        )
+    )
+    return ExpansionPlan(
+        old_label=old_spec.label,
+        new_label=new_spec.label,
+        new_servers=tuple(sorted(new_servers)),
+        new_switches=tuple(sorted(new_switches)),
+        new_links=tuple(added),
+        removed_links=tuple(removed),
+        upgraded_servers=tuple(sorted(upgraded)),
+        replaced_switches=tuple(sorted(replaced)),
+        recabled_nodes=tuple(sorted(recabled)),
+        new_node_info=new_node_info,
+        port_updates=port_updates,
+    )
+
+
+def apply_plan(
+    old_net: Network,
+    plan: ExpansionPlan,
+    embed: Callable[[str], str],
+) -> Network:
+    """Execute an expansion plan against a built old network.
+
+    Produces the expanded network: old nodes re-addressed through
+    ``embed`` (ports bumped where the plan upgrades them), new equipment
+    installed, removed cables pulled, new cables run.  The result is
+    byte-identical in structure to building the new spec directly —
+    asserted by the test suite — which is what makes the plan a real
+    work order rather than a summary.
+    """
+    expanded = Network(plan.new_label)
+    updates = dict(plan.port_updates)
+    mapping: Dict[str, str] = {}
+    for node in old_net.nodes():
+        image = embed(node.name)
+        mapping[node.name] = image
+        ports = updates.get(image, node.ports)
+        if node.kind is NodeKind.SERVER:
+            expanded.add_server(image, ports, address=node.address, role=node.role)
+        else:
+            expanded.add_switch(image, ports, address=node.address, role=node.role)
+    for name, kind, ports, role in plan.new_node_info:
+        if kind == NodeKind.SERVER.value:
+            expanded.add_server(name, ports, role=role)
+        else:
+            expanded.add_switch(name, ports, role=role)
+    removed = set(plan.removed_links)
+    for link in old_net.links():
+        key = link_key(mapping[link.u], mapping[link.v])
+        if key in removed:
+            continue
+        expanded.add_link(key[0], key[1], capacity=link.capacity, length=link.length)
+    for u, v in plan.new_links:
+        expanded.add_link(u, v)
+    return expanded
+
+
+# ----------------------------------------------------------------------
+# family-specific embeddings and convenience planners
+# ----------------------------------------------------------------------
+def abccc_embed(name: str) -> str:
+    """Read an ABCCC(n, k, s) node name inside ABCCC(n, k+1, s).
+
+    The existing system is the slice whose new top digit is 0, so every
+    address gains a leading (most-significant) zero digit.
+    """
+    from repro.core.address import (
+        CrossbarSwitchAddress,
+        LevelSwitchAddress,
+        ServerAddress,
+    )
+
+    if name.startswith("s"):
+        addr = ServerAddress.parse(name)
+        return ServerAddress(addr.digits + (0,), addr.index).name
+    if name.startswith("c"):
+        csw = CrossbarSwitchAddress.parse(name)
+        return CrossbarSwitchAddress(csw.digits + (0,)).name
+    if name.startswith("l"):
+        lsw = LevelSwitchAddress.parse(name)
+        return LevelSwitchAddress(lsw.level, lsw.rest + (0,)).name
+    raise ExpansionError(f"unrecognised ABCCC node name {name!r}")
+
+
+def plan_abccc_growth(n: int, k: int, s: int) -> ExpansionPlan:
+    """Plan ABCCC(n, k, s) -> ABCCC(n, k+1, s)."""
+    from repro.core.topology import AbcccSpec
+
+    return plan_expansion(AbcccSpec(n, k, s), AbcccSpec(n, k + 1, s), abccc_embed)
+
+
+def plan_bcube_growth(n: int, k: int) -> ExpansionPlan:
+    """Plan BCube(n, k) -> BCube(n, k+1): every old server is upgraded."""
+    from repro.baselines.bcube import BcubeSpec, bcube_embed
+
+    return plan_expansion(BcubeSpec(n, k), BcubeSpec(n, k + 1), bcube_embed)
+
+
+def plan_bccc_growth(n: int, k: int) -> ExpansionPlan:
+    """Plan BCCC(n, k) -> BCCC(n, k+1) via the direct BCCC construction."""
+    from repro.baselines.bccc import BcccSpec, bccc_embed
+
+    return plan_expansion(BcccSpec(n, k), BcccSpec(n, k + 1), bccc_embed)
+
+
+def plan_fattree_growth(p: int) -> ExpansionPlan:
+    """Plan FatTree(p) -> FatTree(p+2): fabric-wide replacement."""
+    from repro.baselines.fattree import FatTreeSpec, fattree_embed
+
+    return plan_expansion(FatTreeSpec(p), FatTreeSpec(p + 2), fattree_embed)

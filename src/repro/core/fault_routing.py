@@ -1,0 +1,170 @@
+"""Fault-tolerant one-to-one routing for ABCCC.
+
+Strategy (DESIGN.md §1.5): greedy digit-correction with **dynamic
+reordering** and **detours**, the local-repair style a deployed
+server-centric network uses (every hop is computed from addresses plus
+liveness of the next two-hop segment — no global state):
+
+1. at each step, try to correct any still-wrong level whose two-hop
+   segment (intra-crossbar transfer if needed, then the level switch) is
+   fully alive, preferring the locality order;
+2. if no productive segment is alive, *detour*: move some level's digit to
+   a random non-target value, entering a fresh crossbar (never one visited
+   before), and continue;
+3. if the greedy walk exhausts its step budget, optionally fall back to
+   BFS on the alive subgraph (global repair), reported separately so
+   experiments can distinguish local-repair success from mere
+   reachability.
+
+The walk is loop-free across crossbars by construction (visited-set) and
+therefore terminates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.address import (
+    AbcccParams,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+from repro.core.permutation import locality_order
+from repro.routing.base import Route, RoutingError
+from repro.routing.shortest import bfs_path
+from repro.topology.graph import Network
+
+
+@dataclass(frozen=True)
+class FaultRouteResult:
+    """Outcome of a fault-tolerant routing attempt."""
+
+    route: Route
+    detours: int
+    fallback_used: bool
+
+    @property
+    def link_hops(self) -> int:
+        return self.route.link_hops
+
+
+def _segment_alive(net: Network, hops: Sequence[Tuple[str, str]]) -> bool:
+    """All listed links (and implicitly their endpoints) are alive."""
+    return all(u in net and v in net and net.has_link(u, v) for u, v in hops)
+
+
+def _correction_segment(
+    params: AbcccParams, at: ServerAddress, level: int, value: int
+) -> Tuple[List[str], ServerAddress]:
+    """Node sequence (beyond ``at``) that sets ``level`` to ``value``."""
+    owner = params.owner_of(level)
+    nodes: List[str] = []
+    if at.index != owner:
+        nodes.append(CrossbarSwitchAddress(at.digits).name)
+        nodes.append(ServerAddress(at.digits, owner).name)
+    switch = LevelSwitchAddress.serving(level, at.digits)
+    new_digits = at.digits[:level] + (value,) + at.digits[level + 1 :]
+    landing = ServerAddress(new_digits, owner)
+    nodes.append(switch.name)
+    nodes.append(landing.name)
+    return nodes, landing
+
+
+def _hops_of(start: str, nodes: Sequence[str]) -> List[Tuple[str, str]]:
+    chain = [start, *nodes]
+    return list(zip(chain, chain[1:]))
+
+
+def fault_tolerant_route(
+    params: AbcccParams,
+    net: Network,
+    src: str,
+    dst: str,
+    seed: Optional[int] = None,
+    max_segments: Optional[int] = None,
+    allow_fallback: bool = True,
+) -> FaultRouteResult:
+    """Route ``src -> dst`` on a (possibly failure-injected) ABCCC network.
+
+    ``net`` is the alive subgraph — apply failures beforehand with
+    :meth:`Network.subgraph_without`.  Raises :class:`RoutingError` when no
+    route is found (and, with ``allow_fallback``, none exists at all).
+    """
+    if src not in net:
+        raise RoutingError(f"source {src!r} is failed or unknown")
+    if dst not in net:
+        raise RoutingError(f"destination {dst!r} is failed or unknown")
+    rng = random.Random(seed)
+    source = ServerAddress.parse(src)
+    target = ServerAddress.parse(dst)
+    budget = (
+        max_segments
+        if max_segments is not None
+        else 6 * (params.levels + params.crossbar_size + 2)
+    )
+
+    nodes: List[str] = [src]
+    at = source
+    visited: Set[Tuple[Tuple[int, ...], int]] = {(at.digits, at.index)}
+    detours = 0
+
+    for _ in range(budget):
+        if at.digits == target.digits:
+            if at.index == target.index:
+                return FaultRouteResult(Route.of(nodes), detours, False)
+            transfer = [CrossbarSwitchAddress(at.digits).name, dst]
+            if _segment_alive(net, _hops_of(at.name, transfer)):
+                nodes.extend(transfer)
+                return FaultRouteResult(Route.of(nodes), detours, False)
+            # The local crossbar switch (or destination link) is dead; a
+            # detour through a level owned by the destination index can
+            # still reach it — fall through to the detour logic below.
+
+        wrong = [i for i in range(params.levels) if at.digits[i] != target.digits[i]]
+        advanced = False
+        for level in locality_order(params, at, target, wrong):
+            segment, landing = _correction_segment(
+                params, at, level, target.digits[level]
+            )
+            if (landing.digits, landing.index) in visited:
+                continue
+            if _segment_alive(net, _hops_of(at.name, segment)):
+                nodes.extend(segment)
+                at = landing
+                visited.add((at.digits, at.index))
+                advanced = True
+                break
+        if advanced:
+            continue
+
+        # Detour: push some level to a non-target value, never revisiting.
+        detour_moves = [
+            (level, value)
+            for level in range(params.levels)
+            for value in range(params.n)
+            if value != at.digits[level]
+        ]
+        rng.shuffle(detour_moves)
+        for level, value in detour_moves:
+            segment, landing = _correction_segment(params, at, level, value)
+            if (landing.digits, landing.index) in visited:
+                continue
+            if _segment_alive(net, _hops_of(at.name, segment)):
+                nodes.extend(segment)
+                at = landing
+                visited.add((at.digits, at.index))
+                detours += 1
+                advanced = True
+                break
+        if not advanced:
+            break  # stuck: every alive move revisits
+
+    if allow_fallback:
+        route = bfs_path(net, src, dst)  # raises RoutingError if disconnected
+        return FaultRouteResult(route, detours, True)
+    raise RoutingError(
+        f"greedy fault-tolerant routing failed from {src!r} to {dst!r}"
+    )

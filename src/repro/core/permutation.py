@@ -1,0 +1,158 @@
+"""Permutation generation for ABCCC digit-correction routing.
+
+The one-to-one routing algorithm corrects the differing address digits in
+some order ``π``; the choice of ``π`` does not affect correctness but
+drives both path length (intra-crossbar transfers happen exactly where the
+order switches between owner servers) and load balance (distinct orders use
+distinct intermediate crossbars).  This module implements the strategies
+studied in the companion paper "Permutation Generation for Routing in BCube
+Connected Crossbars" (Li & Yang, ICC 2015), generalised from BCCC to ABCCC:
+
+* ``identity`` — ascending level order (the naive baseline);
+* ``random``   — uniformly random order (seeded, reproducible);
+* ``locality`` — group levels by owning server to minimise intra-crossbar
+  transfers, starting with the source server's own group and ending with
+  the destination server's group when possible;
+* ``balanced`` — ``locality``'s grouping, but the group sequence is rotated
+  by a caller-supplied offset (e.g. a flow hash) so concurrent flows spread
+  over the disjoint intermediate-crossbar families.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.address import AbcccParams, ServerAddress
+
+
+def differing_levels(src: ServerAddress, dst: ServerAddress) -> List[int]:
+    """Levels whose digits differ between the two crossbar addresses."""
+    if len(src.digits) != len(dst.digits):
+        raise ValueError("addresses have different orders")
+    return [i for i, (a, b) in enumerate(zip(src.digits, dst.digits)) if a != b]
+
+
+def identity_order(
+    params: AbcccParams, src: ServerAddress, dst: ServerAddress, levels: Sequence[int]
+) -> List[int]:
+    """Ascending level order."""
+    return sorted(levels)
+
+
+def random_order(
+    params: AbcccParams,
+    src: ServerAddress,
+    dst: ServerAddress,
+    levels: Sequence[int],
+    seed: Optional[int] = None,
+) -> List[int]:
+    """Uniformly random order, reproducible via ``seed``."""
+    order = sorted(levels)
+    random.Random(seed).shuffle(order)
+    return order
+
+
+def _owner_groups(params: AbcccParams, levels: Sequence[int]) -> Dict[int, List[int]]:
+    """Levels bucketed by owning server index, each bucket ascending."""
+    groups: Dict[int, List[int]] = {}
+    for level in sorted(levels):
+        groups.setdefault(params.owner_of(level), []).append(level)
+    return groups
+
+
+def locality_order(
+    params: AbcccParams, src: ServerAddress, dst: ServerAddress, levels: Sequence[int]
+) -> List[int]:
+    """Owner-grouped order minimising intra-crossbar transfers.
+
+    The number of crossbar-switch traversals of the resulting route is
+    exactly the number of *group boundaries*, so the optimum is achieved by
+    any order that visits each owner group once; we additionally start with
+    the source server's group (saving the initial transfer) and end with
+    the destination server's group (saving the final transfer), whenever
+    those groups occur among the differing levels and are distinct.
+    """
+    groups = _owner_groups(params, levels)
+    first = src.index if src.index in groups else None
+    last = dst.index if dst.index in groups and dst.index != first else None
+    middle = sorted(g for g in groups if g not in (first, last))
+    sequence = ([first] if first is not None else []) + middle
+    if last is not None:
+        sequence.append(last)
+    return [level for group in sequence for level in groups[group]]
+
+
+def balanced_order(
+    params: AbcccParams,
+    src: ServerAddress,
+    dst: ServerAddress,
+    levels: Sequence[int],
+    rotation: int = 0,
+) -> List[int]:
+    """Locality grouping with the group sequence rotated by ``rotation``.
+
+    Rotation trades (at most two) extra intra-crossbar transfers for
+    intermediate-crossbar diversity across flows; pass a per-flow value
+    (e.g. ``fnv1a(flow_id)``) to spread load.
+    """
+    groups = _owner_groups(params, levels)
+    sequence = sorted(groups)
+    if sequence:
+        shift = rotation % len(sequence)
+        sequence = sequence[shift:] + sequence[:shift]
+    return [level for group in sequence for level in groups[group]]
+
+
+#: Strategy name -> generator; extra kwargs: ``seed`` (random),
+#: ``rotation`` (balanced).
+STRATEGIES: Dict[str, Callable[..., List[int]]] = {
+    "identity": identity_order,
+    "random": random_order,
+    "locality": locality_order,
+    "balanced": balanced_order,
+}
+
+
+def generate(
+    params: AbcccParams,
+    src: ServerAddress,
+    dst: ServerAddress,
+    strategy: str = "locality",
+    seed: Optional[int] = None,
+    rotation: int = 0,
+) -> List[int]:
+    """Produce the level-correction order for one route.
+
+    Only the levels whose digits actually differ are included.
+    """
+    levels = differing_levels(src, dst)
+    if strategy == "random":
+        return random_order(params, src, dst, levels, seed=seed)
+    if strategy == "balanced":
+        return balanced_order(params, src, dst, levels, rotation=rotation)
+    try:
+        generator = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown permutation strategy {strategy!r}; "
+            f"available: {', '.join(sorted(STRATEGIES))}"
+        ) from None
+    return generator(params, src, dst, levels)
+
+
+def transfer_count(params: AbcccParams, src_index: int, dst_index: int, order: Sequence[int]) -> int:
+    """Crossbar-switch traversals the route will pay for ``order``.
+
+    One per owner change along the order, plus the initial move if the
+    source does not own the first level, plus the final move if the
+    destination does not own the last.
+    """
+    if not order:
+        return 0 if src_index == dst_index else 1
+    owners = [params.owner_of(level) for level in order]
+    transfers = 0 if owners[0] == src_index else 1
+    transfers += sum(1 for a, b in zip(owners, owners[1:]) if a != b)
+    if owners[-1] != dst_index:
+        transfers += 1
+    return transfers

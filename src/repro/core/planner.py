@@ -1,0 +1,176 @@
+"""Design planner: pick (n, k, s) from deployment requirements.
+
+The paper's pitch — "it suits for many different applications by fine
+tuning its parameters" — presumes an operator can actually do the
+tuning.  This module is that tool, as a library function instead of a
+figure: state requirements, get back every feasible ABCCC configuration
+ranked by your objective, with the Pareto frontier marked.
+
+Feasibility constraints (all optional):
+
+* ``min_servers`` / ``max_servers`` — target scale window;
+* ``max_nic_ports`` — what the procured servers offer;
+* ``switch_radix`` — the commodity switch on the contract;
+* ``min_bisection_per_server`` — bandwidth floor;
+* ``max_diameter`` — latency ceiling (server hops);
+* ``expansion_headroom`` — how many future ``k`` increments must remain
+  pure addition (the F5/E2 boundary: ``c_after <= n``).
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import properties
+from repro.core.address import AbcccParams
+from repro.core.topology import AbcccSpec
+from repro.metrics.cost import PriceBook, capex
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """What the deployment needs."""
+
+    min_servers: int = 1
+    max_servers: Optional[int] = None
+    max_nic_ports: int = 4
+    switch_radix: int = 48
+    min_bisection_per_server: float = 0.0
+    max_diameter: Optional[int] = None
+    expansion_headroom: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_servers < 1:
+            raise ValueError("min_servers must be >= 1")
+        if self.max_servers is not None and self.max_servers < self.min_servers:
+            raise ValueError("max_servers < min_servers")
+        if self.max_nic_ports < 2:
+            raise ValueError("ABCCC needs at least 2 NIC ports")
+        if self.switch_radix < 2:
+            raise ValueError("switch radix must be >= 2")
+        if self.expansion_headroom < 0:
+            raise ValueError("expansion_headroom must be >= 0")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One feasible configuration with its figures of merit."""
+
+    spec: AbcccSpec
+    servers: int
+    diameter: int
+    bisection_per_server: Optional[float]
+    capex_per_server: float
+    pareto: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+
+def _feasible(params: AbcccParams, req: Requirements) -> bool:
+    servers = properties.num_servers(params)
+    if servers < req.min_servers:
+        return False
+    if req.max_servers is not None and servers > req.max_servers:
+        return False
+    # crossbars must stay on the contract switch through the headroom.
+    future = AbcccParams(params.n, params.k + req.expansion_headroom, params.s)
+    if future.has_crossbar_switch and future.crossbar_size > params.n:
+        return False
+    if properties.crossbar_switch_ports(params) > req.switch_radix:
+        return False
+    if req.max_diameter is not None:
+        if properties.diameter_server_hops(params) > req.max_diameter:
+            return False
+    bisection = properties.bisection_per_server(params)
+    if req.min_bisection_per_server > 0:
+        if bisection is None or bisection < req.min_bisection_per_server:
+            return False
+    return True
+
+
+def plan(
+    req: Requirements,
+    prices: Optional[PriceBook] = None,
+    max_k: int = 8,
+) -> List[Candidate]:
+    """All feasible configurations, cheapest-per-server first.
+
+    ``n`` ranges over the divisor-friendly commodity radixes up to the
+    contract radix; ``k`` up to ``max_k``; ``s`` from 2 to the NIC budget.
+    The returned candidates carry a ``pareto`` flag over
+    (diameter ↓, bisection/server ↑, CAPEX/server ↓).
+    """
+    prices = prices or PriceBook()
+    radixes = [n for n in (4, 6, 8, 12, 16, 24, 32, 48) if n <= req.switch_radix]
+    candidates: List[Candidate] = []
+    for n in radixes:
+        for k in range(0, max_k + 1):
+            for s in range(2, min(req.max_nic_ports, k + 2) + 1):
+                params = AbcccParams(n, k, s)
+                if not _feasible(params, req):
+                    continue
+                spec = AbcccSpec(n, k, s)
+                candidates.append(
+                    Candidate(
+                        spec=spec,
+                        servers=spec.num_servers,
+                        diameter=properties.diameter_server_hops(params),
+                        bisection_per_server=properties.bisection_per_server(params),
+                        capex_per_server=capex(spec, prices).per_server,
+                    )
+                )
+    candidates.sort(key=lambda c: (c.capex_per_server, c.diameter, -c.servers))
+    return _mark_pareto(candidates)
+
+
+def _mark_pareto(candidates: List[Candidate]) -> List[Candidate]:
+    """Flag the frontier of (diameter ↓, bisection ↑, cost ↓)."""
+    from dataclasses import replace
+
+    marked: List[Candidate] = []
+    for candidate in candidates:
+        bis = candidate.bisection_per_server or 0.0
+        dominated = any(
+            other is not candidate
+            and other.diameter <= candidate.diameter
+            and (other.bisection_per_server or 0.0) >= bis
+            and other.capex_per_server <= candidate.capex_per_server
+            and (
+                other.diameter < candidate.diameter
+                or (other.bisection_per_server or 0.0) > bis
+                or other.capex_per_server < candidate.capex_per_server
+            )
+            for other in candidates
+        )
+        marked.append(replace(candidate, pareto=not dominated))
+    return marked
+
+
+def best(
+    req: Requirements,
+    objective: str = "cost",
+    prices: Optional[PriceBook] = None,
+) -> Optional[Candidate]:
+    """The single best feasible configuration by one objective.
+
+    Objectives: ``cost`` (CAPEX/server), ``latency`` (diameter),
+    ``bandwidth`` (bisection/server, descending).  Returns None when
+    nothing is feasible.
+    """
+    candidates = plan(req, prices=prices)
+    if not candidates:
+        return None
+    if objective == "cost":
+        return min(candidates, key=lambda c: c.capex_per_server)
+    if objective == "latency":
+        return min(candidates, key=lambda c: (c.diameter, c.capex_per_server))
+    if objective == "bandwidth":
+        return max(
+            candidates,
+            key=lambda c: ((c.bisection_per_server or 0.0), -c.capex_per_server),
+        )
+    raise ValueError(f"unknown objective {objective!r}")

@@ -1,0 +1,195 @@
+"""Closed-form structural properties of ABCCC(n, k, s).
+
+These formulas (DESIGN.md §1.2) are what the paper's comparison tables are
+made of; the test suite verifies every one of them against brute force
+(BFS, exhaustive counting) on built instances, so the experiment sweeps can
+trust them at scales too large to build.
+
+All "hop" quantities come in the two conventions of
+:mod:`repro.routing.base`: logical *server hops* and physical *link hops*
+(exactly double, since ABCCC paths alternate server/switch).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.address import AbcccParams
+
+
+def num_servers(params: AbcccParams) -> int:
+    """``N = c * n^(k+1)``."""
+    return params.crossbar_size * params.num_crossbars
+
+
+def num_crossbar_switches(params: AbcccParams) -> int:
+    """One per crossbar — unless crossbars are singletons (``c == 1``)."""
+    return params.num_crossbars if params.has_crossbar_switch else 0
+
+
+def num_level_switches(params: AbcccParams) -> int:
+    """``(k+1) * n^k`` — one per level per digit-vector-minus-one-digit."""
+    return params.levels * params.n ** params.k
+
+
+def num_switches(params: AbcccParams) -> int:
+    return num_crossbar_switches(params) + num_level_switches(params)
+
+
+def num_crossbar_links(params: AbcccParams) -> int:
+    """One per server (its port to the local crossbar switch)."""
+    return num_servers(params) if params.has_crossbar_switch else 0
+
+
+def num_level_links(params: AbcccParams) -> int:
+    """``(k+1) * n^(k+1)`` — every level switch has exactly ``n`` links."""
+    return num_level_switches(params) * params.n
+
+
+def num_links(params: AbcccParams) -> int:
+    return num_crossbar_links(params) + num_level_links(params)
+
+
+def crossbar_switch_ports(params: AbcccParams) -> int:
+    """Port count the crossbar switches need.
+
+    Commodity ``n``-port switches suffice whenever ``c <= n`` (every
+    sensible configuration); if a parameter choice makes crossbars larger
+    than the radix, the builder provisions a bigger crossbar switch and
+    this function reports that size.
+    """
+    if not params.has_crossbar_switch:
+        return 0
+    return max(params.n, params.crossbar_size)
+
+
+def diameter_server_hops(params: AbcccParams) -> int:
+    """Worst-case logical distance between two servers.
+
+    For ``c = 1`` the network is BCube: ``k + 1``.
+
+    For ``c > 1`` the worst pair differs in **all** ``k + 1`` digits and
+    the destination index differs from the last level's owner: the
+    digit-correcting route pays ``k + 1`` level traversals, ``c - 1``
+    intra-crossbar moves between owner groups (starting inside the source
+    server's own group is always possible), and one final intra-crossbar
+    move — ``(k + 1) + (c - 1) + 1 = k + c + 1``.
+
+    With ``s = 2`` (BCCC) this is ``2k + 2``, linear in ``k`` as the BCCC
+    paper claims; with ``s >= k + 2`` it collapses to BCube's ``k + 1``.
+    Verified by exhaustive BFS in ``tests/test_core_properties.py``.
+    """
+    c = params.crossbar_size
+    if c == 1:
+        return params.levels
+    return params.k + c + 1
+
+
+def diameter_link_hops(params: AbcccParams) -> int:
+    """Physical diameter: each logical hop crosses one switch (2 links)."""
+    return 2 * diameter_server_hops(params)
+
+
+def bisection_links(params: AbcccParams) -> Optional[float]:
+    """Bisection width in links, for even ``n``: ``n^(k+1) / 2``.
+
+    Cut the servers by the level-``k`` digit (low half vs. high half):
+    only the ``n^k`` level-``k`` switches have members on both sides, and
+    splitting each such star costs ``n / 2`` links, giving
+    ``n^k * n/2 = n^(k+1)/2``.  All crossbar links and all other level
+    switches stay on one side.  For odd ``n`` no digit split is balanced
+    and the closed form does not apply; ``None`` is returned and the
+    spectral estimator in :mod:`repro.metrics.bisection` takes over.
+    """
+    if params.n % 2 != 0:
+        return None
+    return params.num_crossbars / 2
+
+
+def bisection_per_server(params: AbcccParams) -> Optional[float]:
+    """Bisection bandwidth normalised per server: ``1 / (2c)`` (even n).
+
+    The clean trade-off dial of the paper: larger ``s`` shrinks ``c``,
+    raising per-server bisection toward BCube's ``1/2`` at higher NIC cost.
+    """
+    width = bisection_links(params)
+    if width is None:
+        return None
+    return width / num_servers(params)
+
+
+def expected_server_hops(params: AbcccParams) -> float:
+    """Exact expected locality-route length over uniform random pairs.
+
+    Both endpoints are drawn uniformly and independently (identical pairs
+    included).  The route length decomposes into *digit corrections* plus
+    *intra-crossbar transfers*:
+
+    * corrections: each of the ``k+1`` digits differs with probability
+      ``1 - 1/n``, so their expectation is ``(k+1)(1 - 1/n)``;
+    * transfers: depend only on *which owner groups* contain a differing
+      digit (groups are traversed contiguously by the locality order) and
+      on the endpoint indexes.  Group activations are independent
+      (``P(group g active) = 1 - n^-|levels(g)|``), so the expectation is
+      computed exactly by enumerating the ``2^c`` activation patterns and
+      averaging the transfer count over the ``c^2`` endpoint-index pairs —
+      no sampling, and the test suite checks it against exhaustive
+      enumeration on built instances.
+    """
+    n, c = params.n, params.crossbar_size
+    corrections = params.levels * (1.0 - 1.0 / n)
+    if c == 1:
+        return corrections  # BCube: no crossbar transfers at all
+
+    activation = [
+        1.0 - (1.0 / n) ** len(params.levels_of(group)) for group in range(c)
+    ]
+
+    def transfers(active: tuple, src: int, dst: int) -> int:
+        groups = [g for g in range(c) if active[g]]
+        if not groups:
+            return 0 if src == dst else 1
+        first = src if src in groups else None
+        last = dst if dst in groups and dst != first else None
+        middle = [g for g in groups if g != first and g != last]
+        sequence = ([first] if first is not None else []) + middle
+        if last is not None:
+            sequence.append(last)
+        count = (1 if sequence[0] != src else 0) + (len(sequence) - 1)
+        if sequence[-1] != dst:
+            count += 1
+        return count
+
+    expected_transfers = 0.0
+    for mask in range(1 << c):
+        active = tuple(bool(mask >> g & 1) for g in range(c))
+        probability = 1.0
+        for group in range(c):
+            probability *= activation[group] if active[group] else 1.0 - activation[group]
+        if probability == 0.0:
+            continue
+        mean_over_indexes = sum(
+            transfers(active, src, dst) for src in range(c) for dst in range(c)
+        ) / (c * c)
+        expected_transfers += probability * mean_over_indexes
+    return corrections + expected_transfers
+
+
+def expected_link_hops(params: AbcccParams) -> float:
+    """Expected physical route length: two links per logical hop."""
+    return 2.0 * expected_server_hops(params)
+
+
+def parallel_path_count(params: AbcccParams) -> int:
+    """Internally disjoint inter-crossbar path families: one per level."""
+    return params.levels
+
+
+def expansion_requires_new_server(params: AbcccParams) -> bool:
+    """Does growing ``k -> k+1`` add a server to each crossbar?
+
+    Level ``k + 1`` lands on the last server's spare level port when
+    ``(k + 1) mod (s - 1) != 0``; otherwise a fresh server per crossbar is
+    required (always true for BCCC, ``s = 2``).
+    """
+    return params.levels % (params.s - 1) == 0

@@ -1,0 +1,197 @@
+"""Adaptive multipath source routing for ABCCC (BSR-style).
+
+BCube ships "BCube Source Routing": the source probes its parallel paths
+and sends each flow down the least-congested one.  ABCCC inherits the
+same opportunity — the ``k+1`` rotation routes of
+:mod:`repro.core.paths` are crossbar-disjoint — so this module provides
+the equivalent machinery:
+
+* :class:`LinkLoadTracker` — the congestion state a source consults
+  (in deployment: probe results; here: the exact current placement);
+* :class:`AdaptiveSourceRouter` — per-flow path selection minimising the
+  bottleneck (most-loaded link) of the chosen path, with deterministic
+  hash tie-breaking, registering the choice so later flows see it;
+* oblivious reference policies (``fixed`` locality path, ``hashed``
+  rotation) for the E3 experiment to compare against.
+
+Greedy sequential placement is the standard online model: flows arrive
+one at a time and each picks the best path given what is already placed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.address import AbcccParams, ServerAddress
+from repro.core.paths import rotation_routes
+from repro.core.routing import abccc_route
+from repro.routing.base import Route
+from repro.routing.ecmp import fnv1a
+from repro.sim.traffic import Flow
+from repro.topology.graph import Network
+from repro.topology.node import link_key
+
+
+class LinkLoadTracker:
+    """Current number of flows placed on each undirected link."""
+
+    def __init__(self, net: Network):
+        self._net = net
+        self._loads: Dict[Tuple[str, str], float] = {}
+
+    def load(self, u: str, v: str) -> float:
+        return self._loads.get(link_key(u, v), 0.0)
+
+    def bottleneck(self, route: Route) -> float:
+        """The heaviest current load along ``route`` (0 on empty links)."""
+        if route.link_hops == 0:
+            return 0.0
+        return max(self.load(u, v) for u, v in route.edges())
+
+    def total(self, route: Route) -> float:
+        """Sum of loads along the route — the secondary tie-breaker."""
+        return sum(self.load(u, v) for u, v in route.edges())
+
+    def place(self, route: Route, weight: float = 1.0) -> None:
+        for u, v in route.edges():
+            key = link_key(u, v)
+            self._loads[key] = self._loads.get(key, 0.0) + weight
+
+    def remove(self, route: Route, weight: float = 1.0) -> None:
+        for u, v in route.edges():
+            key = link_key(u, v)
+            value = self._loads.get(key, 0.0) - weight
+            if value <= 1e-12:
+                self._loads.pop(key, None)
+            else:
+                self._loads[key] = value
+
+    @property
+    def max_load(self) -> float:
+        return max(self._loads.values()) if self._loads else 0.0
+
+
+@dataclass
+class PathChoice:
+    """The outcome of one adaptive selection (for inspection/tests)."""
+
+    route: Route
+    candidates: int
+    bottleneck_before: float
+
+
+class AdaptiveSourceRouter:
+    """Least-congested-path selection over the rotation path set."""
+
+    def __init__(self, params: AbcccParams, net: Network):
+        self._params = params
+        self._net = net
+        self.tracker = LinkLoadTracker(net)
+
+    def candidates(self, src: ServerAddress, dst: ServerAddress) -> List[Route]:
+        """The rotation path family (>= 1 route, crossbar-disjoint when
+        all digits differ)."""
+        return rotation_routes(self._params, src, dst)
+
+    def choose(self, flow: Flow) -> PathChoice:
+        """Pick, place, and return the least-congested candidate path.
+
+        Selection key: (bottleneck load, total load, link hops, hash) —
+        strictly deterministic for a given placement history.
+        """
+        src = ServerAddress.parse(flow.src)
+        dst = ServerAddress.parse(flow.dst)
+        options = self.candidates(src, dst)
+        seed = fnv1a(flow.flow_id)
+
+        def key(indexed: Tuple[int, Route]):
+            index, route = indexed
+            return (
+                self.tracker.bottleneck(route),
+                self.tracker.total(route),
+                route.link_hops,
+                (index + seed) % len(options),
+            )
+
+        _, best = min(enumerate(options), key=key)
+        before = self.tracker.bottleneck(best)
+        self.tracker.place(best)
+        return PathChoice(route=best, candidates=len(options), bottleneck_before=before)
+
+    def route(self, net: Network, src: str, dst: str, flow_id: str = "") -> Route:
+        """Router-protocol adapter (used by ``route_all``)."""
+        if net is not self._net:
+            raise ValueError("AdaptiveSourceRouter is bound to its network")
+        choice = self.choose(Flow(flow_id or f"{src}->{dst}", src, dst))
+        return choice.route
+
+
+def place_flows_adaptive(
+    params: AbcccParams, net: Network, flows: Sequence[Flow]
+) -> Dict[str, Route]:
+    """Greedy online placement of all flows with adaptive selection."""
+    router = AdaptiveSourceRouter(params, net)
+    return {flow.flow_id: router.choose(flow).route for flow in flows}
+
+
+def place_flows_fixed(
+    params: AbcccParams, net: Network, flows: Sequence[Flow]
+) -> Dict[str, Route]:
+    """Oblivious reference: every flow takes its locality route."""
+    return {
+        flow.flow_id: abccc_route(
+            params,
+            ServerAddress.parse(flow.src),
+            ServerAddress.parse(flow.dst),
+            strategy="locality",
+        )
+        for flow in flows
+    }
+
+
+def place_flows_hashed(
+    params: AbcccParams, net: Network, flows: Sequence[Flow]
+) -> Dict[str, Route]:
+    """Oblivious reference: flow-hash pick among the rotation paths."""
+    routes: Dict[str, Route] = {}
+    for flow in flows:
+        options = rotation_routes(
+            params, ServerAddress.parse(flow.src), ServerAddress.parse(flow.dst)
+        )
+        routes[flow.flow_id] = options[fnv1a(flow.flow_id) % len(options)]
+    return routes
+
+
+def place_flows_vlb(
+    params: AbcccParams, net: Network, flows: Sequence[Flow]
+) -> Dict[str, Route]:
+    """Valiant load balancing: bounce every flow off a hash-chosen
+    random intermediate server (VL2's trick, on ABCCC).
+
+    Two locality routes are concatenated (src -> intermediate -> dst), so
+    a VLB path may legally revisit nodes — the flow solver charges each
+    crossing.  Oblivious to traffic yet spreads *any* pattern, trading
+    doubled path length for worst-case immunity.
+    """
+    total = params.num_crossbars * params.crossbar_size
+    routes: Dict[str, Route] = {}
+    for flow in flows:
+        src = ServerAddress.parse(flow.src)
+        dst = ServerAddress.parse(flow.dst)
+        middle = ServerAddress.from_rank(params, fnv1a(flow.flow_id) % total)
+        if middle in (src, dst):
+            routes[flow.flow_id] = abccc_route(params, src, dst, strategy="locality")
+            continue
+        first = abccc_route(params, src, middle, strategy="locality")
+        second = abccc_route(params, middle, dst, strategy="locality")
+        routes[flow.flow_id] = first.concat(second)
+    return routes
+
+
+PLACEMENT_POLICIES = {
+    "adaptive": place_flows_adaptive,
+    "fixed": place_flows_fixed,
+    "hashed": place_flows_hashed,
+    "vlb": place_flows_vlb,
+}

@@ -1,0 +1,146 @@
+"""Construction of ABCCC(n, k, s) networks.
+
+The builder realises DESIGN.md §1.2 exactly:
+
+* one crossbar per digit vector ``x`` in ``[0, n)^(k+1)`` — ``c`` servers
+  plus a crossbar switch (omitted when ``c == 1``);
+* for every level ``i`` and every assignment of the other ``k`` digits,
+  one ``n``-port level switch wired to the level-``i`` *owner server* of
+  each of its ``n`` member crossbars.
+
+Node names are the canonical address strings from
+:mod:`repro.core.address`, and every node carries its structured address,
+so routing code can translate freely between names and addresses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.core import properties
+from repro.core.address import (
+    AbcccParams,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+from repro.routing.base import Route
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import LinkPolicy
+
+
+def iter_level_switches(params: AbcccParams) -> Iterator[LevelSwitchAddress]:
+    """All level-switch addresses, level-major then rest-digit order."""
+    for level in range(params.levels):
+        for rest in itertools.product(range(params.n), repeat=params.k):
+            yield LevelSwitchAddress(level, tuple(rest))
+
+
+def build_abccc(params: AbcccParams) -> Network:
+    """Build the full ABCCC(n, k, s) network graph."""
+    net = Network(name=str(params))
+    net.meta["params"] = params
+    net.meta["kind"] = "abccc"
+    c = params.crossbar_size
+    csw_ports = properties.crossbar_switch_ports(params)
+
+    for digits in params.iter_crossbars():
+        if params.has_crossbar_switch:
+            csw = CrossbarSwitchAddress(digits)
+            net.add_switch(csw.name, ports=csw_ports, address=csw, role="crossbar")
+        for j in range(c):
+            server = ServerAddress(digits, j)
+            net.add_server(server.name, ports=params.s, address=server)
+            if params.has_crossbar_switch:
+                net.add_link(server.name, CrossbarSwitchAddress(digits).name)
+
+    for lsw in iter_level_switches(params):
+        net.add_switch(lsw.name, ports=params.n, address=lsw, role="level")
+        owner = params.owner_of(lsw.level)
+        for value in range(params.n):
+            member = ServerAddress(lsw.member_digits(value), owner)
+            net.add_link(lsw.name, member.name)
+
+    return net
+
+
+class AbcccSpec(TopologySpec):
+    """The paper's contribution as a registrable topology spec."""
+
+    kind = "abccc"
+
+    def __init__(self, n: int, k: int, s: int):
+        self.abccc = AbcccParams(n, k, s)
+
+    @property
+    def n(self) -> int:
+        return self.abccc.n
+
+    @property
+    def k(self) -> int:
+        return self.abccc.k
+
+    @property
+    def s(self) -> int:
+        return self.abccc.s
+
+    def params(self) -> Dict[str, Any]:
+        return {"n": self.n, "k": self.k, "s": self.s}
+
+    # ------------------------------------------------------------------
+    # analytic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        return properties.num_servers(self.abccc)
+
+    @property
+    def num_switches(self) -> int:
+        return properties.num_switches(self.abccc)
+
+    @property
+    def num_links(self) -> int:
+        return properties.num_links(self.abccc)
+
+    @property
+    def server_ports(self) -> int:
+        return self.s
+
+    @property
+    def switch_ports(self) -> int:
+        return max(self.n, properties.crossbar_switch_ports(self.abccc))
+
+    def switch_inventory(self) -> Dict[int, int]:
+        inventory = {self.n: properties.num_level_switches(self.abccc)}
+        crossbars = properties.num_crossbar_switches(self.abccc)
+        if crossbars:
+            ports = properties.crossbar_switch_ports(self.abccc)
+            inventory[ports] = inventory.get(ports, 0) + crossbars
+        return inventory
+
+    @property
+    def diameter_server_hops(self) -> Optional[int]:
+        return properties.diameter_server_hops(self.abccc)
+
+    @property
+    def bisection_links(self) -> Optional[float]:
+        return properties.bisection_links(self.abccc)
+
+    def link_policy(self) -> LinkPolicy:
+        return LinkPolicy.server_centric()
+
+    # ------------------------------------------------------------------
+    # construction & routing
+    # ------------------------------------------------------------------
+    def build(self) -> Network:
+        return build_abccc(self.abccc)
+
+    def route(self, net: Network, src: str, dst: str) -> Route:
+        """Digit-correction routing with the locality-aware permutation."""
+        from repro.core.routing import abccc_route
+
+        return abccc_route(
+            self.abccc, ServerAddress.parse(src), ServerAddress.parse(dst)
+        )

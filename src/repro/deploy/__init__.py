@@ -1,0 +1,21 @@
+"""Deployment artefacts: rack BOMs, cable schedules, expansion work orders."""
+
+from repro.deploy.manifest import (
+    CableRun,
+    DeploymentManifest,
+    RackBom,
+    WorkOrder,
+    build_manifest,
+    expansion_work_orders,
+    render_work_orders,
+)
+
+__all__ = [
+    "CableRun",
+    "DeploymentManifest",
+    "RackBom",
+    "WorkOrder",
+    "build_manifest",
+    "expansion_work_orders",
+    "render_work_orders",
+]

@@ -1,0 +1,204 @@
+"""Deployment manifests: turn a topology (or an expansion plan) into the
+paperwork a build-out crew actually needs.
+
+Two artefacts:
+
+* :class:`DeploymentManifest` — the bill of materials of a built network
+  under a physical layout: per-rack equipment lists and the full cable
+  schedule (endpoint, endpoint, length), renderable as text;
+* :func:`expansion_work_orders` — an ordered, phased work plan for an
+  :class:`~repro.core.expansion.ExpansionPlan`: rack & stack new
+  switches, then new servers, then pull cables (intra-rack first, then by
+  run length), then — only if the plan is not pure addition — the
+  disruptive phase touching deployed equipment.  The ordering guarantees
+  every cable's endpoints exist when it is pulled, and the disruptive
+  phase is isolated so an operator can see exactly what risks downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expansion import ExpansionPlan
+from repro.metrics.layout import LayoutConfig, assign_racks
+from repro.topology.graph import Network
+from repro.topology.node import NodeKind
+
+
+@dataclass(frozen=True)
+class RackBom:
+    """Everything installed in one rack."""
+
+    rack: int
+    servers: Tuple[str, ...]
+    switches: Tuple[str, ...]
+
+    @property
+    def units(self) -> int:
+        return len(self.servers) + len(self.switches)
+
+
+@dataclass(frozen=True)
+class CableRun:
+    """One cable of the schedule."""
+
+    u: str
+    v: str
+    rack_u: int
+    rack_v: int
+    length: float
+
+    @property
+    def intra_rack(self) -> bool:
+        return self.rack_u == self.rack_v
+
+
+@dataclass(frozen=True)
+class DeploymentManifest:
+    """BOM + cable schedule of a built network under a layout."""
+
+    network_name: str
+    racks: Tuple[RackBom, ...]
+    cables: Tuple[CableRun, ...]
+
+    @property
+    def num_racks(self) -> int:
+        return len(self.racks)
+
+    @property
+    def total_cable_length(self) -> float:
+        return sum(c.length for c in self.cables)
+
+    def render(self, max_racks: int = 8, max_cables: int = 10) -> str:
+        lines = [f"deployment manifest: {self.network_name}"]
+        lines.append(
+            f"  {self.num_racks} racks, {len(self.cables)} cables, "
+            f"{self.total_cable_length:.0f} m total"
+        )
+        for bom in self.racks[:max_racks]:
+            lines.append(
+                f"  rack {bom.rack:>3}: {len(bom.servers)} servers, "
+                f"{len(bom.switches)} switches"
+            )
+        if self.num_racks > max_racks:
+            lines.append(f"  … {self.num_racks - max_racks} more racks")
+        for cable in self.cables[:max_cables]:
+            kind = "intra" if cable.intra_rack else "inter"
+            lines.append(
+                f"  cable {cable.u} <-> {cable.v} "
+                f"({kind}-rack, {cable.length:.1f} m)"
+            )
+        if len(self.cables) > max_cables:
+            lines.append(f"  … {len(self.cables) - max_cables} more cables")
+        return "\n".join(lines)
+
+
+def build_manifest(
+    net: Network, config: Optional[LayoutConfig] = None
+) -> DeploymentManifest:
+    """Compute the manifest of a built network."""
+    config = config or LayoutConfig()
+    racks = assign_racks(net, config)
+    by_rack: Dict[int, Dict[str, List[str]]] = {}
+    for node in net.nodes():
+        bucket = by_rack.setdefault(racks[node.name], {"servers": [], "switches": []})
+        key = "servers" if node.kind is NodeKind.SERVER else "switches"
+        bucket[key].append(node.name)
+    boms = tuple(
+        RackBom(rack, tuple(sorted(b["servers"])), tuple(sorted(b["switches"])))
+        for rack, b in sorted(by_rack.items())
+    )
+    cables = tuple(
+        CableRun(
+            link.u,
+            link.v,
+            racks[link.u],
+            racks[link.v],
+            config.cable_length(racks[link.u], racks[link.v]),
+        )
+        for link in net.links()
+    )
+    return DeploymentManifest(net.name, boms, cables)
+
+
+@dataclass(frozen=True)
+class WorkOrder:
+    """One phase of an expansion build-out."""
+
+    phase: int
+    title: str
+    disruptive: bool
+    items: Tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+
+def expansion_work_orders(
+    plan: ExpansionPlan,
+    new_net: Network,
+    config: Optional[LayoutConfig] = None,
+) -> List[WorkOrder]:
+    """Phase an expansion plan into executable work orders.
+
+    Args:
+        new_net: the built *target* network (provides rack placement for
+            the new equipment).
+
+    Phases: 1 new switches, 2 new servers, 3 new cables (intra-rack runs
+    first, then ascending length), 4 disruptive changes (upgrades,
+    replacements, removals) — empty and omitted when the plan is pure
+    addition.
+    """
+    config = config or LayoutConfig()
+    racks = assign_racks(new_net, config)
+
+    def by_rack(names: Sequence[str]) -> List[str]:
+        return sorted(names, key=lambda n: (racks.get(n, 1 << 30), n))
+
+    orders: List[WorkOrder] = []
+    if plan.new_switches:
+        orders.append(
+            WorkOrder(1, "rack and stack new switches", False, tuple(by_rack(plan.new_switches)))
+        )
+    if plan.new_servers:
+        orders.append(
+            WorkOrder(2, "rack and stack new servers", False, tuple(by_rack(plan.new_servers)))
+        )
+    if plan.new_links:
+        def cable_sort(link: Tuple[str, str]):
+            u, v = link
+            ru, rv = racks.get(u, 0), racks.get(v, 0)
+            return (ru != rv, config.cable_length(ru, rv), u, v)
+
+        cables = tuple(
+            f"{u} <-> {v}" for u, v in sorted(plan.new_links, key=cable_sort)
+        )
+        orders.append(WorkOrder(3, "pull new cables", False, cables))
+
+    disruptive: List[str] = []
+    disruptive.extend(f"add NIC to {name}" for name in plan.upgraded_servers)
+    disruptive.extend(f"replace switch {name}" for name in plan.replaced_switches)
+    disruptive.extend(f"remove cable {u} <-> {v}" for u, v in plan.removed_links)
+    if disruptive:
+        orders.append(
+            WorkOrder(4, "DISRUPTIVE: modify deployed equipment", True, tuple(disruptive))
+        )
+    return orders
+
+
+def render_work_orders(orders: Sequence[WorkOrder], max_items: int = 6) -> str:
+    """Human-readable work-order summary."""
+    lines: List[str] = []
+    for order in orders:
+        marker = " !!" if order.disruptive else ""
+        lines.append(f"phase {order.phase}: {order.title} ({order.size} items){marker}")
+        for item in order.items[:max_items]:
+            lines.append(f"    - {item}")
+        if order.size > max_items:
+            lines.append(f"    … {order.size - max_items} more")
+    if not lines:
+        return "nothing to do"
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""The evaluation suite: one module per table/figure (see DESIGN.md §5).
+
+Usage::
+
+    from repro.experiments import run_experiment, run_all, all_experiments
+
+    run_experiment("T1")           # print + write results/t1*.csv
+    run_all(quick=True)            # fast pass over everything
+"""
+
+from repro.experiments.harness import (
+    Experiment,
+    all_experiments,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "all_experiments",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

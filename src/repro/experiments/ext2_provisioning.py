@@ -1,0 +1,69 @@
+"""E2 (ablation) — crossbar-switch provisioning vs expansion headroom.
+
+The F5 boundary finding quantified: pure-addition expansion holds while
+the grown crossbar fits its crossbar switch (``c_new <= ports``).  An
+operator choosing the crossbar-switch radix is therefore buying
+*headroom*: bigger switches cost more today but push the replacement
+cliff further out.  This ablation tabulates, per radix choice, the
+maximum reachable order/size before any crossbar switch must be
+replaced, and the CAPEX premium paid for the unused ports meanwhile.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import AbcccSpec
+from repro.experiments.harness import register
+from repro.metrics.cost import PriceBook
+from repro.sim.results import ResultTable
+
+
+def _headroom_table(n: int, s: int, quick: bool) -> ResultTable:
+    table = ResultTable(
+        f"E2: crossbar-switch radix vs expansion headroom (n={n}, s={s})",
+        [
+            "csw_ports",
+            "k_max",
+            "servers_at_kmax",
+            "csw_premium_per_crossbar",
+            "premium_per_server_at_kmax",
+        ],
+    )
+    prices = PriceBook()
+    baseline_cost = prices.switch_cost(n)
+    port_options = (n, 2 * n) if quick else (n, 2 * n, 4 * n)
+    for ports in port_options:
+        # c = ceil((k+1)/(s-1)) <= ports  =>  k+1 <= ports * (s-1).
+        k_max = ports * (s - 1) - 1
+        spec = AbcccSpec(n, k_max, s)
+        premium = prices.switch_cost(ports) - baseline_cost
+        table.add_row(
+            csw_ports=ports,
+            k_max=k_max,
+            servers_at_kmax=spec.num_servers,
+            csw_premium_per_crossbar=premium,
+            premium_per_server_at_kmax=premium
+            * spec.abccc.num_crossbars
+            / spec.num_servers,
+        )
+    table.add_note(
+        "k_max is the largest order reachable by pure-addition expansion "
+        "with the chosen crossbar-switch radix; the premium buys that "
+        "headroom up front and amortises to pennies per server at scale."
+    )
+    return table
+
+
+@register(
+    "E2",
+    "Provisioning ablation: crossbar-switch radix buys expansion headroom",
+    "doubling the crossbar-switch radix multiplies the pure-addition "
+    "size ceiling by n^(ports*(s-1)) while the premium per final server "
+    "shrinks toward zero; under-provisioning hits the F5 replacement "
+    "cliff.",
+)
+def run(quick: bool = False) -> List[ResultTable]:
+    if quick:
+        return [_headroom_table(4, 2, quick)]
+    return [_headroom_table(4, 2, quick), _headroom_table(8, 2, quick), _headroom_table(4, 3, quick)]

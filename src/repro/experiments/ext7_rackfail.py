@@ -1,0 +1,103 @@
+"""E7 (extension) — correlated rack failures.
+
+Random component failures (F8) are the optimistic model; real outages
+kill whole racks (PDU, cooling, ToR).  Under the common layout of E4,
+this experiment fails 1…R racks — servers *and* the switches placed in
+them — and measures how the surviving fabric holds up per topology.
+The rack-locality that made ABCCC's cabling cheap (E4) cuts the other
+way here: a dead rack takes whole crossbars with it, but the remaining
+crossbars lose nothing — whereas a fat-tree rack hosting aggregation
+switches degrades pairs *between surviving racks*.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List
+
+from repro.baselines import BcubeSpec, FatTreeSpec
+from repro.core import AbcccSpec
+from repro.experiments.harness import register
+from repro.metrics.connectivity import (
+    apply_failures,
+    connection_ratio,
+    draw_rack_failures,
+    largest_component_fraction,
+)
+from repro.sim.results import ResultTable
+
+
+@register(
+    "E7",
+    "Correlated rack failures under a common layout",
+    "every design loses the dead racks' own servers cleanly; collateral "
+    "damage to *surviving* pairs comes from shared switches hosted in "
+    "the dead rack — worst where level switches serve many racks "
+    "(BCube and ABCCC at s=2), mitigated by larger s (more parallel "
+    "level families), and negligible for the fat-tree at this scale "
+    "(its per-rack switches die with their own servers; cores spread). "
+    "[Measured result — it overturned the naive rack-locality guess.]",
+)
+def run(quick: bool = False) -> List[ResultTable]:
+    table = ResultTable(
+        "E7: connection ratio among surviving servers vs failed racks",
+        [
+            "topology",
+            "servers",
+            "racks",
+            "failed_racks",
+            "alive_servers",
+            "connection_ratio",
+            "largest_component",
+        ],
+    )
+    rack_capacity = 8 if quick else 24
+    specs = (
+        [AbcccSpec(3, 1, 2), FatTreeSpec(4)]
+        if quick
+        else [AbcccSpec(4, 2, 2), AbcccSpec(4, 2, 3), BcubeSpec(4, 2), FatTreeSpec(8)]
+    )
+    failed_counts = (1,) if quick else (1, 2, 3)
+    trials = 2 if quick else 4
+    pairs = 80 if quick else 200
+    for spec in specs:
+        net = spec.build()
+        from repro.metrics.layout import LayoutConfig, assign_racks
+
+        total_racks = len(
+            set(assign_racks(net, LayoutConfig(rack_capacity=rack_capacity)).values())
+        )
+        for failed in failed_counts:
+            if failed >= total_racks:
+                continue
+            ratios = []
+            components = []
+            alive_counts = []
+            for trial in range(trials):
+                scenario = draw_rack_failures(
+                    net, failed, rack_capacity=rack_capacity, seed=300 + trial
+                )
+                alive = apply_failures(net, scenario)
+                alive_counts.append(alive.num_servers)
+                if alive.num_servers < 2:
+                    ratios.append(0.0)
+                    components.append(0.0)
+                    continue
+                ratios.append(
+                    connection_ratio(net, scenario, sample_pairs=pairs, seed=trial)
+                )
+                components.append(largest_component_fraction(net, scenario))
+            table.add_row(
+                topology=spec.label,
+                servers=net.num_servers,
+                racks=total_racks,
+                failed_racks=failed,
+                alive_servers=statistics.fmean(alive_counts),
+                connection_ratio=statistics.fmean(ratios),
+                largest_component=statistics.fmean(components),
+            )
+    table.add_note(
+        "rack assignment: address order at the stated capacity; a failed "
+        "rack removes its servers AND the switches placed in it."
+    )
+    return [table]

@@ -1,0 +1,74 @@
+"""F11 — the trade-off frontier: the paper's "best trade-off" headline.
+
+For fixed (n, k), sweeping the NIC-port count ``s`` from 2 to ``k + 2``
+traces a frontier in (diameter, per-server bisection, per-server CAPEX,
+network size) whose endpoints are BCCC and BCube.  The claim "ABCCC
+achieves the best trade-off among all these critical metrics … by fine
+tuning its parameters" is exactly this table: every intermediate ``s``
+dominates neither endpoint but offers a mix neither endpoint can.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import AbcccSpec
+from repro.core import properties
+from repro.experiments.harness import register
+from repro.metrics.cost import PriceBook, capex
+from repro.sim.results import ResultTable
+
+
+def _frontier_table(n: int, k: int) -> ResultTable:
+    table = ResultTable(
+        f"F11: s-sweep frontier at n={n}, k={k}",
+        [
+            "s",
+            "crossbar_size",
+            "servers",
+            "diam_server_hops",
+            "bisection_per_srv",
+            "capex_per_srv",
+            "nic_ports",
+            "equals",
+        ],
+    )
+    prices = PriceBook()
+    for s in range(2, k + 3):
+        spec = AbcccSpec(n, k, s)
+        params = spec.abccc
+        c = params.crossbar_size
+        marker = ""
+        if s == 2:
+            marker = "BCCC"
+        elif c == 1:
+            marker = "BCube"
+        table.add_row(
+            s=s,
+            crossbar_size=c,
+            servers=spec.num_servers,
+            diam_server_hops=spec.diameter_server_hops,
+            bisection_per_srv=properties.bisection_per_server(params),
+            capex_per_srv=capex(spec, prices).per_server,
+            nic_ports=s,
+            equals=marker,
+        )
+    table.add_note(
+        "monotone trade: as s rises, diameter and size fall while "
+        "per-server bisection and NIC cost rise — a tunable frontier "
+        "between the published extremes."
+    )
+    return table
+
+
+@register(
+    "F11",
+    "Parameter fine-tuning frontier (diameter / bisection / cost / size)",
+    "for every s in (2, k+2): diameter strictly between BCube's and "
+    "BCCC's, bisection per server = 1/(2c) strictly between 1/(2(k+1)) "
+    "and 1/2, CAPEX per server increasing in s.",
+)
+def run(quick: bool = False) -> List[ResultTable]:
+    if quick:
+        return [_frontier_table(4, 2)]
+    return [_frontier_table(4, 3), _frontier_table(6, 2), _frontier_table(8, 3)]

@@ -1,0 +1,71 @@
+"""F2 — network size vs order k (log scale in the paper).
+
+How many servers each configuration supports as it grows, for two switch
+radixes.  The expandability story needs scale to come cheap: ABCCC at
+``s = 2`` (BCCC) packs ``(k+1) * n^(k+1)`` servers — *more* than BCube at
+equal k — and the ``s`` dial trades that density for diameter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines import BcubeSpec, DcellSpec, FatTreeSpec, FiconnSpec
+from repro.core import AbcccSpec
+from repro.experiments.harness import register
+from repro.sim.results import ResultTable
+
+S_VALUES = (2, 3, 4)
+
+
+def _size_table(n: int, quick: bool) -> ResultTable:
+    table = ResultTable(
+        f"F2: servers vs k (n={n})",
+        ["k"]
+        + [f"abccc_s{s}" for s in S_VALUES]
+        + ["bcube", "dcell", "ficonn"],
+    )
+    ks = range(0, 4) if quick else range(0, 7)
+    for k in ks:
+        row = {"k": k}
+        for s in S_VALUES:
+            row[f"abccc_s{s}"] = AbcccSpec(n, k, s).num_servers
+        row["bcube"] = BcubeSpec(n, k).num_servers
+        # DCell/FiConn sizes explode doubly-exponentially; cap the columns
+        # where they exceed a million servers to keep the table readable.
+        dcell = DcellSpec(n, k).num_servers if k <= 3 else None
+        row["dcell"] = dcell if dcell is None or dcell < 10**7 else None
+        ficonn = FiconnSpec(n, k).num_servers if n % 2 == 0 and k <= 4 else None
+        row["ficonn"] = ficonn if ficonn is None or ficonn < 10**7 else None
+        table.add_row(**row)
+    return table
+
+
+def _fattree_reference() -> ResultTable:
+    table = ResultTable(
+        "F2b: fat-tree size reference (scale set by switch radix only)",
+        ["p", "servers", "switches"],
+    )
+    for p in (4, 8, 16, 24, 48):
+        spec = FatTreeSpec(p)
+        table.add_row(p=p, servers=spec.num_servers, switches=spec.num_switches)
+    table.add_note(
+        "a fat-tree of commodity 48-port switches tops out at 27648 "
+        "servers; cube-family designs keep growing by raising k."
+    )
+    return table
+
+
+@register(
+    "F2",
+    "Network size vs order k",
+    "abccc(s=2) >= bcube at every k (factor k+1); size shrinks as s grows "
+    "(fewer servers per crossbar); DCell dwarfs all at k>=2; fat-tree is "
+    "capped by its radix.",
+)
+def run(quick: bool = False) -> List[ResultTable]:
+    tables = [_size_table(4, quick)]
+    if not quick:
+        tables.append(_size_table(8, quick))
+    tables.append(_fattree_reference())
+    return tables

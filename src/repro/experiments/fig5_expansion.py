@@ -1,0 +1,97 @@
+"""F5 — expansion cost: the headline expandability comparison.
+
+For each family, grow an instance one step (k -> k+1, or p -> p+2 for the
+fat-tree) and account the exact component-level delta via the graph diff
+of :mod:`repro.core.expansion`: purchases (servers/switches/cables) and —
+the paper's point — *touched existing equipment*.  ABCCC and BCCC grow by
+pure addition; BCube must open every deployed server; the fat-tree must
+replace its whole fabric.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.expansion import (
+    ExpansionPlan,
+    plan_abccc_growth,
+    plan_bccc_growth,
+    plan_bcube_growth,
+    plan_fattree_growth,
+)
+from repro.experiments.harness import register
+from repro.metrics.cost import expansion_capex
+from repro.sim.results import ResultTable
+
+
+def _add_plan_row(table: ResultTable, family: str, plan: ExpansionPlan) -> None:
+    summary = plan.summary()
+    table.add_row(
+        family=family,
+        step=f"{plan.old_label} -> {plan.new_label}",
+        new_servers=summary["new_servers"],
+        new_switches=summary["new_switches"],
+        new_cables=summary["new_cables"],
+        upgraded_servers=summary["upgraded_servers"],
+        replaced_switches=summary["replaced_switches"],
+        removed_cables=summary["removed_cables"],
+        pure_addition=plan.is_pure_addition,
+        new_capex=expansion_capex(plan),
+    )
+
+
+@register(
+    "F5",
+    "Expansion cost per growth step (component-level accounting)",
+    "ABCCC/BCCC steps are pure addition (zero upgraded/replaced/removed); "
+    "BCube upgrades every existing server; fat-tree replaces every switch.",
+)
+def run(quick: bool = False) -> List[ResultTable]:
+    table = ResultTable(
+        "F5: one growth step per family (exact graph diff)",
+        [
+            "family",
+            "step",
+            "new_servers",
+            "new_switches",
+            "new_cables",
+            "upgraded_servers",
+            "replaced_switches",
+            "removed_cables",
+            "pure_addition",
+            "new_capex",
+        ],
+    )
+    n = 3 if quick else 4
+    # Pure addition holds while the grown crossbar fits the n-port
+    # crossbar switch (c_new <= n), i.e. k + 2 <= n at s = 2.
+    s2_steps = (1,) if quick else (1, 2)
+    s3_steps = (1,) if quick else (1, 2, 3)
+    for k in s2_steps:
+        _add_plan_row(table, "abccc_s2", plan_abccc_growth(n, k, 2))
+        _add_plan_row(table, "bccc", plan_bccc_growth(n, k))
+    for k in s3_steps:
+        _add_plan_row(table, "abccc_s3", plan_abccc_growth(n, k, 3))
+        _add_plan_row(table, "bcube", plan_bcube_growth(n, k))
+    if not quick:
+        # The boundary case: at s = 2, growing past k + 1 = n makes the
+        # crossbar outgrow its switch — no longer pure addition.
+        _add_plan_row(table, "abccc_s2(boundary)", plan_abccc_growth(n, n - 1, 2))
+    for p in ((4,) if quick else (4, 6)):
+        _add_plan_row(table, "fattree", plan_fattree_growth(p))
+    if not quick:
+        # Jellyfish: the other expandable design — grows one rack at a
+        # time but must re-plug live fabric cables on every step.
+        from repro.baselines.jellyfish import JellyfishSpec, grow_jellyfish
+
+        jelly = JellyfishSpec(switches=20, ports=8, servers_per_switch=4, seed=3)
+        _add_plan_row(table, "jellyfish", grow_jellyfish(jelly.build(), jelly, seed=3))
+    table.add_note(
+        "upgraded_servers = NIC additions to deployed machines (BCube's "
+        "pain); replaced_switches = radix growth forces hardware swap "
+        "(fat-tree, and the ABCCC boundary row where crossbars outgrow "
+        "the n-port crossbar switch); removed_cables = live re-plugging "
+        "(Jellyfish's per-rack splice); regular ABCCC rows only plug "
+        "cables into spare ports."
+    )
+    return [table]

@@ -1,0 +1,138 @@
+"""Experiment harness: registry, runner, CSV output.
+
+Every module in :mod:`repro.experiments` defines one paper artefact
+(table or figure) as an :class:`Experiment`: an id (``T1``, ``F5``…), a
+title, the qualitative *expectation* the paper's abstract/claims imply,
+and a ``run(quick)`` callable returning :class:`ResultTable` objects.
+
+``quick=True`` shrinks instance sizes/samples so the same code path runs
+inside pytest-benchmark targets; full runs regenerate the numbers recorded
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.results import ResultTable
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table/figure of the evaluation."""
+
+    exp_id: str
+    title: str
+    expectation: str  # the qualitative shape that must hold
+    run: Callable[[bool], List[ResultTable]]
+
+    def execute(self, quick: bool = False) -> List[ResultTable]:
+        return self.run(quick)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    exp_id: str, title: str, expectation: str
+) -> Callable[[Callable[[bool], List[ResultTable]]], Callable[[bool], List[ResultTable]]]:
+    """Decorator registering a ``run(quick) -> [ResultTable]`` function."""
+
+    def decorator(fn: Callable[[bool], List[ResultTable]]):
+        if exp_id in _REGISTRY:
+            raise ValueError(f"experiment {exp_id!r} already registered")
+        _REGISTRY[exp_id] = Experiment(exp_id, title, expectation, fn)
+        return fn
+
+    return decorator
+
+
+def _load_all() -> None:
+    """Import every experiment module (registration side effect)."""
+    from repro.experiments import (  # noqa: F401
+        ext1_state,
+        ext2_provisioning,
+        ext3_adaptive,
+        ext4_layout,
+        ext5_baselines,
+        ext6_repair,
+        ext7_rackfail,
+        ext8_availability,
+        fig1_diameter,
+        fig2_size,
+        fig3_bisection,
+        fig4_capex,
+        fig5_expansion,
+        fig6_routing,
+        fig7_throughput,
+        fig8_faults,
+        fig9_broadcast,
+        fig10_packet,
+        fig11_tradeoff,
+        fig12_permutation,
+        table1_properties,
+        table2_capex,
+    )
+
+
+#: id-prefix ordering: paper tables, paper figures, then extensions.
+_KIND_ORDER = {"T": 0, "F": 1, "E": 2}
+
+
+def all_experiments() -> List[Experiment]:
+    """Registered experiments in id order (T*, F*, then E*; numeric within)."""
+    _load_all()
+
+    def sort_key(exp: Experiment):
+        kind = exp.exp_id[0]
+        number = int(exp.exp_id[1:])
+        return (_KIND_ORDER.get(kind, 9), number)
+
+    return sorted(_REGISTRY.values(), key=sort_key)
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    _load_all()
+    try:
+        return _REGISTRY[exp_id.upper()]
+    except KeyError:
+        known = ", ".join(e.exp_id for e in all_experiments())
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def run_experiment(
+    exp_id: str,
+    quick: bool = False,
+    out_dir: Optional[str] = "results",
+    verbose: bool = True,
+) -> List[ResultTable]:
+    """Run one experiment; print its tables and write CSVs under out_dir."""
+    experiment = get_experiment(exp_id)
+    started = time.perf_counter()
+    tables = experiment.execute(quick=quick)
+    elapsed = time.perf_counter() - started
+    if verbose:
+        print(f"### {experiment.exp_id} — {experiment.title}")
+        print(f"expectation: {experiment.expectation}")
+        for table in tables:
+            table.print()
+        print(f"[{experiment.exp_id} finished in {elapsed:.1f}s]\n")
+    if out_dir:
+        for i, table in enumerate(tables):
+            suffix = "" if len(tables) == 1 else f"_{i}"
+            name = f"{experiment.exp_id.lower()}{suffix}.csv"
+            table.to_csv(os.path.join(out_dir, name))
+    return tables
+
+
+def run_all(
+    quick: bool = False, out_dir: Optional[str] = "results", verbose: bool = True
+) -> Dict[str, List[ResultTable]]:
+    """Run the full evaluation suite."""
+    return {
+        exp.exp_id: run_experiment(exp.exp_id, quick=quick, out_dir=out_dir, verbose=verbose)
+        for exp in all_experiments()
+    }

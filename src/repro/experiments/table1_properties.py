@@ -1,0 +1,171 @@
+"""T1 — structural comparison table (the paper's headline table).
+
+Compares ABCCC against BCube, BCCC, fat-tree, DCell, FiConn and the
+hypercube at comparable scale (~1000 servers) on the metrics the abstract
+enumerates: network size, server/switch port counts, switch count, link
+count, diameter and bisection width.
+
+A second *validation* table rebuilds small instances of every family and
+checks the analytic numbers against brute force (exhaustive BFS diameter,
+exact counts) — the license to trust the closed forms at scale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines import (
+    BcccSpec,
+    BcubeSpec,
+    DcellSpec,
+    FatTreeSpec,
+    FiconnSpec,
+    HypercubeSpec,
+)
+from repro.core import AbcccSpec
+from repro.experiments.harness import register
+from repro.metrics.distance import link_hop_stats, server_hop_stats
+from repro.sim.results import ResultTable
+from repro.topology.validate import validate_network
+
+#: ~1000-server configurations, the "comparable scale" of the paper.
+SCALE_SPECS = [
+    AbcccSpec(n=4, k=3, s=2),  # = BCCC territory: 1024 servers
+    AbcccSpec(n=4, k=3, s=3),  # the new middle ground: 512 servers
+    AbcccSpec(n=4, k=3, s=5),  # BCube-degenerate: 256 servers
+    BcccSpec(n=4, k=3),
+    BcubeSpec(n=4, k=4),
+    FatTreeSpec(p=16),
+    DcellSpec(n=6, k=2),
+    FiconnSpec(n=10, k=2),
+    HypercubeSpec(m=10),
+]
+
+#: small instances for measured-vs-analytic validation.
+VALIDATION_SPECS = [
+    AbcccSpec(n=3, k=2, s=2),
+    AbcccSpec(n=3, k=2, s=3),
+    BcccSpec(n=3, k=2),
+    BcubeSpec(n=3, k=2),
+    FatTreeSpec(p=4),
+    DcellSpec(n=3, k=1),
+    FiconnSpec(n=4, k=1),
+    HypercubeSpec(m=5),
+]
+
+QUICK_VALIDATION = [AbcccSpec(n=2, k=1, s=2), BcubeSpec(n=2, k=1), FatTreeSpec(p=4)]
+
+
+def _scale_table() -> ResultTable:
+    table = ResultTable(
+        "T1a: structural properties at comparable scale (analytic)",
+        [
+            "topology",
+            "servers",
+            "srv_ports",
+            "switches",
+            "sw_ports",
+            "links",
+            "diam_server_hops",
+            "diam_link_hops",
+            "bisection_links",
+            "bisection_per_srv",
+        ],
+    )
+    for spec in SCALE_SPECS:
+        bisection = spec.bisection_links
+        table.add_row(
+            topology=spec.label,
+            servers=spec.num_servers,
+            srv_ports=spec.server_ports,
+            switches=spec.num_switches,
+            sw_ports=spec.switch_ports,
+            links=spec.num_links,
+            diam_server_hops=spec.diameter_server_hops,
+            diam_link_hops=spec.diameter_link_hops,
+            bisection_links=bisection,
+            bisection_per_srv=(
+                bisection / spec.num_servers if bisection is not None else None
+            ),
+        )
+    table.add_note(
+        "DCell/FiConn diameters are routing-algorithm upper bounds (2^(k+1)-1); "
+        "bisection '-' entries have no closed form and are measured in F3."
+    )
+    return table
+
+
+def _validation_table(quick: bool) -> ResultTable:
+    table = ResultTable(
+        "T1b: analytic vs measured on built instances",
+        [
+            "topology",
+            "servers",
+            "switches",
+            "links",
+            "diam_links_analytic",
+            "diam_links_measured",
+            "diam_srvhops_analytic",
+            "diam_srvhops_measured",
+            "valid",
+        ],
+    )
+    specs = QUICK_VALIDATION if quick else VALIDATION_SPECS
+    for spec in specs:
+        net = spec.build()
+        validate_network(net, spec.link_policy())
+        counts_ok = (
+            net.num_servers == spec.num_servers
+            and net.num_switches == spec.num_switches
+            and net.num_links == spec.num_links
+        )
+        link_stats = link_hop_stats(net)
+        # The server-hop projection (shared switch or direct cable) is only
+        # meaningful for server-centric topologies; in a fat-tree, servers
+        # behind different edge switches share no switch at all.
+        switch_centric = spec.link_policy().switch_switch
+        server_stats = None if switch_centric else server_hop_stats(net)
+        analytic_links = spec.diameter_link_hops
+        analytic_server = spec.diameter_server_hops
+        # Closed forms are exact for the cube family and fat-tree; DCell /
+        # FiConn publish upper bounds — accept measured <= bound there.
+        exact_families = {"abccc", "bccc", "bcube", "fattree", "hypercube"}
+        if spec.kind in exact_families:
+            diameter_ok = (
+                analytic_links is None or link_stats.diameter == analytic_links
+            ) and (
+                server_stats is None
+                or analytic_server is None
+                or server_stats.diameter == analytic_server
+            )
+        else:
+            diameter_ok = (
+                server_stats is None
+                or analytic_server is None
+                or server_stats.diameter <= analytic_server
+            )
+        table.add_row(
+            topology=spec.label,
+            servers=net.num_servers,
+            switches=net.num_switches,
+            links=net.num_links,
+            diam_links_analytic=analytic_links,
+            diam_links_measured=link_stats.diameter,
+            diam_srvhops_analytic=analytic_server,
+            diam_srvhops_measured=(
+                server_stats.diameter if server_stats is not None else None
+            ),
+            valid=counts_ok and diameter_ok,
+        )
+    return table
+
+
+@register(
+    "T1",
+    "Structural comparison of ABCCC vs existing data-center topologies",
+    "ABCCC interpolates between BCCC (cheap ports, longer diameter) and "
+    "BCube (many ports, short diameter); fat-tree has the most switches; "
+    "every analytic property matches brute force on built instances.",
+)
+def run(quick: bool = False) -> List[ResultTable]:
+    return [_scale_table(), _validation_table(quick)]

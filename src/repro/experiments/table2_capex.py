@@ -1,0 +1,78 @@
+"""T2 — capital expenditure at comparable scale.
+
+Itemised CAPEX (switches / NICs / cables, absolute and per server) of the
+same ~1000-server configurations as T1 under the default price book, plus
+a price-sensitivity ablation sweeping the NIC:switch-port price ratio —
+per-server *ratios* between topologies are the paper's comparison and the
+ablation shows where they are insensitive to the price anchor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.harness import register
+from repro.experiments.table1_properties import SCALE_SPECS
+from repro.metrics.cost import PriceBook, capex
+from repro.sim.results import ResultTable
+
+
+def _capex_table(prices: PriceBook, title: str) -> ResultTable:
+    table = ResultTable(
+        title,
+        [
+            "topology",
+            "servers",
+            "switch_cost",
+            "nic_cost",
+            "cable_cost",
+            "total",
+            "per_server",
+        ],
+    )
+    for spec in SCALE_SPECS:
+        breakdown = capex(spec, prices)
+        table.add_row(
+            topology=spec.label,
+            servers=breakdown.num_servers,
+            switch_cost=breakdown.switch_cost,
+            nic_cost=breakdown.nic_cost,
+            cable_cost=breakdown.cable_cost,
+            total=breakdown.total,
+            per_server=breakdown.per_server,
+        )
+    return table
+
+
+def _sensitivity_table(quick: bool) -> ResultTable:
+    """Per-server CAPEX as the NIC-port price sweeps (switch port fixed)."""
+    table = ResultTable(
+        "T2b: per-server CAPEX vs NIC-port price (sensitivity ablation)",
+        ["nic_port_price"] + [spec.label for spec in SCALE_SPECS],
+    )
+    prices_points = [5.0, 20.0, 50.0] if quick else [5.0, 10.0, 20.0, 50.0, 100.0]
+    for nic_price in prices_points:
+        prices = PriceBook(nic_port=nic_price)
+        row = {"nic_port_price": nic_price}
+        for spec in SCALE_SPECS:
+            row[spec.label] = capex(spec, prices).per_server
+        table.add_row(**row)
+    table.add_note(
+        "server-centric designs (more NICs, fewer switches) gain as NIC "
+        "ports get cheaper — the technology trend the paper banks on."
+    )
+    return table
+
+
+@register(
+    "T2",
+    "CAPEX comparison at comparable scale",
+    "per-server cost: FiConn < BCCC/ABCCC(s=2) < ABCCC(s=3) < BCube < "
+    "fat-tree at default prices; ABCCC's s parameter moves it smoothly "
+    "along that axis.",
+)
+def run(quick: bool = False) -> List[ResultTable]:
+    return [
+        _capex_table(PriceBook(), "T2a: itemised CAPEX (default price book)"),
+        _sensitivity_table(quick),
+    ]

@@ -1,0 +1,95 @@
+"""Aggregate bottleneck throughput (ABT) and link-load statistics.
+
+ABT is the BCube paper's all-to-all figure of merit: when every flow is
+throttled to the rate of the most loaded link (the *bottleneck*), the
+aggregate throughput is ``(number of flows) / (bottleneck link load)``
+with unit-capacity links — equivalently ``flows * capacity / load``.
+Under all-to-all traffic the shuffle phase of MapReduce-style jobs is
+bottlenecked exactly this way, which is why the DCN literature reports it.
+
+The module also provides per-link load statistics (mean/max/coefficient
+of variation) used by the permutation-strategy experiment: a good routing
+permutation spreads the same flow set over more links.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.routing.base import Route
+from repro.topology.graph import Network
+from repro.topology.node import link_key
+
+
+@dataclass(frozen=True)
+class LinkLoadStats:
+    """Distribution of the number of routes crossing each link."""
+
+    num_routes: int
+    loaded_links: int
+    total_links: int
+    max_load: float
+    mean_load: float
+    coefficient_of_variation: float
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of physical links carrying at least one route."""
+        if self.total_links == 0:
+            return 0.0
+        return self.loaded_links / self.total_links
+
+
+def link_loads(net: Network, routes: Iterable[Route]) -> Dict[Tuple[str, str], float]:
+    """Routes crossing each link, normalised by link capacity."""
+    loads: Dict[Tuple[str, str], float] = {}
+    count = 0
+    for route in routes:
+        count += 1
+        for u, v in route.edges():
+            key = link_key(u, v)
+            loads[key] = loads.get(key, 0.0) + 1.0
+    for key in loads:
+        capacity = net.link(*key).capacity
+        loads[key] /= capacity
+    return loads
+
+
+def load_stats(net: Network, routes: Iterable[Route]) -> LinkLoadStats:
+    """Summarise link loads over **all** physical links (zeros included)."""
+    routes = list(routes)
+    loads = link_loads(net, routes)
+    total_links = net.num_links
+    values = list(loads.values()) + [0.0] * (total_links - len(loads))
+    mean = statistics.fmean(values) if values else 0.0
+    stdev = statistics.pstdev(values) if len(values) > 1 else 0.0
+    return LinkLoadStats(
+        num_routes=len(routes),
+        loaded_links=len(loads),
+        total_links=total_links,
+        max_load=max(values) if values else 0.0,
+        mean_load=mean,
+        coefficient_of_variation=(stdev / mean) if mean > 0 else 0.0,
+    )
+
+
+def aggregate_bottleneck_throughput(net: Network, routes: Iterable[Route]) -> float:
+    """ABT in units of one link capacity: ``flows / bottleneck_load``."""
+    routes = list(routes)
+    if not routes:
+        return 0.0
+    loads = link_loads(net, routes)
+    if not loads:  # all flows are self-loops of zero length
+        return 0.0
+    bottleneck = max(loads.values())
+    return len(routes) / bottleneck
+
+
+def per_server_abt(net: Network, routes: Iterable[Route]) -> float:
+    """ABT normalised by server count — comparable across topologies."""
+    routes = list(routes)
+    abt = aggregate_bottleneck_throughput(net, routes)
+    servers = net.num_servers
+    return abt / servers if servers else 0.0

@@ -1,0 +1,74 @@
+"""Theoretical throughput upper bounds.
+
+The measured throughputs of F7/E3 mean little without the ceilings they
+are up against.  Two standard bounds for uniform all-to-all traffic:
+
+* **bisection bound** — in expectation half of all-to-all traffic
+  crosses any balanced server cut, so the aggregate throughput ``T``
+  satisfies ``T / 2 <= B`` i.e. ``T <= 2 B`` (undirected unit-capacity
+  links of the cut, both directions share the link);
+* **NIC bound** — every flow leaves its source through that server's
+  wired ports: ``T <= sum_s degree(s)`` (and symmetrically for sinks).
+
+The binding minimum tells you *why* a topology tops out: server-centric
+designs at small ``s`` are NIC-bound per server but bisection-bound in
+aggregate (``1/(2c)`` per server); the oversubscribed tree is purely
+bisection-bound.  Tests assert every measured allocation in the suite
+respects these ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.topology.graph import Network
+from repro.topology.spec import TopologySpec
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Ceilings for aggregate all-to-all throughput (capacity units)."""
+
+    bisection_bound: Optional[float]
+    nic_bound: float
+
+    @property
+    def binding(self) -> float:
+        """The tighter (smaller) of the two ceilings."""
+        if self.bisection_bound is None:
+            return self.nic_bound
+        return min(self.bisection_bound, self.nic_bound)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which constraint binds: 'bisection', 'nic', or 'tie'."""
+        if self.bisection_bound is None:
+            return "nic"
+        if self.bisection_bound < self.nic_bound:
+            return "bisection"
+        if self.bisection_bound > self.nic_bound:
+            return "nic"
+        return "tie"
+
+
+def all_to_all_bounds(spec: TopologySpec, net: Optional[Network] = None) -> ThroughputBounds:
+    """Aggregate all-to-all throughput ceilings for one instance.
+
+    The NIC bound uses the *wired* server degrees when a built network is
+    supplied (last-in-crossbar servers may have spare ports); otherwise
+    it falls back to the provisioned ``server_ports``.
+    """
+    bisection = spec.bisection_links
+    bisection_bound = 2.0 * bisection if bisection is not None else None
+    if net is not None:
+        nic_bound = float(sum(net.degree(s) for s in net.servers))
+    else:
+        nic_bound = float(spec.num_servers * spec.server_ports)
+    return ThroughputBounds(bisection_bound=bisection_bound, nic_bound=nic_bound)
+
+
+def per_server_ceiling(spec: TopologySpec, net: Optional[Network] = None) -> float:
+    """The binding all-to-all ceiling divided by the server count."""
+    bounds = all_to_all_bounds(spec, net)
+    return bounds.binding / spec.num_servers

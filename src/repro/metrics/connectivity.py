@@ -1,0 +1,191 @@
+"""Connectivity and fault-resilience metrics.
+
+Covers the two resilience quantities the evaluation reports: structural
+path diversity between server pairs (node/edge connectivity) and graceful
+degradation under random component failures (connection ratio — the
+fraction of server pairs that remain mutually reachable).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.routing.shortest import bfs_distances
+from repro.topology.graph import Network
+
+
+def server_pair_connectivity(
+    net: Network, pairs: Sequence[Tuple[str, str]]
+) -> List[Tuple[int, int]]:
+    """``(node_connectivity, edge_connectivity)`` for each server pair."""
+    graph = net.to_networkx()
+    results = []
+    for src, dst in pairs:
+        node_conn = nx.node_connectivity(graph, src, dst)
+        edge_conn = nx.edge_connectivity(graph, src, dst)
+        results.append((node_conn, edge_conn))
+    return results
+
+
+def sample_server_pairs(
+    net: Network, count: int, seed: int = 0
+) -> List[Tuple[str, str]]:
+    """``count`` distinct random ordered server pairs (src != dst)."""
+    servers = list(net.servers)
+    if len(servers) < 2:
+        raise ValueError("need at least two servers")
+    rng = random.Random(seed)
+    pairs: Set[Tuple[str, str]] = set()
+    limit = len(servers) * (len(servers) - 1)
+    while len(pairs) < min(count, limit):
+        src, dst = rng.sample(servers, 2)
+        pairs.add((src, dst))
+    return sorted(pairs)
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One random failure draw."""
+
+    dead_servers: Tuple[str, ...]
+    dead_switches: Tuple[str, ...]
+    dead_links: Tuple[Tuple[str, str], ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.dead_servers or self.dead_switches or self.dead_links)
+
+
+def draw_failures(
+    net: Network,
+    server_fraction: float = 0.0,
+    switch_fraction: float = 0.0,
+    link_fraction: float = 0.0,
+    seed: int = 0,
+) -> FailureScenario:
+    """Fail a uniform random fraction of each component class."""
+    for name, fraction in (
+        ("server", server_fraction),
+        ("switch", switch_fraction),
+        ("link", link_fraction),
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"{name}_fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    servers = sorted(net.servers)
+    switches = sorted(net.switches)
+    links = sorted(link.key for link in net.links())
+    return FailureScenario(
+        dead_servers=tuple(rng.sample(servers, round(server_fraction * len(servers)))),
+        dead_switches=tuple(
+            rng.sample(switches, round(switch_fraction * len(switches)))
+        ),
+        dead_links=tuple(rng.sample(links, round(link_fraction * len(links)))),
+    )
+
+
+def draw_rack_failures(
+    net: Network,
+    num_racks: int,
+    rack_capacity: int = 40,
+    seed: int = 0,
+) -> FailureScenario:
+    """Correlated failure: whole racks go dark (PDU/cooling events).
+
+    Uses the same address-order rack assignment as the layout model
+    (:mod:`repro.metrics.layout`), kills every server *and switch* placed
+    in ``num_racks`` randomly chosen racks.  This is the failure mode that
+    separates topologies with rack-local structure (an ABCCC crossbar
+    dies with its rack, leaving the rest intact) from fabrics whose
+    aggregation layers concentrate in a few racks.
+    """
+    from repro.metrics.layout import LayoutConfig, assign_racks
+
+    racks = assign_racks(net, LayoutConfig(rack_capacity=rack_capacity))
+    all_racks = sorted(set(racks.values()))
+    if not 0 <= num_racks <= len(all_racks):
+        raise ValueError(
+            f"num_racks must be in [0, {len(all_racks)}], got {num_racks}"
+        )
+    rng = random.Random(seed)
+    dead_racks = set(rng.sample(all_racks, num_racks))
+    dead_servers = tuple(
+        sorted(name for name in net.servers if racks[name] in dead_racks)
+    )
+    dead_switches = tuple(
+        sorted(name for name in net.switches if racks[name] in dead_racks)
+    )
+    return FailureScenario(
+        dead_servers=dead_servers, dead_switches=dead_switches, dead_links=()
+    )
+
+
+def apply_failures(net: Network, scenario: FailureScenario) -> Network:
+    """The alive subgraph after the scenario's failures."""
+    return net.subgraph_without(
+        dead_nodes=list(scenario.dead_servers) + list(scenario.dead_switches),
+        dead_links=scenario.dead_links,
+    )
+
+
+def connection_ratio(
+    net: Network,
+    scenario: FailureScenario,
+    sample_pairs: int = 200,
+    seed: int = 0,
+) -> float:
+    """Fraction of sampled alive server pairs still mutually reachable."""
+    alive = apply_failures(net, scenario)
+    servers = alive.servers
+    if len(servers) < 2:
+        return 0.0
+    rng = random.Random(seed)
+    connected = 0
+    total = 0
+    # Group the sampled pairs by source so each BFS is reused.
+    by_source: Dict[str, List[str]] = {}
+    for _ in range(sample_pairs):
+        src, dst = rng.sample(servers, 2)
+        by_source.setdefault(src, []).append(dst)
+    for src, dsts in by_source.items():
+        dist = bfs_distances(alive, src, targets=set(dsts))
+        for dst in dsts:
+            total += 1
+            if dst in dist:
+                connected += 1
+    return connected / total if total else 0.0
+
+
+def largest_component_fraction(net: Network, scenario: FailureScenario) -> float:
+    """Alive servers in the largest connected component / alive servers."""
+    alive = apply_failures(net, scenario)
+    servers = set(alive.servers)
+    if not servers:
+        return 0.0
+    remaining = set(servers)
+    best = 0
+    while remaining:
+        start = next(iter(remaining))
+        component = _component(alive, start)
+        members = len(component & servers)
+        best = max(best, members)
+        remaining -= component
+    return best / len(servers)
+
+
+def _component(net: Network, start: str) -> Set[str]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in net.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return seen

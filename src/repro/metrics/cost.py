@@ -1,0 +1,112 @@
+"""Capital-expenditure (CAPEX) model.
+
+The paper compares topologies on "capital expenditure" at equal server
+count.  Absolute hardware prices are ephemeral; what the comparison needs
+is a *price book* whose ratios match the 2015-era assumptions the DCN
+literature shared:
+
+* commodity switch cost grows roughly linearly in port count above a
+  small chassis base (large-radix switches were disproportionately more
+  expensive, captured by a superlinear kink above 48 ports);
+* a server NIC port is much cheaper than a switch port;
+* cables cost roughly an order of magnitude less than ports.
+
+Every number is a dataclass field, so experiments can re-run the tables
+under different assumptions (the F4/T2 benches sweep the NIC/switch price
+ratio as an ablation).  Costs exclude the servers themselves — identical
+across topologies at equal server count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.topology.spec import TopologySpec
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Unit prices in abstract dollars (defaults: 2015-era ratios)."""
+
+    switch_base: float = 200.0  # chassis, PSU, management plane
+    switch_port: float = 50.0  # per port up to the commodity radix
+    premium_port: float = 100.0  # per port beyond ``commodity_radix``
+    commodity_radix: int = 48
+    nic_port: float = 20.0  # per server NIC port
+    cable: float = 5.0  # per installed link
+
+    def switch_cost(self, ports: int) -> float:
+        """Price of one switch of the given radix."""
+        if ports <= 0:
+            return 0.0
+        commodity = min(ports, self.commodity_radix)
+        premium = max(ports - self.commodity_radix, 0)
+        return self.switch_base + commodity * self.switch_port + premium * self.premium_port
+
+
+@dataclass(frozen=True)
+class CapexBreakdown:
+    """Itemised CAPEX of one topology instance."""
+
+    label: str
+    num_servers: int
+    switch_cost: float
+    nic_cost: float
+    cable_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.switch_cost + self.nic_cost + self.cable_cost
+
+    @property
+    def per_server(self) -> float:
+        if self.num_servers == 0:
+            return 0.0
+        return self.total / self.num_servers
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "switches": self.switch_cost,
+            "nics": self.nic_cost,
+            "cables": self.cable_cost,
+            "total": self.total,
+            "per_server": self.per_server,
+        }
+
+
+def capex(spec: TopologySpec, prices: Optional[PriceBook] = None) -> CapexBreakdown:
+    """CAPEX of a topology instance from its analytic inventory."""
+    prices = prices or PriceBook()
+    switch_cost = sum(
+        prices.switch_cost(ports) * count
+        for ports, count in spec.switch_inventory().items()
+    )
+    nic_cost = spec.num_servers * spec.server_ports * prices.nic_port
+    cable_cost = spec.num_links * prices.cable
+    return CapexBreakdown(
+        label=spec.label,
+        num_servers=spec.num_servers,
+        switch_cost=switch_cost,
+        nic_cost=nic_cost,
+        cable_cost=cable_cost,
+    )
+
+
+def expansion_capex(
+    plan, prices: Optional[PriceBook] = None, switch_ports: int = 48, server_ports: int = 2
+) -> float:
+    """Rough CAPEX of an expansion plan's *new* purchases.
+
+    Uses flat per-class prices because the plan records names, not specs;
+    the F5 experiment reports component counts as its primary series and
+    this dollar figure as colour.
+    """
+    prices = prices or PriceBook()
+    return (
+        len(plan.new_switches) * prices.switch_cost(switch_ports)
+        + len(plan.new_servers) * server_ports * prices.nic_port
+        + len(plan.new_links) * prices.cable
+        + len(plan.upgraded_servers) * prices.nic_port
+        + len(plan.replaced_switches) * prices.switch_cost(switch_ports)
+    )

@@ -1,0 +1,156 @@
+"""Distance metrics: diameter, average path length, hop histograms.
+
+Two hop conventions are reported throughout (see
+:mod:`repro.routing.base`): physical *link hops* over the full graph and
+logical *server hops* over the server-projected graph (two servers are
+logically adjacent when they share a switch or a direct cable).  The
+projection makes server-hop distances well-defined even for topologies
+mixing switched and direct links (DCell, FiConn).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.routing.shortest import bfs_distances
+from repro.topology.graph import Network
+from repro.topology.node import NodeKind
+
+
+def logical_server_adjacency(net: Network) -> Dict[str, Set[str]]:
+    """Server-projected adjacency: shared switch or direct server link."""
+    adjacency: Dict[str, Set[str]] = {s: set() for s in net.servers}
+    for node in net.nodes():
+        if node.kind is NodeKind.SWITCH:
+            members = [v for v in net.neighbors(node.name) if net.node(v).is_server]
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    adjacency[u].add(v)
+                    adjacency[v].add(u)
+    for link in net.links():
+        if net.node(link.u).is_server and net.node(link.v).is_server:
+            adjacency[link.u].add(link.v)
+            adjacency[link.v].add(link.u)
+    return adjacency
+
+
+def _bfs_over(adjacency: Dict[str, Set[str]], source: str) -> Dict[str, int]:
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+@dataclass(frozen=True)
+class DistanceStats:
+    """Summary of pairwise server distances under one hop convention."""
+
+    diameter: int
+    mean: float
+    histogram: Dict[int, int]
+    pairs: int
+    exact: bool
+
+    @property
+    def p99(self) -> int:
+        """99th percentile distance (from the histogram)."""
+        threshold = 0.99 * self.pairs
+        seen = 0
+        for hops in sorted(self.histogram):
+            seen += self.histogram[hops]
+            if seen >= threshold:
+                return hops
+        return self.diameter
+
+
+def _collect(
+    sources: Sequence[str],
+    all_servers: Sequence[str],
+    dist_fn,
+    exact: bool,
+) -> DistanceStats:
+    histogram: Counter = Counter()
+    total = 0
+    pairs = 0
+    diameter = 0
+    server_set = set(all_servers)
+    for src in sources:
+        dist = dist_fn(src)
+        for dst in all_servers:
+            if dst == src:
+                continue
+            hops = dist.get(dst)
+            if hops is None:
+                raise ValueError(f"{dst!r} unreachable from {src!r}")
+            histogram[hops] += 1
+            total += hops
+            pairs += 1
+            if hops > diameter:
+                diameter = hops
+    return DistanceStats(
+        diameter=diameter,
+        mean=total / pairs if pairs else 0.0,
+        histogram=dict(sorted(histogram.items())),
+        pairs=pairs,
+        exact=exact,
+    )
+
+
+def link_hop_stats(
+    net: Network, sample_sources: Optional[int] = None, seed: int = 0
+) -> DistanceStats:
+    """Pairwise server distances in link hops.
+
+    Exact (all sources) when ``sample_sources`` is None; otherwise one BFS
+    per sampled source — diameter becomes a lower bound, means stay
+    unbiased.
+    """
+    servers = net.servers
+    sources = _pick_sources(servers, sample_sources, seed)
+    return _collect(
+        sources,
+        servers,
+        lambda src: bfs_distances(net, src),
+        exact=sample_sources is None or sample_sources >= len(servers),
+    )
+
+
+def server_hop_stats(
+    net: Network, sample_sources: Optional[int] = None, seed: int = 0
+) -> DistanceStats:
+    """Pairwise server distances in logical server hops."""
+    adjacency = logical_server_adjacency(net)
+    servers = net.servers
+    sources = _pick_sources(servers, sample_sources, seed)
+    return _collect(
+        sources,
+        servers,
+        lambda src: _bfs_over(adjacency, src),
+        exact=sample_sources is None or sample_sources >= len(servers),
+    )
+
+
+def _pick_sources(
+    servers: Sequence[str], sample: Optional[int], seed: int
+) -> Sequence[str]:
+    if sample is None or sample >= len(servers):
+        return servers
+    return random.Random(seed).sample(list(servers), sample)
+
+
+def server_diameter(net: Network) -> int:
+    """Exact logical server-hop diameter."""
+    return server_hop_stats(net).diameter
+
+
+def link_diameter(net: Network) -> int:
+    """Exact link-hop diameter over server pairs."""
+    return link_hop_stats(net).diameter

@@ -1,0 +1,152 @@
+"""Physical layout and cabling model (ablation E4).
+
+The CAPEX model in :mod:`repro.metrics.cost` prices every cable equally;
+real deployments pay by *length*, and cable length is a layout question:
+servers live in racks, racks in rows, and a link between two nodes runs
+along the aisles (Manhattan distance through the overhead tray).  This
+module adds that physical dimension:
+
+* servers are assigned to racks **in address order**, so structurally
+  adjacent servers (an ABCCC crossbar, a BCube level-0 group) share a
+  rack — the placement a competent deployment would use;
+* each switch is placed in the rack that minimises its total cable run
+  (the median rack of its neighbours — optimal for Manhattan distance
+  along a row-major layout);
+* per-link length = intra-rack constant if both ends share a rack, else
+  tray height + Manhattan run between rack positions.
+
+The E4 experiment uses this to compare *length-priced* cabling CAPEX
+across topologies — where server-centric designs shine (most links stay
+inside or near a rack) and switch-centric cores pay for long home runs.
+"""
+
+from __future__ import annotations
+
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.graph import Network
+from repro.topology.node import NodeKind
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Machine-room geometry and cable pricing."""
+
+    rack_capacity: int = 40  # servers per rack
+    racks_per_row: int = 10
+    rack_pitch: float = 0.8  # metres between adjacent racks in a row
+    row_pitch: float = 3.0  # metres between rows (aisle)
+    intra_rack_length: float = 2.0  # metres for a same-rack patch cable
+    tray_overhead: float = 4.0  # up-and-down to the overhead tray
+    price_per_metre: float = 1.5
+    connector_price: float = 4.0  # per cable, both ends
+
+    def __post_init__(self) -> None:
+        if self.rack_capacity < 1 or self.racks_per_row < 1:
+            raise ValueError("rack_capacity and racks_per_row must be >= 1")
+
+    def rack_position(self, rack: int) -> Tuple[float, float]:
+        """(x, y) of a rack in metres, row-major placement."""
+        row, col = divmod(rack, self.racks_per_row)
+        return (col * self.rack_pitch, row * self.row_pitch)
+
+    def rack_distance(self, rack_a: int, rack_b: int) -> float:
+        ax, ay = self.rack_position(rack_a)
+        bx, by = self.rack_position(rack_b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def cable_length(self, rack_a: int, rack_b: int) -> float:
+        if rack_a == rack_b:
+            return self.intra_rack_length
+        return self.tray_overhead + self.rack_distance(rack_a, rack_b)
+
+    def cable_price(self, length: float) -> float:
+        return self.connector_price + length * self.price_per_metre
+
+
+@dataclass(frozen=True)
+class CablePlan:
+    """The cabling bill of one topology under one layout."""
+
+    racks_used: int
+    lengths: Tuple[float, ...]
+    intra_rack_cables: int
+
+    @property
+    def num_cables(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def total_length(self) -> float:
+        return sum(self.lengths)
+
+    @property
+    def mean_length(self) -> float:
+        return statistics.fmean(self.lengths) if self.lengths else 0.0
+
+    @property
+    def max_length(self) -> float:
+        return max(self.lengths) if self.lengths else 0.0
+
+    @property
+    def intra_rack_fraction(self) -> float:
+        if not self.lengths:
+            return 0.0
+        return self.intra_rack_cables / len(self.lengths)
+
+    def total_price(self, config: LayoutConfig) -> float:
+        return sum(config.cable_price(length) for length in self.lengths)
+
+
+def assign_racks(net: Network, config: LayoutConfig) -> Dict[str, int]:
+    """Rack id per node.
+
+    Servers fill racks in insertion (address) order; each switch goes to
+    the median rack of its server-side neighbours (recursively resolved
+    for switches whose neighbours are switches, as in a fat-tree core,
+    by a second pass over already-placed neighbours).
+    """
+    racks: Dict[str, int] = {}
+    for index, server in enumerate(net.servers):
+        racks[server] = index // config.rack_capacity
+
+    unplaced = [n.name for n in net.nodes() if n.kind is NodeKind.SWITCH]
+    # Iterate until every switch has a rack; each pass places switches
+    # with at least one placed neighbour, so termination is guaranteed on
+    # connected networks.
+    guard = 0
+    while unplaced:
+        guard += 1
+        if guard > len(net) + 2:
+            raise ValueError("cannot place switches: disconnected network?")
+        still: List[str] = []
+        for switch in unplaced:
+            neighbour_racks = sorted(
+                racks[v] for v in net.neighbors(switch) if v in racks
+            )
+            if not neighbour_racks:
+                still.append(switch)
+                continue
+            racks[switch] = neighbour_racks[len(neighbour_racks) // 2]
+        unplaced = still
+    return racks
+
+
+def cable_plan(net: Network, config: Optional[LayoutConfig] = None) -> CablePlan:
+    """Compute the full cabling bill for a built network."""
+    config = config or LayoutConfig()
+    racks = assign_racks(net, config)
+    lengths: List[float] = []
+    intra = 0
+    for link in net.links():
+        rack_u, rack_v = racks[link.u], racks[link.v]
+        if rack_u == rack_v:
+            intra += 1
+        lengths.append(config.cable_length(rack_u, rack_v))
+    used = len(set(racks.values()))
+    return CablePlan(
+        racks_used=used, lengths=tuple(lengths), intra_rack_cables=intra
+    )

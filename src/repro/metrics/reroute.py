@@ -1,0 +1,124 @@
+"""Reroute impact: what a failure does to *live traffic*.
+
+Connection ratio (F8) asks whether pairs can still talk; operators also
+ask what happens to the flows that were already running: how many had to
+move to a different path (route churn — each move risks packet loss and
+reordering), how many lost connectivity outright, and what the failure
+did to their max-min rates.  This module computes exactly that for any
+topology, by routing the same flow set before and after a failure
+scenario with the topology's own router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.metrics.connectivity import FailureScenario, apply_failures
+from repro.routing.base import Route, RoutingError
+from repro.sim.flow import max_min_allocation
+from repro.sim.traffic import Flow
+from repro.topology.graph import Network
+
+
+@dataclass(frozen=True)
+class RerouteImpact:
+    """Before/after accounting for one failure scenario."""
+
+    total_flows: int
+    #: flows whose endpoints died with the failure.
+    endpoint_lost: int
+    #: surviving flows with no path at all in the alive network.
+    disconnected: int
+    #: surviving, connected flows whose route had to change.
+    rerouted: int
+    #: surviving, connected flows keeping their exact old route.
+    unchanged: int
+    aggregate_before: float
+    aggregate_after: float
+    mean_stretch_rerouted: float  # new length / old length over moved flows
+
+    @property
+    def survivors(self) -> int:
+        return self.rerouted + self.unchanged
+
+    @property
+    def churn_ratio(self) -> float:
+        """Fraction of surviving connected flows that had to move."""
+        if self.survivors == 0:
+            return 0.0
+        return self.rerouted / self.survivors
+
+    @property
+    def throughput_retention(self) -> float:
+        """Aggregate max-min throughput after / before."""
+        if self.aggregate_before == 0:
+            return 0.0
+        return self.aggregate_after / self.aggregate_before
+
+
+def reroute_impact(
+    net: Network,
+    flows: Sequence[Flow],
+    router: Callable[[Network, str, str], Route],
+    scenario: FailureScenario,
+) -> RerouteImpact:
+    """Route ``flows`` before and after ``scenario`` and diff the outcome.
+
+    ``router`` is called as ``router(network, src, dst)`` against the
+    *relevant* network (original, then alive subgraph), so both
+    address-based routers (which ignore the graph argument) and
+    graph-search routers behave correctly; an address-based router that
+    returns a route through dead equipment counts as *rerouted* only if a
+    valid alternative is found by the same router — otherwise the flow is
+    disconnected from its point of view.
+    """
+    before_routes: Dict[str, Route] = {}
+    for flow in flows:
+        before_routes[flow.flow_id] = router(net, flow.src, flow.dst)
+    before_alloc = max_min_allocation(net, flows, before_routes)
+
+    alive = apply_failures(net, scenario)
+    endpoint_lost = disconnected = rerouted = unchanged = 0
+    stretches = []
+    after_flows = []
+    after_routes: Dict[str, Route] = {}
+    for flow in flows:
+        if flow.src not in alive or flow.dst not in alive:
+            endpoint_lost += 1
+            continue
+        old = before_routes[flow.flow_id]
+        if old.is_valid(alive):
+            unchanged += 1
+            after_flows.append(flow)
+            after_routes[flow.flow_id] = old
+            continue
+        try:
+            new = router(alive, flow.src, flow.dst)
+            if not new.is_valid(alive):
+                raise RoutingError("router returned a route through failures")
+        except RoutingError:
+            disconnected += 1
+            continue
+        rerouted += 1
+        stretches.append(new.link_hops / max(old.link_hops, 1))
+        after_flows.append(flow)
+        after_routes[flow.flow_id] = new
+
+    after_alloc = (
+        max_min_allocation(alive, after_flows, after_routes)
+        if after_flows
+        else None
+    )
+    return RerouteImpact(
+        total_flows=len(flows),
+        endpoint_lost=endpoint_lost,
+        disconnected=disconnected,
+        rerouted=rerouted,
+        unchanged=unchanged,
+        aggregate_before=before_alloc.aggregate_throughput,
+        aggregate_after=after_alloc.aggregate_throughput if after_alloc else 0.0,
+        mean_stretch_rerouted=(
+            sum(stretches) / len(stretches) if stretches else 1.0
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Forwarding-state accounting (ablation E1).
+
+A deployment of ABCCC (or BCube) routes *algorithmically*: every server
+computes next hops from addresses in O(k + c) time with O(k) state (its
+own address and the parameters).  A generic deployment of the same graph
+would install shortest-path forwarding tables instead: O(N) entries per
+node.  This module quantifies that gap — the state-cost argument for
+structured addressing that the server-centric literature makes in prose —
+so the E1 experiment can print it as numbers.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.routing.table import ForwardingTable
+from repro.topology.graph import Network
+
+#: rough per-entry cost of a forwarding table row (destination id +
+#: next-hop id), used only to express totals in bytes.
+BYTES_PER_ENTRY = 8
+
+
+@dataclass(frozen=True)
+class StateStats:
+    """Forwarding-state footprint of one routing scheme on one network."""
+
+    scheme: str
+    nodes: int
+    total_entries: int
+    mean_entries: float
+    max_entries: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_entries * BYTES_PER_ENTRY
+
+    @property
+    def mean_bytes(self) -> float:
+        return self.mean_entries * BYTES_PER_ENTRY
+
+
+def table_state(
+    net: Network, destinations: Optional[Sequence[str]] = None
+) -> StateStats:
+    """Footprint of classic per-destination shortest-path tables."""
+    table = ForwardingTable.from_shortest_paths(net, destinations)
+    per_node: Dict[str, int] = {}
+    for node, _, _ in table.entries():
+        per_node[node] = per_node.get(node, 0) + 1
+    counts = [per_node.get(name, 0) for name in net.node_names()]
+    return StateStats(
+        scheme="tables",
+        nodes=len(net),
+        total_entries=table.size,
+        mean_entries=statistics.fmean(counts) if counts else 0.0,
+        max_entries=max(counts) if counts else 0,
+    )
+
+
+def algorithmic_state(net: Network, address_digits: int) -> StateStats:
+    """Footprint of address-based (algorithmic) routing.
+
+    Every node stores its own address (``address_digits`` words) plus the
+    global parameters — a constant, independent of N.  We count one
+    "entry" per address digit so the two schemes are in the same unit.
+    """
+    per_node = address_digits
+    nodes = len(net)
+    return StateStats(
+        scheme="algorithmic",
+        nodes=nodes,
+        total_entries=per_node * nodes,
+        mean_entries=float(per_node),
+        max_entries=per_node,
+    )
+
+
+def state_ratio(tables: StateStats, algorithmic: StateStats) -> float:
+    """How many times more state the table scheme needs per node."""
+    if algorithmic.mean_entries == 0:
+        return float("inf")
+    return tables.mean_entries / algorithmic.mean_entries

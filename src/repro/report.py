@@ -1,0 +1,98 @@
+"""One-stop topology reports: everything an evaluator wants on one page.
+
+``topology_report(spec)`` combines the closed-form properties, a build
+with invariant validation, measured distance statistics, CAPEX, and (for
+ABCCC) the expected-route-length closed form and conformance check into
+a single text report — the ``python -m repro report`` command.
+
+Measurement cost is bounded: distance statistics sample sources when the
+instance is large, and measurements are skipped entirely above
+``max_measure_nodes``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.metrics.cost import PriceBook, capex
+from repro.metrics.distance import link_hop_stats
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import find_problems
+
+
+def topology_report(
+    spec: TopologySpec,
+    max_measure_nodes: int = 2000,
+    sample_sources: int = 32,
+    prices: Optional[PriceBook] = None,
+) -> str:
+    """Build, measure and describe one topology instance."""
+    out = io.StringIO()
+    out.write(f"{'=' * 60}\n{spec.label}\n{'=' * 60}\n")
+
+    out.write("closed-form properties:\n")
+    out.write(f"  servers        : {spec.num_servers}\n")
+    out.write(f"  server ports   : {spec.server_ports}\n")
+    out.write(f"  switches       : {spec.num_switches}")
+    inventory = spec.switch_inventory()
+    if inventory:
+        detail = ", ".join(f"{count}x{ports}p" for ports, count in sorted(inventory.items()))
+        out.write(f" ({detail})")
+    out.write("\n")
+    out.write(f"  links          : {spec.num_links}\n")
+    out.write(
+        f"  diameter       : {spec.diameter_server_hops} server hops / "
+        f"{spec.diameter_link_hops} link hops\n"
+    )
+    if spec.bisection_links is not None:
+        out.write(
+            f"  bisection      : {spec.bisection_links:g} links "
+            f"({spec.bisection_links / spec.num_servers:.3f} per server)\n"
+        )
+
+    if spec.kind == "abccc":
+        from repro.core import properties
+
+        params = spec.abccc  # type: ignore[attr-defined]
+        out.write(
+            f"  crossbar size  : {params.crossbar_size} "
+            f"(s = {params.s} NIC ports)\n"
+        )
+        out.write(
+            f"  expected route : {properties.expected_server_hops(params):.3f} "
+            f"server hops (uniform pairs, exact)\n"
+        )
+
+    breakdown = capex(spec, prices)
+    out.write(
+        f"  CAPEX          : {breakdown.total:,.0f} total, "
+        f"{breakdown.per_server:,.2f} per server\n"
+    )
+
+    total_nodes = spec.num_servers + spec.num_switches
+    if total_nodes > max_measure_nodes:
+        out.write(f"measurements skipped ({total_nodes} nodes > {max_measure_nodes})\n")
+        return out.getvalue()
+
+    net = spec.build()
+    problems = find_problems(net, spec.link_policy())
+    out.write("built instance:\n")
+    out.write(f"  invariants     : {'OK' if not problems else '; '.join(problems)}\n")
+
+    if spec.kind == "abccc":
+        from repro.core.conformance import conformance_problems
+
+        issues = conformance_problems(net, spec.abccc)  # type: ignore[attr-defined]
+        out.write(f"  conformance    : {'OK' if not issues else issues[0]}\n")
+
+    stats = link_hop_stats(
+        net,
+        sample_sources=sample_sources if net.num_servers > sample_sources else None,
+    )
+    exactness = "exact" if stats.exact else f"{sample_sources}-source sample"
+    out.write(f"  distances ({exactness}):\n")
+    out.write(f"    diameter     : {stats.diameter} link hops\n")
+    out.write(f"    mean         : {stats.mean:.3f} link hops\n")
+    out.write(f"    p99          : {stats.p99} link hops\n")
+    return out.getvalue()

@@ -1,0 +1,151 @@
+"""Breadth-first shortest-path primitives.
+
+Hand-rolled BFS over the :class:`~repro.topology.graph.Network` adjacency
+sets — measured several times faster than converting to networkx for the
+all-pairs sweeps the metrics module performs, and free of the conversion
+cost in tight benchmark loops.  Weighted variants are not needed: every
+topology here has unit-length links.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+
+
+def bfs_distances(
+    net: Network,
+    source: str,
+    targets: Optional[Set[str]] = None,
+    avoid: Optional[Set[str]] = None,
+) -> Dict[str, int]:
+    """Link-hop distances from ``source`` to every reachable node.
+
+    Args:
+        targets: if given, the search stops once all targets are settled
+            (the returned dict may then contain extra settled nodes).
+        avoid: nodes that may not be traversed (``source`` is exempt).
+    """
+    if source not in net:
+        raise RoutingError(f"unknown source {source!r}")
+    blocked = avoid or frozenset()
+    dist = {source: 0}
+    remaining = set(targets) - {source} if targets is not None else None
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in net.neighbors(u):
+            if v in dist or v in blocked:
+                continue
+            dist[v] = du + 1
+            if remaining is not None:
+                remaining.discard(v)
+                if not remaining:
+                    return dist
+            queue.append(v)
+    return dist
+
+
+def bfs_path(
+    net: Network,
+    source: str,
+    destination: str,
+    avoid: Optional[Set[str]] = None,
+) -> Route:
+    """A shortest route between two nodes; raises if unreachable."""
+    if source not in net:
+        raise RoutingError(f"unknown source {source!r}")
+    if destination not in net:
+        raise RoutingError(f"unknown destination {destination!r}")
+    if source == destination:
+        return Route.of([source])
+    blocked = avoid or frozenset()
+    if destination in blocked:
+        raise RoutingError(f"destination {destination!r} is blocked")
+    parent: Dict[str, str] = {source: source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in net.neighbors(u):
+            if v in parent or v in blocked:
+                continue
+            parent[v] = u
+            if v == destination:
+                return _walk_back(parent, source, destination)
+            queue.append(v)
+    raise RoutingError(f"{destination!r} unreachable from {source!r}")
+
+
+def _walk_back(parent: Dict[str, str], source: str, destination: str) -> Route:
+    nodes = [destination]
+    while nodes[-1] != source:
+        nodes.append(parent[nodes[-1]])
+    nodes.reverse()
+    return Route.of(nodes)
+
+
+def shortest_distance(net: Network, source: str, destination: str) -> int:
+    """Link-hop distance between two nodes; raises if unreachable."""
+    dist = bfs_distances(net, source, targets={destination})
+    try:
+        return dist[destination]
+    except KeyError:
+        raise RoutingError(f"{destination!r} unreachable from {source!r}") from None
+
+
+def eccentricity(net: Network, source: str, over: Optional[Sequence[str]] = None) -> int:
+    """Max distance from ``source`` to the nodes in ``over`` (default: all)."""
+    dist = bfs_distances(net, source)
+    if over is None:
+        if len(dist) != len(net):
+            raise RoutingError("network is disconnected; eccentricity undefined")
+        return max(dist.values())
+    try:
+        return max(dist[t] for t in over)
+    except KeyError as exc:
+        raise RoutingError(f"node {exc.args[0]!r} unreachable from {source!r}") from None
+
+
+def k_shortest_paths(net: Network, source: str, destination: str, k: int) -> List[Route]:
+    """Up to ``k`` shortest simple paths (Yen via networkx).
+
+    Intended for small instances and tests; the conversion dominates for
+    large networks.
+    """
+    import networkx as nx
+
+    graph = net.to_networkx()
+    paths: List[Route] = []
+    try:
+        generator = nx.shortest_simple_paths(graph, source, destination)
+        for path in itertools.islice(generator, k):
+            paths.append(Route.of(path))
+    except nx.NetworkXNoPath:
+        pass
+    return paths
+
+
+def all_pairs_server_distances(
+    net: Network, servers: Optional[Sequence[str]] = None
+) -> Iterator[Tuple[str, str, int]]:
+    """Yield ``(src, dst, distance)`` over ordered server pairs.
+
+    Runs one BFS per source server — O(S * (V + E)); fine for the built
+    instance sizes used by tests and experiments (a few thousand nodes).
+    """
+    servers = list(servers) if servers is not None else net.servers
+    target_set = set(servers)
+    for src in servers:
+        dist = bfs_distances(net, src, targets=target_set)
+        for dst in servers:
+            if dst == src:
+                continue
+            try:
+                yield src, dst, dist[dst]
+            except KeyError:
+                raise RoutingError(f"{dst!r} unreachable from {src!r}") from None

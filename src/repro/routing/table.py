@@ -1,0 +1,119 @@
+"""Static forwarding tables and table-driven forwarding.
+
+The simulators forward packets hop by hop; this module provides the
+forwarding state a real deployment would install: per-node next-hop maps
+toward each destination server.  Tables are built from BFS trees (shortest
+paths) or from an arbitrary set of precomputed routes (e.g. ABCCC
+digit-correction routes), so the packet simulator can exercise the exact
+paths the topology-native routing algorithm produces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.routing.base import Route, RoutingError
+from repro.topology.graph import Network
+
+
+class ForwardingTable:
+    """``table[node][destination] -> next hop`` forwarding state."""
+
+    def __init__(self) -> None:
+        self._next: Dict[str, Dict[str, str]] = {}
+
+    def set_entry(self, node: str, destination: str, next_hop: str) -> None:
+        self._next.setdefault(node, {})[destination] = next_hop
+
+    def next_hop(self, node: str, destination: str) -> str:
+        try:
+            return self._next[node][destination]
+        except KeyError:
+            raise RoutingError(
+                f"no forwarding entry at {node!r} for destination {destination!r}"
+            ) from None
+
+    def has_entry(self, node: str, destination: str) -> bool:
+        return destination in self._next.get(node, {})
+
+    def entries(self) -> Iterable[Tuple[str, str, str]]:
+        """Yield ``(node, destination, next_hop)`` triples."""
+        for node, table in self._next.items():
+            for destination, next_hop in table.items():
+                yield node, destination, next_hop
+
+    @property
+    def size(self) -> int:
+        """Total number of installed entries (a state-cost metric)."""
+        return sum(len(t) for t in self._next.values())
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_shortest_paths(
+        cls, net: Network, destinations: Optional[Iterable[str]] = None
+    ) -> "ForwardingTable":
+        """Install BFS-tree entries toward each destination server."""
+        table = cls()
+        targets = list(destinations) if destinations is not None else net.servers
+        for destination in targets:
+            # BFS outward from the destination: each settled node's parent
+            # (toward the destination) is its next hop.
+            parent: Dict[str, str] = {destination: destination}
+            queue = deque([destination])
+            while queue:
+                u = queue.popleft()
+                for v in net.neighbors(u):
+                    if v in parent:
+                        continue
+                    parent[v] = u
+                    table.set_entry(v, destination, u)
+                    queue.append(v)
+        return table
+
+    @classmethod
+    def from_routes(cls, routes: Iterable[Route]) -> "ForwardingTable":
+        """Install the hops of explicit routes.
+
+        Later routes overwrite earlier entries on conflicting
+        ``(node, destination)`` pairs — callers providing deterministic
+        per-destination routing (one route per source) never conflict
+        inconsistently in the topologies used here.
+        """
+        table = cls()
+        for route in routes:
+            destination = route.destination
+            for u, v in route.edges():
+                table.set_entry(u, destination, v)
+        return table
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def forward(
+        self, net: Network, source: str, destination: str, max_hops: Optional[int] = None
+    ) -> Route:
+        """Walk the table from ``source`` to ``destination``.
+
+        Raises :class:`RoutingError` on a missing entry, a dead link, or a
+        forwarding loop (detected by ``max_hops``, default ``2 * |V|``).
+        """
+        limit = max_hops if max_hops is not None else 2 * len(net)
+        nodes = [source]
+        current = source
+        while current != destination:
+            if len(nodes) - 1 >= limit:
+                raise RoutingError(
+                    f"forwarding loop: exceeded {limit} hops from "
+                    f"{source!r} toward {destination!r}"
+                )
+            nxt = self.next_hop(current, destination)
+            if not net.has_link(current, nxt):
+                raise RoutingError(
+                    f"stale entry at {current!r}: link to {nxt!r} is down"
+                )
+            nodes.append(nxt)
+            current = nxt
+        return Route.of(nodes)

@@ -1,0 +1,64 @@
+"""Simulators: discrete events, packet level, flow level, traffic patterns."""
+
+from repro.sim.churn import ChurnConfig, ChurnResult, simulate_churn
+from repro.sim.events import EventHandle, SimulationError, Simulator
+from repro.sim.fairness import FairAllocation, alpha_fair_allocation
+from repro.sim.fct import FctResult, shuffle_completion_time, simulate_fct
+from repro.sim.flow import FlowAllocation, max_min_allocation, route_all
+from repro.sim.jobs import (
+    Job,
+    JobResult,
+    JobSimResult,
+    disseminate_job,
+    incast_job,
+    shuffle_job,
+    simulate_jobs,
+)
+from repro.sim.packet import PacketSimConfig, PacketSimResult, PacketSimulator
+from repro.sim.results import ResultTable
+from repro.sim.traffic import (
+    PATTERNS,
+    Flow,
+    all_to_all_traffic,
+    hotspot_traffic,
+    one_to_all_traffic,
+    permutation_traffic,
+    shuffle_traffic,
+    uniform_random_traffic,
+)
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnResult",
+    "EventHandle",
+    "simulate_churn",
+    "FairAllocation",
+    "FctResult",
+    "Flow",
+    "FlowAllocation",
+    "Job",
+    "JobResult",
+    "JobSimResult",
+    "alpha_fair_allocation",
+    "disseminate_job",
+    "incast_job",
+    "shuffle_job",
+    "simulate_jobs",
+    "PATTERNS",
+    "PacketSimConfig",
+    "PacketSimResult",
+    "PacketSimulator",
+    "ResultTable",
+    "SimulationError",
+    "Simulator",
+    "all_to_all_traffic",
+    "hotspot_traffic",
+    "max_min_allocation",
+    "one_to_all_traffic",
+    "permutation_traffic",
+    "route_all",
+    "shuffle_completion_time",
+    "shuffle_traffic",
+    "simulate_fct",
+    "uniform_random_traffic",
+]

@@ -1,0 +1,146 @@
+"""Churn simulation: availability under continuous failure and repair.
+
+F8/E7 measure static failure snapshots; operators live in a *process*:
+components fail at some rate and take time to repair.  This module runs
+that process on the discrete-event engine:
+
+* every server and switch independently alternates UP -> (fail) -> DOWN
+  -> (repair) -> UP with exponential lifetimes/repair times;
+* at a fixed sampling cadence the simulator checks a panel of server
+  pairs for connectivity on the currently-alive subgraph;
+* the output is the *pair availability* (fraction of sampled checks
+  where the pair was connected and both endpoints alive) plus component
+  uptime accounting — the SLO-shaped number a topology comparison should
+  end with.
+
+Deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.routing.shortest import bfs_distances
+from repro.sim.events import Simulator
+from repro.topology.graph import Network
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Failure/repair process parameters (times in abstract hours)."""
+
+    server_mtbf: float = 1000.0
+    server_mttr: float = 24.0
+    switch_mtbf: float = 4000.0
+    switch_mttr: float = 12.0
+    sample_interval: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in ("server_mtbf", "server_mttr", "switch_mtbf", "switch_mttr", "sample_interval"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Outcome of one churn run."""
+
+    duration: float
+    samples: int
+    pair_checks: int
+    pair_connected: int
+    endpoint_down_checks: int
+    mean_alive_fraction: float
+
+    @property
+    def pair_availability(self) -> float:
+        """Connected checks / all checks (endpoint-down counts as outage)."""
+        if self.pair_checks == 0:
+            return 0.0
+        return self.pair_connected / self.pair_checks
+
+    @property
+    def path_availability(self) -> float:
+        """Connectivity given both endpoints alive (the network's share
+        of the outage budget, excluding endpoint hardware itself)."""
+        live_checks = self.pair_checks - self.endpoint_down_checks
+        if live_checks == 0:
+            return 0.0
+        return self.pair_connected / live_checks
+
+
+def simulate_churn(
+    net: Network,
+    duration: float,
+    config: Optional[ChurnConfig] = None,
+    monitored_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    num_pairs: int = 20,
+    seed: int = 0,
+) -> ChurnResult:
+    """Run the failure/repair process and sample pair connectivity."""
+    config = config or ChurnConfig()
+    rng = random.Random(seed)
+    if monitored_pairs is None:
+        servers = list(net.servers)
+        if len(servers) < 2:
+            raise ValueError("need at least two servers to monitor")
+        monitored_pairs = [tuple(rng.sample(servers, 2)) for _ in range(num_pairs)]
+
+    sim = Simulator()
+    down: Set[str] = set()
+    alive_fraction_samples: List[float] = []
+    stats = {"samples": 0, "checks": 0, "connected": 0, "endpoint_down": 0}
+    total_components = len(net)
+
+    def mtbf_mttr(name: str) -> Tuple[float, float]:
+        if net.node(name).is_server:
+            return config.server_mtbf, config.server_mttr
+        return config.switch_mtbf, config.switch_mttr
+
+    def schedule_failure(name: str) -> None:
+        mtbf, _ = mtbf_mttr(name)
+        sim.schedule(rng.expovariate(1.0 / mtbf), lambda: fail(name))
+
+    def fail(name: str) -> None:
+        down.add(name)
+        _, mttr = mtbf_mttr(name)
+        sim.schedule(rng.expovariate(1.0 / mttr), lambda: repair(name))
+
+    def repair(name: str) -> None:
+        down.discard(name)
+        schedule_failure(name)
+
+    for name in net.node_names():
+        schedule_failure(name)
+
+    def sample() -> None:
+        stats["samples"] += 1
+        alive_fraction_samples.append(1.0 - len(down) / total_components)
+        alive = net.subgraph_without(dead_nodes=list(down)) if down else net
+        for src, dst in monitored_pairs:
+            stats["checks"] += 1
+            if src in down or dst in down:
+                stats["endpoint_down"] += 1
+                continue
+            if dst in bfs_distances(alive, src, targets={dst}):
+                stats["connected"] += 1
+        if sim.now + config.sample_interval <= duration:
+            sim.schedule(config.sample_interval, sample)
+
+    sim.schedule(config.sample_interval, sample)
+    sim.run(until=duration)
+
+    return ChurnResult(
+        duration=duration,
+        samples=stats["samples"],
+        pair_checks=stats["checks"],
+        pair_connected=stats["connected"],
+        endpoint_down_checks=stats["endpoint_down"],
+        mean_alive_fraction=(
+            sum(alive_fraction_samples) / len(alive_fraction_samples)
+            if alive_fraction_samples
+            else 1.0
+        ),
+    )

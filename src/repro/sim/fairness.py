@@ -1,0 +1,123 @@
+"""Alpha-fair rate allocation (network utility maximisation).
+
+Max-min fairness (:mod:`repro.sim.flow`) is one point on the fairness
+spectrum.  The standard family is *alpha-fairness* (Mo & Walrand 2000):
+maximise ``sum_f U_alpha(x_f)`` subject to link capacities, where
+
+* ``alpha = 0``   — maximise total throughput (may starve long flows);
+* ``alpha = 1``   — proportional fairness (``sum log x_f``, TCP-like);
+* ``alpha -> inf`` — max-min fairness.
+
+Implemented as a projected-gradient/dual decomposition: each link prices
+congestion, each flow picks the utility-optimal rate for the current
+price sum along its path, prices adjust toward feasibility.  For the
+modest instance sizes the experiments use, a few thousand damped
+iterations converge far below the tolerance the tests assert.
+
+Used to show the library's throughput conclusions are not an artefact of
+the max-min choice: tests verify the alpha = 8 allocation approaches the
+max-min one, and alpha = 1 reproduces the textbook triangle example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.routing.base import Route
+from repro.sim.traffic import Flow
+from repro.topology.graph import Network
+from repro.topology.node import link_key
+
+
+@dataclass(frozen=True)
+class FairAllocation:
+    """Outcome of the alpha-fair solver."""
+
+    alpha: float
+    rates: Dict[str, float]
+    iterations: int
+    max_violation: float  # worst relative link over-subscription
+
+    @property
+    def aggregate_throughput(self) -> float:
+        return sum(self.rates.values())
+
+    @property
+    def min_rate(self) -> float:
+        return min(self.rates.values()) if self.rates else 0.0
+
+    def utility(self) -> float:
+        """The achieved alpha-utility (for convergence diagnostics)."""
+        if self.alpha == 1.0:
+            return sum(math.log(max(r, 1e-12)) for r in self.rates.values())
+        a = self.alpha
+        return sum(r ** (1 - a) / (1 - a) for r in self.rates.values())
+
+
+def alpha_fair_allocation(
+    net: Network,
+    flows: Sequence[Flow],
+    routes: Dict[str, Route],
+    alpha: float = 1.0,
+    iterations: int = 4000,
+    step: float = 0.05,
+) -> FairAllocation:
+    """Solve the alpha-fair NUM problem by dual (price) iteration.
+
+    Args:
+        alpha: fairness parameter, ``alpha > 0`` (use
+            :func:`repro.sim.flow.max_min_allocation` for the
+            alpha -> inf limit and a plain LP for alpha = 0).
+
+    The demand function for utility ``x^(1-a)/(1-a)`` at price ``p`` is
+    ``x = p^(-1/a)``; prices follow the standard subgradient
+    ``p += step * (load - capacity) / capacity``, clipped at zero.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    flow_links: Dict[str, List[Tuple[str, str]]] = {}
+    capacities: Dict[Tuple[str, str], float] = {}
+    link_members: Dict[Tuple[str, str], List[str]] = {}
+    for flow in flows:
+        route = routes[flow.flow_id]
+        keys = [link_key(u, v) for u, v in route.edges()]
+        if not keys:
+            raise ValueError(f"flow {flow.flow_id} has a zero-hop route")
+        flow_links[flow.flow_id] = keys
+        for key in keys:
+            capacities.setdefault(key, net.link(*key).capacity)
+            link_members.setdefault(key, []).append(flow.flow_id)
+
+    # Initial prices: uniform, scaled so initial demands are ~feasible.
+    prices: Dict[Tuple[str, str], float] = {key: 1.0 for key in capacities}
+    rates: Dict[str, float] = {}
+    performed = 0
+    for performed in range(1, iterations + 1):
+        for flow_id, keys in flow_links.items():
+            total_price = sum(prices[key] for key in keys)
+            rates[flow_id] = max(total_price, 1e-9) ** (-1.0 / alpha)
+        for key, members in link_members.items():
+            load = sum(rates[f] for f in members)
+            capacity = capacities[key]
+            gradient = (load - capacity) / capacity
+            prices[key] = max(prices[key] + step * gradient, 1e-9)
+
+    max_violation = 0.0
+    for key, members in link_members.items():
+        load = sum(rates[f] for f in members)
+        max_violation = max(max_violation, (load - capacities[key]) / capacities[key])
+
+    # Project onto the feasible region: uniform scaling by the worst
+    # overload (preserves the fairness structure, guarantees feasibility).
+    if max_violation > 0:
+        scale = 1.0 / (1.0 + max_violation)
+        rates = {f: r * scale for f, r in rates.items()}
+
+    return FairAllocation(
+        alpha=alpha,
+        rates=rates,
+        iterations=performed,
+        max_violation=max_violation,
+    )

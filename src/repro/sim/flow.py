@@ -1,0 +1,179 @@
+"""Flow-level throughput: max-min fair allocation by progressive filling.
+
+Given a set of flows with fixed routes over capacitated links, the
+*max-min fair* allocation is the unique rate vector in which no flow can
+be raised without lowering an already-smaller flow.  Progressive filling
+computes it exactly: grow all unfrozen flows uniformly until some link
+saturates, freeze that link's flows at their current rate, repeat.
+
+This is the standard fluid model the DCN literature evaluates topology
+throughput with (per-flow rates under permutation traffic, aggregate
+throughput under all-to-all), and experiment F7 is built on it.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.routing.base import Route
+from repro.sim.traffic import Flow
+from repro.topology.graph import Network
+from repro.topology.node import link_key
+
+
+@dataclass(frozen=True)
+class FlowAllocation:
+    """The max-min fair outcome for one flow set."""
+
+    rates: Dict[str, float]  # flow_id -> rate (link-capacity units)
+    bottlenecks: Dict[str, Tuple[str, str]]  # flow_id -> saturating link
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.rates)
+
+    @property
+    def aggregate_throughput(self) -> float:
+        return sum(self.rates.values())
+
+    @property
+    def min_rate(self) -> float:
+        return min(self.rates.values()) if self.rates else 0.0
+
+    @property
+    def max_rate(self) -> float:
+        return max(self.rates.values()) if self.rates else 0.0
+
+    @property
+    def mean_rate(self) -> float:
+        return statistics.fmean(self.rates.values()) if self.rates else 0.0
+
+    @property
+    def jain_fairness(self) -> float:
+        """Jain's fairness index: 1.0 = perfectly equal rates."""
+        values = list(self.rates.values())
+        if not values:
+            return 0.0
+        square_of_sum = sum(values) ** 2
+        sum_of_squares = sum(v * v for v in values)
+        # Mathematically <= 1; clamp the last-ulp float excess.
+        return min(square_of_sum / (len(values) * sum_of_squares), 1.0)
+
+
+def max_min_allocation(
+    net: Network,
+    flows: Sequence[Flow],
+    routes: Dict[str, Route],
+) -> FlowAllocation:
+    """Progressive-filling max-min fair rates.
+
+    Args:
+        routes: flow_id -> route; zero-hop routes (src == dst paths) are
+            rejected by :class:`Flow` already, but a route may legally
+            revisit a link (fault detours) — each crossing consumes
+            capacity.
+
+    Raises:
+        KeyError: if a flow has no route.
+        ValueError: if a route does not connect the flow's endpoints.
+    """
+    # flow -> list of link keys (with multiplicity); link -> flows.
+    flow_links: Dict[str, List[Tuple[str, str]]] = {}
+    link_flows: Dict[Tuple[str, str], List[str]] = {}
+    capacities: Dict[Tuple[str, str], float] = {}
+    for flow in flows:
+        route = routes[flow.flow_id]
+        if route.source != flow.src or route.destination != flow.dst:
+            raise ValueError(
+                f"route for {flow.flow_id} connects {route.source}->{route.destination}, "
+                f"flow wants {flow.src}->{flow.dst}"
+            )
+        keys = [link_key(u, v) for u, v in route.edges()]
+        flow_links[flow.flow_id] = keys
+        for key in keys:
+            link_flows.setdefault(key, []).append(flow.flow_id)
+            if key not in capacities:
+                capacities[key] = net.link(*key).capacity
+
+    rates: Dict[str, float] = {}
+    bottlenecks: Dict[str, Tuple[str, str]] = {}
+    unfrozen: Set[str] = set(flow_links)
+    residual = dict(capacities)
+    # Count of *unfrozen crossings* per link (a flow crossing twice counts
+    # twice — it consumes capacity twice).
+    crossings: Dict[Tuple[str, str], int] = {
+        key: len(ids) for key, ids in link_flows.items()
+    }
+    level = 0.0  # the common rate all unfrozen flows have reached
+
+    while unfrozen:
+        # The next link to saturate is the one with the smallest headroom
+        # per unfrozen crossing.
+        tightest: Optional[Tuple[str, str]] = None
+        increment = math.inf
+        for key, count in crossings.items():
+            if count <= 0:
+                continue
+            head = residual[key] / count
+            if head < increment:
+                increment = head
+                tightest = key
+        if tightest is None:
+            # No capacity constraint binds the remaining flows (cannot
+            # happen with positive-length routes, but guard anyway).
+            for flow_id in unfrozen:
+                rates[flow_id] = math.inf
+            break
+
+        level += increment
+        # Drain every link by its unfrozen crossings.
+        for key, count in crossings.items():
+            if count > 0:
+                residual[key] = max(residual[key] - increment * count, 0.0)
+        # Freeze all flows crossing any now-saturated link.
+        saturated = {key for key, r in residual.items() if r <= 1e-12 and crossings[key] > 0}
+        newly_frozen = {
+            flow_id
+            for key in saturated
+            for flow_id in link_flows[key]
+            if flow_id in unfrozen
+        }
+        for flow_id in newly_frozen:
+            rates[flow_id] = level
+            bottleneck = next(
+                key for key in flow_links[flow_id] if key in saturated
+            )
+            bottlenecks[flow_id] = bottleneck
+            for key in flow_links[flow_id]:
+                crossings[key] -= 1
+        unfrozen -= newly_frozen
+
+    return FlowAllocation(rates=rates, bottlenecks=bottlenecks)
+
+
+def route_all(
+    net: Network,
+    flows: Sequence[Flow],
+    router,
+) -> Dict[str, Route]:
+    """Produce a route per flow via ``router(net, src, dst)``.
+
+    ``router`` may also accept a ``flow_id`` keyword (ECMP hashing); it is
+    passed when the signature supports it.
+    """
+    import inspect
+
+    try:
+        wants_flow_id = "flow_id" in inspect.signature(router).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        wants_flow_id = False
+    routes: Dict[str, Route] = {}
+    for flow in flows:
+        if wants_flow_id:
+            routes[flow.flow_id] = router(net, flow.src, flow.dst, flow_id=flow.flow_id)
+        else:
+            routes[flow.flow_id] = router(net, flow.src, flow.dst)
+    return routes

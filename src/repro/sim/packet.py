@@ -1,0 +1,252 @@
+"""Packet-level network simulator (store-and-forward, FIFO, finite buffers).
+
+The synthetic stand-in for the authors' simulator: packets follow
+precomputed explicit routes; every directed link is a FIFO server with a
+serialisation time of ``packet_size / capacity``, a fixed propagation
+delay, and a bounded output queue (tail drop).  Deterministic for a given
+seed.
+
+Model simplifications, stated plainly: output-queued nodes (no switching
+contention beyond the output link), constant packet size, no
+retransmission — standard for topology-comparison studies, where relative
+latency/loss ordering between topologies under identical workloads is the
+quantity of interest (experiment F10).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.routing.base import Route
+from repro.sim.events import Simulator
+from repro.sim.traffic import Flow
+from repro.topology.graph import Network
+
+
+@dataclass(frozen=True)
+class PacketSimConfig:
+    """Knobs of the packet simulator (times in abstract units)."""
+
+    packet_size: float = 1.0  # volume units per packet
+    link_capacity: float = 1.0  # volume units per time unit (per link)
+    propagation_delay: float = 0.05  # per link traversal
+    queue_capacity: int = 16  # packets per directed link queue
+    switching_delay: float = 0.0  # per-node forwarding latency
+
+    def __post_init__(self) -> None:
+        if self.packet_size <= 0 or self.link_capacity <= 0:
+            raise ValueError("packet_size and link_capacity must be positive")
+        if self.propagation_delay < 0 or self.switching_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+    @property
+    def serialisation_time(self) -> float:
+        return self.packet_size / self.link_capacity
+
+
+@dataclass
+class _Packet:
+    flow_id: str
+    route: Tuple[str, ...]
+    hop: int  # index into route of the node the packet sits at
+    created: float
+    seq: int = 0  # per-flow sequence number (reordering accounting)
+
+
+@dataclass
+class _DirectedLink:
+    """FIFO output queue + serialiser for one direction of a link."""
+
+    queue_capacity: int
+    busy_until: float = 0.0
+    queued: int = 0
+    drops: int = 0
+
+
+@dataclass(frozen=True)
+class PacketSimResult:
+    """Aggregated outcome of one packet-simulation run."""
+
+    delivered: int
+    dropped: int
+    offered: int
+    latencies: Tuple[float, ...]
+    duration: float
+    #: per-directed-link drop counts, heaviest first.
+    drop_hotspots: Tuple[Tuple[Tuple[str, str], int], ...] = ()
+    #: deliveries whose sequence number was below an already-delivered
+    #: one of the same flow (multipath spraying causes these).
+    reordered: int = 0
+
+    @property
+    def reorder_ratio(self) -> float:
+        return self.reordered / self.delivered if self.delivered else 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.offered if self.offered else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return statistics.fmean(self.latencies) if self.latencies else 0.0
+
+    @property
+    def p99_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def throughput(self) -> float:
+        """Delivered packets per time unit."""
+        return self.delivered / self.duration if self.duration > 0 else 0.0
+
+
+class PacketSimulator:
+    """Run packet workloads over a network with explicit per-flow routes."""
+
+    def __init__(self, net: Network, config: Optional[PacketSimConfig] = None):
+        self._net = net
+        self._config = config or PacketSimConfig()
+        self._sim = Simulator()
+        self._links: Dict[Tuple[str, str], _DirectedLink] = {}
+        self._latencies: List[float] = []
+        self._delivered = 0
+        self._dropped = 0
+        self._offered = 0
+        self._reordered = 0
+        self._max_seq_delivered: Dict[str, int] = {}
+
+    def _directed(self, u: str, v: str) -> _DirectedLink:
+        key = (u, v)
+        link = self._links.get(key)
+        if link is None:
+            if not self._net.has_link(u, v):
+                raise ValueError(f"route crosses non-existent link {u} - {v}")
+            link = _DirectedLink(self._config.queue_capacity)
+            self._links[key] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # packet lifecycle
+    # ------------------------------------------------------------------
+    def _inject(self, packet: _Packet) -> None:
+        self._offered += 1
+        self._forward(packet)
+
+    def _forward(self, packet: _Packet) -> None:
+        """Transmit the packet from its current node to the next."""
+        cfg = self._config
+        u = packet.route[packet.hop]
+        v = packet.route[packet.hop + 1]
+        link = self._directed(u, v)
+        if link.queued >= link.queue_capacity:
+            self._dropped += 1
+            link.drops += 1
+            return
+        link.queued += 1
+        now = self._sim.now
+        start = max(now + cfg.switching_delay, link.busy_until)
+        done = start + cfg.serialisation_time
+        link.busy_until = done
+
+        def arrive() -> None:
+            link.queued -= 1
+            packet.hop += 1
+            if packet.hop == len(packet.route) - 1:
+                self._delivered += 1
+                self._latencies.append(self._sim.now - packet.created)
+                high = self._max_seq_delivered.get(packet.flow_id, -1)
+                if packet.seq < high:
+                    self._reordered += 1
+                else:
+                    self._max_seq_delivered[packet.flow_id] = packet.seq
+            else:
+                self._forward(packet)
+
+        self._sim.schedule_at(done + cfg.propagation_delay, arrive)
+
+    # ------------------------------------------------------------------
+    # workload execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        flows: Sequence[Flow],
+        routes: Dict[str, "Route | Sequence[Route]"],
+        packets_per_flow: int = 10,
+        mean_interarrival: float = 1.0,
+        seed: int = 0,
+        until: Optional[float] = None,
+        spray: str = "round_robin",
+    ) -> PacketSimResult:
+        """Inject a Poisson packet stream per flow and run to completion.
+
+        Args:
+            routes: one :class:`Route` per flow, **or a sequence of
+                routes** — multipath spraying: each packet takes one of
+                the flow's paths (per ``spray``: ``"round_robin"`` or
+                ``"random"``), the model behind per-packet load balancing
+                over ABCCC/BCube parallel paths.  The result's
+                ``reordered`` count quantifies the price.
+            packets_per_flow: packets each flow injects.
+            mean_interarrival: Poisson mean gap between a flow's packets —
+                lower values mean higher offered load.
+            until: optional simulation-time cutoff (in-flight packets past
+                the cutoff are neither delivered nor counted as dropped).
+        """
+        if spray not in ("round_robin", "random"):
+            raise ValueError(f"unknown spray policy {spray!r}")
+        rng = random.Random(seed)
+        for flow in flows:
+            entry = routes[flow.flow_id]
+            paths: List[Route] = (
+                [entry] if isinstance(entry, Route) else list(entry)
+            )
+            if not paths:
+                raise ValueError(f"flow {flow.flow_id} has no routes")
+            for route in paths:
+                if route.link_hops == 0:
+                    raise ValueError(f"flow {flow.flow_id} has a zero-hop route")
+            at = 0.0
+            for index in range(packets_per_flow):
+                at += rng.expovariate(1.0 / mean_interarrival)
+                if len(paths) == 1:
+                    route = paths[0]
+                elif spray == "round_robin":
+                    route = paths[index % len(paths)]
+                else:
+                    route = rng.choice(paths)
+                packet = _Packet(flow.flow_id, route.nodes, 0, at, seq=index)
+
+                def inject(p: _Packet = packet) -> None:
+                    p.created = self._sim.now
+                    self._inject(p)
+
+                self._sim.schedule_at(at, inject)
+        self._sim.run(until=until)
+        hotspots = tuple(
+            sorted(
+                (
+                    (key, link.drops)
+                    for key, link in self._links.items()
+                    if link.drops > 0
+                ),
+                key=lambda item: (-item[1], item[0]),
+            )
+        )
+        return PacketSimResult(
+            delivered=self._delivered,
+            dropped=self._dropped,
+            offered=self._offered,
+            latencies=tuple(self._latencies),
+            duration=self._sim.now,
+            drop_hotspots=hotspots,
+            reordered=self._reordered,
+        )

@@ -1,0 +1,105 @@
+"""Tabular result records: pretty text tables and CSV output.
+
+The experiment harness produces :class:`ResultTable` objects — ordered
+rows of named columns — printed in the paper's row/series style and
+written as CSV under ``results/`` for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """An ordered table of result rows."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unknown column names are rejected to catch typos."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; have {self.columns}")
+        self.rows.append(values)
+
+    def add_note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, precision: int = 3) -> str:
+        """Fixed-width text rendering, paper-table style."""
+        cells = [
+            [_format_cell(row.get(col), precision) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header = "  ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in cells:
+            out.write("  ".join(cell.rjust(w) for cell, w in zip(row, widths)) + "\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+    def print(self, precision: int = 3) -> None:
+        print(self.render(precision))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> str:
+        """Write the table as CSV; creates parent directories; returns path."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({col: row.get(col, "") for col in self.columns})
+        return path
+
+    @classmethod
+    def from_csv(cls, path: str, title: Optional[str] = None) -> "ResultTable":
+        """Load a table back (all values as strings)."""
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            columns = list(reader.fieldnames or [])
+            table = cls(title or os.path.basename(path), columns)
+            for row in reader:
+                table.add_row(**row)
+        return table

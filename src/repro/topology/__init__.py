@@ -1,0 +1,34 @@
+"""Network-graph substrate: typed nodes, port-budgeted links, validation.
+
+Public surface::
+
+    from repro.topology import Network, Node, Link, NodeKind
+    from repro.topology import TopologySpec, LinkPolicy, validate_network
+    from repro.topology import registry
+"""
+
+from repro.topology.graph import Network, NetworkError
+from repro.topology.node import Link, Node, NodeKind, link_key
+from repro.topology.spec import TopologySpec
+from repro.topology.validate import (
+    LinkPolicy,
+    ValidationError,
+    find_problems,
+    is_connected,
+    validate_network,
+)
+
+__all__ = [
+    "Link",
+    "LinkPolicy",
+    "Network",
+    "NetworkError",
+    "Node",
+    "NodeKind",
+    "TopologySpec",
+    "ValidationError",
+    "find_problems",
+    "is_connected",
+    "link_key",
+    "validate_network",
+]

@@ -1,0 +1,115 @@
+"""Typed node and link primitives for data-center network graphs.
+
+Every topology in this library is a graph whose vertices are either
+*servers* (hosts with a small, fixed number of NIC ports) or *switches*
+(commodity devices with ``ports`` ports).  Links are undirected, have unit
+capacity by default, and consume one port on each endpoint.
+
+Nodes are identified by their unique ``name`` string; the dataclasses here
+carry the static attributes a node is created with.  The mutable containers
+live in :mod:`repro.topology.graph`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class NodeKind(enum.Enum):
+    """Whether a node is a host or a switching element."""
+
+    SERVER = "server"
+    SWITCH = "switch"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Node:
+    """A vertex of a data-center network.
+
+    Attributes:
+        name: globally unique identifier (also the graph key).
+        kind: :class:`NodeKind.SERVER` or :class:`NodeKind.SWITCH`.
+        ports: how many physical ports the device has.  The network
+            enforces ``degree(node) <= ports``.
+        role: free-form sub-type, e.g. ``"crossbar"`` / ``"level"`` for
+            ABCCC switches or ``"edge"`` / ``"aggregation"`` / ``"core"``
+            for a fat-tree.  Empty string when the topology has a single
+            switch class.
+        address: the topology-specific structured address (any hashable),
+            e.g. an :class:`repro.core.address.ServerAddress`.  ``None``
+            for nodes without a structured address.
+    """
+
+    name: str
+    kind: NodeKind
+    ports: int
+    role: str = ""
+    address: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be a non-empty string")
+        if self.ports < 1:
+            raise ValueError(f"node {self.name!r} must have >= 1 port, got {self.ports}")
+
+    @property
+    def is_server(self) -> bool:
+        return self.kind is NodeKind.SERVER
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind is NodeKind.SWITCH
+
+
+def link_key(u: str, v: str) -> Tuple[str, str]:
+    """Canonical (sorted) key for the undirected link ``{u, v}``."""
+    if u == v:
+        raise ValueError(f"self-loop on {u!r} is not a valid link")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected physical link between two nodes.
+
+    Attributes:
+        u, v: endpoint names, stored in canonical (sorted) order.
+        capacity: bandwidth in abstract units (1.0 = one line-rate port).
+        length: cable-length weight used only by the cost model.
+    """
+
+    u: str
+    v: str
+    capacity: float = 1.0
+    length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u >= self.v:
+            raise ValueError("Link endpoints must be in canonical order; use Link.between()")
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.u}-{self.v} capacity must be positive")
+        if self.length <= 0:
+            raise ValueError(f"link {self.u}-{self.v} length must be positive")
+
+    @classmethod
+    def between(cls, u: str, v: str, capacity: float = 1.0, length: float = 1.0) -> "Link":
+        """Build a link with endpoints put in canonical order."""
+        a, b = link_key(u, v)
+        return cls(a, b, capacity=capacity, length=length)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.u, self.v)
+
+    def other(self, node: str) -> str:
+        """The endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise KeyError(f"{node!r} is not an endpoint of link {self.u}-{self.v}")

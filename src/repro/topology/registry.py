@@ -1,0 +1,68 @@
+"""Name-based topology registry.
+
+Maps the short kind string (``"abccc"``, ``"bcube"``, …) to its
+:class:`~repro.topology.spec.TopologySpec` subclass so the CLI and the
+experiment harness can instantiate topologies from plain dictionaries.
+
+Built-in topologies register themselves on import of
+:mod:`repro.baselines` / :mod:`repro.core`; users may register their own
+specs with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Type
+
+from repro.topology.spec import TopologySpec
+
+_REGISTRY: Dict[str, Type[TopologySpec]] = {}
+
+
+class UnknownTopologyError(KeyError):
+    """Raised when a kind string is not registered."""
+
+
+def register(spec_class: Type[TopologySpec]) -> Type[TopologySpec]:
+    """Register a spec class under its ``kind``; usable as a decorator.
+
+    Re-registering the *same* class is a no-op; registering a different
+    class under an existing kind raises ``ValueError`` to catch typos.
+    """
+    kind = spec_class.kind
+    if not kind:
+        raise ValueError(f"{spec_class.__name__} has an empty kind")
+    existing = _REGISTRY.get(kind)
+    if existing is not None and existing is not spec_class:
+        raise ValueError(
+            f"kind {kind!r} already registered to {existing.__name__}"
+        )
+    _REGISTRY[kind] = spec_class
+    return spec_class
+
+
+def available() -> List[str]:
+    """Sorted list of registered kind names (built-ins auto-imported)."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def spec_class(kind: str) -> Type[TopologySpec]:
+    """The spec class registered under ``kind``."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise UnknownTopologyError(
+            f"unknown topology {kind!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def create(kind: str, **params: Any) -> TopologySpec:
+    """Instantiate a registered topology spec from keyword parameters."""
+    return spec_class(kind)(**params)
+
+
+def _ensure_builtins() -> None:
+    """Import the packages whose import side-effect registers built-ins."""
+    import repro.baselines  # noqa: F401  (registers bcube, bccc, fattree, …)
+    import repro.core  # noqa: F401  (registers abccc)

@@ -1,0 +1,132 @@
+"""Network serialization: JSON round-trip, GraphML and DOT export.
+
+A library users adopt needs its networks to leave the process: the JSON
+codec round-trips a :class:`~repro.topology.graph.Network` exactly
+(nodes with kinds/ports/roles, links with capacities, the public meta),
+GraphML goes to any graph tool via networkx, and DOT feeds Graphviz for
+figures.
+
+Structured addresses are preserved through JSON for the topologies whose
+addresses are plain tuples/ints (BCube, hypercube, torus, fat-tree);
+ABCCC's dataclass addresses are re-derived from node names on load (the
+names *are* the canonical encoding), so a loaded ABCCC network routes
+identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.topology.graph import Network
+from repro.topology.node import NodeKind
+
+FORMAT_VERSION = 1
+
+
+def _address_to_json(address: Any) -> Any:
+    """Addresses that survive JSON natively; others are dropped (see
+    module docstring — names re-derive them)."""
+    if isinstance(address, (int, str)) or address is None:
+        return address
+    if isinstance(address, (tuple, list)) and all(
+        isinstance(x, (int, str)) for x in address
+    ):
+        return list(address)
+    return None
+
+
+def _address_from_json(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def to_json_dict(net: Network) -> Dict[str, Any]:
+    """The JSON-ready dictionary form of a network."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": net.name,
+        "meta": {
+            k: v
+            for k, v in net.meta.items()
+            if not k.startswith("_") and isinstance(v, (int, float, str, bool, list))
+        },
+        "nodes": [
+            {
+                "name": node.name,
+                "kind": node.kind.value,
+                "ports": node.ports,
+                "role": node.role,
+                "address": _address_to_json(node.address),
+            }
+            for node in net.nodes()
+        ],
+        "links": [
+            {"u": link.u, "v": link.v, "capacity": link.capacity, "length": link.length}
+            for link in net.links()
+        ],
+    }
+
+
+def from_json_dict(data: Dict[str, Any]) -> Network:
+    """Rebuild a network from :func:`to_json_dict` output."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported network format {version!r}")
+    net = Network(data.get("name", "network"))
+    net.meta.update(data.get("meta", {}))
+    for node in data["nodes"]:
+        kind = NodeKind(node["kind"])
+        address = _address_from_json(node.get("address"))
+        if kind is NodeKind.SERVER:
+            net.add_server(node["name"], node["ports"], address=address, role=node.get("role", ""))
+        else:
+            net.add_switch(node["name"], node["ports"], address=address, role=node.get("role", ""))
+    for link in data["links"]:
+        net.add_link(
+            link["u"],
+            link["v"],
+            capacity=link.get("capacity", 1.0),
+            length=link.get("length", 1.0),
+        )
+    return net
+
+
+def save_json(net: Network, path: str) -> str:
+    """Write the network as JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(to_json_dict(net), handle, indent=1)
+    return path
+
+
+def load_json(path: str) -> Network:
+    """Load a network saved by :func:`save_json`."""
+    with open(path) as handle:
+        return from_json_dict(json.load(handle))
+
+
+def save_graphml(net: Network, path: str) -> str:
+    """Export via networkx GraphML (node kind/ports/role as attributes)."""
+    import networkx as nx
+
+    nx.write_graphml(net.to_networkx(), path)
+    return path
+
+
+def to_dot(net: Network, max_nodes: Optional[int] = None) -> str:
+    """Graphviz DOT text: servers as boxes, switches as ellipses.
+
+    ``max_nodes`` guards against accidentally dotting a 10k-node build.
+    """
+    if max_nodes is not None and len(net) > max_nodes:
+        raise ValueError(f"network has {len(net)} nodes > max_nodes={max_nodes}")
+    lines: List[str] = [f'graph "{net.name}" {{']
+    lines.append("  node [fontsize=10];")
+    for node in net.nodes():
+        shape = "box" if node.kind is NodeKind.SERVER else "ellipse"
+        lines.append(f'  "{node.name}" [shape={shape}];')
+    for link in net.links():
+        lines.append(f'  "{link.u}" -- "{link.v}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures: small built instances reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BcubeSpec, FatTreeSpec
+from repro.core import AbcccSpec
+from repro.topology.graph import Network
+
+
+@pytest.fixture(scope="session")
+def abccc_small() -> tuple:
+    """ABCCC(3, 1, 2): 2 levels, crossbars of 2 — the smallest instance
+    with non-trivial intra-crossbar structure."""
+    spec = AbcccSpec(3, 1, 2)
+    return spec, spec.build()
+
+
+@pytest.fixture(scope="session")
+def abccc_medium() -> tuple:
+    """ABCCC(3, 2, 2): crossbars of 3, the workhorse instance."""
+    spec = AbcccSpec(3, 2, 2)
+    return spec, spec.build()
+
+
+@pytest.fixture(scope="session")
+def abccc_s3() -> tuple:
+    """ABCCC(3, 2, 3): multi-level owners (s - 1 = 2 levels per server)."""
+    spec = AbcccSpec(3, 2, 3)
+    return spec, spec.build()
+
+
+@pytest.fixture(scope="session")
+def bcube_small() -> tuple:
+    spec = BcubeSpec(3, 1)
+    return spec, spec.build()
+
+
+@pytest.fixture(scope="session")
+def fattree_small() -> tuple:
+    spec = FatTreeSpec(4)
+    return spec, spec.build()
+
+
+@pytest.fixture()
+def tiny_net() -> Network:
+    """A hand-built 2-server / 1-switch network for unit tests."""
+    net = Network("tiny")
+    net.add_server("a", ports=2)
+    net.add_server("b", ports=2)
+    net.add_switch("sw", ports=4)
+    net.add_link("a", "sw")
+    net.add_link("b", "sw")
+    return net

@@ -1,0 +1,80 @@
+"""BCCC baseline: independent construction vs the ABCCC s=2 code path."""
+
+import random
+
+import pytest
+
+from repro.baselines.bccc import BcccSpec, build_bccc
+from repro.core import AbcccSpec
+from repro.metrics.distance import server_hop_stats
+from repro.routing.shortest import bfs_distances
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestIdentityWithAbccc:
+    """The strongest generalisation check in the suite: the independent
+    BCCC builder and ABCCC(s=2) produce *identical* graphs."""
+
+    @pytest.mark.parametrize("n,k", [(2, 0), (3, 0), (2, 1), (3, 1), (2, 2), (3, 2), (4, 1)])
+    def test_same_nodes_and_links(self, n, k):
+        bccc = build_bccc(n, k)
+        abccc = AbcccSpec(n, k, 2).build()
+        assert set(bccc.node_names()) == set(abccc.node_names())
+        assert {l.key for l in bccc.links()} == {l.key for l in abccc.links()}
+
+    @pytest.mark.parametrize("n,k", [(3, 1), (2, 2)])
+    def test_same_node_attributes(self, n, k):
+        bccc = build_bccc(n, k)
+        abccc = AbcccSpec(n, k, 2).build()
+        for name in bccc.node_names():
+            ours = bccc.node(name)
+            theirs = abccc.node(name)
+            assert ours.kind == theirs.kind
+            assert ours.ports == theirs.ports
+            assert ours.role == theirs.role
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,k", [(3, 0), (3, 1), (4, 2)])
+    def test_counts(self, n, k):
+        spec = BcccSpec(n, k)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers
+        assert net.num_switches == spec.num_switches
+        assert net.num_links == spec.num_links
+        validate_network(net, LinkPolicy.server_centric())
+
+    def test_dual_port_servers(self):
+        net = build_bccc(3, 2)
+        for server in net.servers:
+            assert net.node(server).ports == 2
+            assert net.degree(server) == 2
+
+    def test_diameter_formula(self):
+        for n, k in ((2, 1), (3, 1), (2, 2)):
+            spec = BcccSpec(n, k)
+            measured = server_hop_stats(spec.build()).diameter
+            assert measured == spec.diameter_server_hops == 2 * k + 2
+
+    def test_k0_degenerates_to_star(self):
+        net = build_bccc(4, 0)
+        assert net.num_servers == 4
+        assert net.num_switches == 1
+
+    def test_switch_inventory(self):
+        spec = BcccSpec(3, 3)  # crossbars of 4 > n = 3
+        inventory = spec.switch_inventory()
+        assert inventory[3] == 4 * 27  # level switches
+        assert inventory[4] == 81  # crossbar switches
+
+
+class TestRouting:
+    def test_routes_shortest(self):
+        spec = BcccSpec(3, 2)
+        net = spec.build()
+        rng = random.Random(12)
+        for _ in range(30):
+            src, dst = rng.sample(net.servers, 2)
+            route = spec.route(net, src, dst)
+            route.validate(net)
+            assert route.link_hops == bfs_distances(net, src, targets={dst})[dst]

@@ -1,0 +1,107 @@
+"""BCube baseline: structure, formulas, DCRouting."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.bcube import (
+    BcubeSpec,
+    bcube_embed,
+    bcube_route,
+    build_bcube,
+    parse_server,
+    server_name,
+)
+from repro.metrics.distance import server_hop_stats
+from repro.routing.base import RoutingError
+from repro.routing.shortest import bfs_distances
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,k", [(2, 0), (2, 2), (3, 1), (4, 1), (3, 2)])
+    def test_counts_match_formulas(self, n, k):
+        spec = BcubeSpec(n, k)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers == n ** (k + 1)
+        assert net.num_switches == spec.num_switches == (k + 1) * n**k
+        assert net.num_links == spec.num_links == (k + 1) * n ** (k + 1)
+        validate_network(net, LinkPolicy.server_centric())
+
+    def test_every_server_uses_all_ports(self):
+        net = build_bcube(3, 2)
+        for server in net.servers:
+            assert net.degree(server) == 3  # k + 1
+
+    def test_adjacent_servers_differ_in_one_digit(self):
+        net = build_bcube(3, 1)
+        for switch in net.switches:
+            members = [parse_server(s) for s in net.neighbors(switch)]
+            for a, b in itertools.combinations(members, 2):
+                differing = sum(1 for x, y in zip(a, b) if x != y)
+                assert differing == 1
+
+    def test_diameter(self):
+        for n, k in ((2, 1), (3, 1), (2, 2)):
+            spec = BcubeSpec(n, k)
+            measured = server_hop_stats(spec.build()).diameter
+            assert measured == spec.diameter_server_hops == k + 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BcubeSpec(1, 1)
+        with pytest.raises(ValueError):
+            BcubeSpec(3, -1)
+
+
+class TestNames:
+    def test_roundtrip(self):
+        digits = (1, 0, 2)
+        assert parse_server(server_name(digits)) == digits
+
+    def test_msb_first(self):
+        assert server_name((1, 0, 2)) == "s2.0.1"
+
+    def test_rejects_abccc_names(self):
+        with pytest.raises(Exception):
+            parse_server("s1.0/2")
+
+
+class TestRouting:
+    def test_routes_are_shortest(self):
+        spec = BcubeSpec(3, 2)
+        net = spec.build()
+        rng = random.Random(7)
+        for _ in range(40):
+            src, dst = rng.sample(net.servers, 2)
+            route = spec.route(net, src, dst)
+            route.validate(net)
+            assert route.link_hops == bfs_distances(net, src, targets={dst})[dst]
+
+    def test_hop_count_is_hamming_distance(self):
+        route = bcube_route(3, 2, (0, 0, 0), (1, 0, 2))
+        assert route.link_hops == 2 * 2  # two digits differ -> two hops
+
+    def test_custom_order(self):
+        route = bcube_route(3, 1, (0, 0), (1, 1), order=[1, 0])
+        assert route.nodes[1].startswith("l1")
+
+    def test_incomplete_order_rejected(self):
+        with pytest.raises(RoutingError, match="not correct"):
+            bcube_route(3, 1, (0, 0), (1, 1), order=[0])
+
+    def test_wrong_length_address(self):
+        with pytest.raises(RoutingError, match="digits"):
+            bcube_route(3, 1, (0,), (1, 1))
+
+
+class TestEmbed:
+    def test_server_gains_zero_digit(self):
+        assert bcube_embed("s2.1") == "s0.2.1"
+
+    def test_switch_gains_zero_digit(self):
+        old = build_bcube(2, 1)
+        new = build_bcube(2, 2)
+        for name in old.node_names():
+            assert bcube_embed(name) in new

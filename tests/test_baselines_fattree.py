@@ -1,0 +1,80 @@
+"""Fat-tree baseline: Clos wiring, counts, diameter, full bisection."""
+
+import pytest
+
+from repro.baselines.fattree import FatTreeSpec, build_fattree, fattree_embed
+from repro.metrics.bisection import partition_cut_width, pod_split_fattree
+from repro.metrics.distance import link_hop_stats
+from repro.routing.shortest import shortest_distance
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p", [2, 4, 6, 8])
+    def test_counts(self, p):
+        spec = FatTreeSpec(p)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers == p**3 // 4
+        assert net.num_switches == spec.num_switches == 5 * p**2 // 4
+        assert net.num_links == spec.num_links == 3 * p**3 // 4
+        validate_network(net, LinkPolicy.switch_centric())
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            FatTreeSpec(5)
+        with pytest.raises(ValueError):
+            build_fattree(3)
+
+    def test_all_switches_have_full_radix_degree(self):
+        p = 4
+        net = build_fattree(p)
+        for switch in net.switches:
+            assert net.degree(switch) == p
+
+    def test_single_port_servers(self):
+        net = build_fattree(4)
+        for server in net.servers:
+            assert net.degree(server) == 1
+
+    def test_layer_counts(self):
+        p = 6
+        net = build_fattree(p)
+        assert len(net.switches_by_role("core")) == (p // 2) ** 2
+        assert len(net.switches_by_role("edge")) == p * p // 2
+        assert len(net.switches_by_role("aggregation")) == p * p // 2
+
+
+class TestDistances:
+    def test_diameter_is_six(self):
+        spec = FatTreeSpec(4)
+        assert link_hop_stats(spec.build()).diameter == 6
+
+    def test_same_rack_distance(self):
+        net = build_fattree(4)
+        assert shortest_distance(net, "h0.0.0", "h0.0.1") == 2
+
+    def test_same_pod_distance(self):
+        net = build_fattree(4)
+        assert shortest_distance(net, "h0.0.0", "h0.1.0") == 4
+
+    def test_inter_pod_distance(self):
+        net = build_fattree(4)
+        assert shortest_distance(net, "h0.0.0", "h3.1.1") == 6
+
+
+class TestBisection:
+    @pytest.mark.parametrize("p", [4, 6])
+    def test_pod_cut_achieves_full_bisection(self, p):
+        spec = FatTreeSpec(p)
+        net = spec.build()
+        width = partition_cut_width(net, pod_split_fattree(net))
+        assert width == spec.bisection_links == spec.num_servers / 2
+
+
+class TestEmbed:
+    def test_identity_into_bigger_fabric(self):
+        old = build_fattree(4)
+        new = build_fattree(6)
+        for name in old.node_names():
+            assert fattree_embed(name) == name
+            assert name in new

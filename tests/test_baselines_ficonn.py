@@ -1,0 +1,151 @@
+"""FiConn baseline: recursion, idle-port bookkeeping, dual-port discipline."""
+
+import pytest
+
+from repro.baselines.ficonn import (
+    FiconnSpec,
+    build_ficonn,
+    ficonn_counts,
+    parse_server,
+    server_name,
+)
+from repro.metrics.distance import server_hop_stats
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestRecursion:
+    def test_counts_level0(self):
+        assert ficonn_counts(4, 0) == (4, 4)
+
+    def test_counts_level1(self):
+        # g = 4/2 + 1 = 3 copies, 12 servers; idle = 2 * 3 = 6
+        assert ficonn_counts(4, 1) == (12, 6)
+
+    def test_counts_level2(self):
+        # g = 6/2 + 1 = 4 copies, 48 servers; idle = 3 * 4 = 12
+        assert ficonn_counts(4, 2) == (48, 12)
+
+    def test_odd_port_count_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            ficonn_counts(3, 1)
+        with pytest.raises(ValueError):
+            FiconnSpec(5, 1)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,k", [(2, 1), (4, 1), (4, 2), (6, 1), (2, 3)])
+    def test_built_counts_match_formulas(self, n, k):
+        spec = FiconnSpec(n, k)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers
+        assert net.num_switches == spec.num_switches
+        assert net.num_links == spec.num_links
+        validate_network(net, LinkPolicy.direct_server())
+
+    def test_dual_port_discipline(self):
+        """No server ever uses more than 2 ports, at any level."""
+        net = build_ficonn(4, 2)
+        for server in net.servers:
+            assert net.degree(server) <= 2
+
+    def test_idle_servers_remain(self):
+        """Exactly b_k servers keep an idle backup port after level k."""
+        n, k = 4, 2
+        net = build_ficonn(n, k)
+        idle = [s for s in net.servers if net.degree(s) == 1]
+        assert len(idle) == ficonn_counts(n, k)[1]
+
+    def test_every_server_on_a_switch(self):
+        net = build_ficonn(4, 1)
+        for server in net.servers:
+            assert any(net.node(v).is_switch for v in net.neighbors(server))
+
+    def test_level_links_form_complete_graph_over_subcells(self):
+        """At level 1 every pair of FiConn_0 copies is joined directly."""
+        net = build_ficonn(4, 1)
+        seen = set()
+        for link in net.links():
+            if net.node(link.u).is_server and net.node(link.v).is_server:
+                a = parse_server(link.u)[0]
+                b = parse_server(link.v)[0]
+                seen.add(tuple(sorted((a, b))))
+        g = 3  # b0/2 + 1
+        assert seen == {(i, j) for i in range(g) for j in range(i + 1, g)}
+
+
+class TestBehaviour:
+    def test_diameter_within_bound(self):
+        spec = FiconnSpec(4, 1)
+        net = spec.build()
+        assert server_hop_stats(net).diameter <= spec.diameter_server_hops
+
+    def test_name_roundtrip(self):
+        assert parse_server(server_name((1, 0, 3))) == (1, 0, 3)
+
+
+class TestNativeRouting:
+    def test_idle_lists_match_build(self):
+        """The routing helper's idle lists mirror the builder's wiring:
+        every level link the builder created is exactly the one the
+        helper predicts."""
+        from repro.baselines.ficonn import ficonn_level_link, idle_relative
+
+        n, k = 4, 2
+        net = build_ficonn(n, k)
+        below = idle_relative(n, k - 1)
+        g = len(below) // 2 + 1
+        for u in range(g):
+            for v in range(u + 1, g):
+                left, right = ficonn_level_link(n, k, u, v)
+                assert net.has_link(server_name(left), server_name(right))
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (6, 1), (2, 3)])
+    def test_routes_valid_and_bounded(self, n, k):
+        import random
+
+        spec = FiconnSpec(n, k)
+        net = spec.build()
+        rng = random.Random(8)
+        bound = 2 ** (k + 1) - 1
+        for _ in range(40):
+            src, dst = rng.sample(net.servers, 2)
+            route = spec.route(net, src, dst)
+            route.validate(net)
+            assert route.source == src and route.destination == dst
+            assert route.server_hops(net) <= bound
+
+    def test_same_cell_via_switch(self):
+        from repro.baselines.ficonn import ficonn_route
+
+        net = build_ficonn(4, 1)
+        route = ficonn_route(4, 1, (0, 0), (0, 3))
+        route.validate(net)
+        assert route.link_hops == 2
+
+    def test_self_route(self):
+        from repro.baselines.ficonn import ficonn_route
+
+        assert ficonn_route(4, 1, (1, 2), (1, 2)).link_hops == 0
+
+    def test_wrong_length_rejected(self):
+        from repro.baselines.ficonn import ficonn_route
+        from repro.routing.base import RoutingError
+
+        with pytest.raises(RoutingError, match="digits"):
+            ficonn_route(4, 1, (0,), (1, 1))
+
+    def test_near_shortest_on_average(self):
+        """TOR is not shortest-path but stays within 2x of BFS means."""
+        import random
+
+        from repro.routing.shortest import bfs_path
+
+        spec = FiconnSpec(4, 2)
+        net = spec.build()
+        rng = random.Random(9)
+        routed = shortest = 0
+        for _ in range(50):
+            src, dst = rng.sample(net.servers, 2)
+            routed += spec.route(net, src, dst).server_hops(net)
+            shortest += bfs_path(net, src, dst).server_hops(net)
+        assert routed <= 2 * shortest

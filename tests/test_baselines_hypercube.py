@@ -1,0 +1,76 @@
+"""Hypercube baseline: the classical reference point."""
+
+import random
+
+import pytest
+
+from repro.baselines.hypercube import (
+    HypercubeSpec,
+    build_hypercube,
+    hypercube_route,
+    parse_server,
+    server_name,
+)
+from repro.metrics.distance import server_hop_stats
+from repro.routing.base import RoutingError
+from repro.routing.shortest import bfs_distances
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestStructure:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_counts(self, m):
+        spec = HypercubeSpec(m)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers == 2**m
+        assert net.num_switches == 0
+        assert net.num_links == spec.num_links == m * 2 ** (m - 1)
+        validate_network(net, LinkPolicy.direct_server())
+
+    def test_regular_degree(self):
+        net = build_hypercube(4)
+        for server in net.servers:
+            assert net.degree(server) == 4
+
+    def test_neighbors_differ_in_one_bit(self):
+        net = build_hypercube(3)
+        for link in net.links():
+            a, b = parse_server(link.u), parse_server(link.v)
+            assert bin(a ^ b).count("1") == 1
+
+    def test_diameter(self):
+        spec = HypercubeSpec(4)
+        assert server_hop_stats(spec.build()).diameter == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HypercubeSpec(0)
+
+
+class TestRouting:
+    def test_route_length_is_hamming_distance(self):
+        rng = random.Random(2)
+        m = 5
+        net = build_hypercube(m)
+        for _ in range(30):
+            a, b = rng.randrange(2**m), rng.randrange(2**m)
+            route = hypercube_route(m, a, b)
+            route.validate(net)
+            assert route.link_hops == bin(a ^ b).count("1")
+
+    def test_routes_are_shortest(self):
+        spec = HypercubeSpec(4)
+        net = spec.build()
+        rng = random.Random(4)
+        for _ in range(20):
+            src, dst = rng.sample(net.servers, 2)
+            route = spec.route(net, src, dst)
+            assert route.link_hops == bfs_distances(net, src, targets={dst})[dst]
+
+    def test_out_of_range(self):
+        with pytest.raises(RoutingError):
+            hypercube_route(3, 0, 8)
+
+    def test_names(self):
+        assert server_name(5, 4) == "q0101"
+        assert parse_server("q0101") == 5

@@ -1,0 +1,130 @@
+"""Jellyfish (random regular graph) baseline tests."""
+
+import pytest
+
+from repro.baselines.jellyfish import JellyfishSpec, _sample_regular_graph
+from repro.topology.validate import LinkPolicy, is_connected, validate_network
+
+
+class TestSampler:
+    @pytest.mark.parametrize("nodes,degree", [(6, 3), (10, 4), (9, 2), (20, 5)])
+    def test_regularity_and_connectivity(self, nodes, degree):
+        edges = _sample_regular_graph(nodes, degree, seed=3)
+        counts = {v: 0 for v in range(nodes)}
+        for u, v in edges:
+            assert u != v
+            counts[u] += 1
+            counts[v] += 1
+        assert all(c == degree for c in counts.values())
+
+    def test_seed_determinism(self):
+        assert _sample_regular_graph(12, 3, 7) == _sample_regular_graph(12, 3, 7)
+
+    def test_seeds_differ(self):
+        assert _sample_regular_graph(12, 3, 7) != _sample_regular_graph(12, 3, 8)
+
+    def test_odd_stub_count_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            _sample_regular_graph(5, 3, 0)
+
+    def test_degree_too_high(self):
+        with pytest.raises(ValueError, match="switches"):
+            _sample_regular_graph(4, 4, 0)
+
+
+class TestSpec:
+    def test_counts(self):
+        spec = JellyfishSpec(switches=10, ports=6, servers_per_switch=2, seed=1)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers == 20
+        assert net.num_switches == 10
+        assert net.num_links == spec.num_links == 20 + 10 * 4 // 2
+        validate_network(net, LinkPolicy.switch_centric())
+        assert is_connected(net)
+
+    def test_deterministic_build(self):
+        spec = JellyfishSpec(10, 6, 2, seed=5)
+        a, b = spec.build(), spec.build()
+        assert {l.key for l in a.links()} == {l.key for l in b.links()}
+
+    def test_switch_port_budget(self):
+        spec = JellyfishSpec(10, 6, 2, seed=1)
+        net = spec.build()
+        for switch in net.switches:
+            assert net.degree(switch) == 6  # full radix: r fabric + servers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JellyfishSpec(2, 4, 1)
+        with pytest.raises(ValueError):
+            JellyfishSpec(10, 4, 4)  # no fabric ports left
+
+    def test_routes(self):
+        spec = JellyfishSpec(8, 6, 2, seed=2)
+        net = spec.build()
+        route = spec.route(net, net.servers[0], net.servers[-1])
+        route.validate(net)
+
+    def test_expansion_flexibility_narrative(self):
+        """Jellyfish sizes are not quantised: 10 and 11 switches both
+        build (the property ABCCC trades structure for)."""
+        for switches in (10, 11):
+            spec = JellyfishSpec(switches, 6, 2, seed=4)
+            assert is_connected(spec.build())
+
+
+class TestIncrementalGrowth:
+    def _grown(self, seed=5):
+        from repro.baselines.jellyfish import grow_jellyfish
+
+        spec = JellyfishSpec(10, 6, 2, seed=1)
+        net = spec.build()
+        plan = grow_jellyfish(net, spec, seed=seed)
+        return spec, net, plan
+
+    def test_degrees_preserved(self):
+        spec, net, _ = self._grown()
+        for switch in net.switches:
+            assert net.degree(switch) == spec.ports
+        assert net.num_switches == spec.switches_count + 1
+        assert net.num_servers == spec.num_servers + spec.servers_per_switch
+
+    def test_stays_connected(self):
+        _, net, _ = self._grown()
+        assert is_connected(net)
+        validate_network(net, LinkPolicy.switch_centric())
+
+    def test_growth_requires_rewiring(self):
+        """The contrast with ABCCC: removed_links is never empty."""
+        spec, _, plan = self._grown()
+        r = spec.ports - spec.servers_per_switch
+        assert len(plan.removed_links) == r // 2
+        assert not plan.is_pure_addition
+        assert plan.recabled_nodes  # live switches were re-plugged
+
+    def test_plan_counts(self):
+        spec, _, plan = self._grown()
+        r = spec.ports - spec.servers_per_switch
+        assert len(plan.new_servers) == spec.servers_per_switch
+        assert plan.new_switches == (f"js{spec.switches_count}",)
+        assert len(plan.new_links) == spec.servers_per_switch + r
+
+    def test_odd_fabric_degree_rejected(self):
+        from repro.baselines.jellyfish import grow_jellyfish
+        from repro.core.expansion import ExpansionError
+
+        spec = JellyfishSpec(10, 6, 3, seed=1)  # r = 3, odd
+        with pytest.raises(ExpansionError, match="even"):
+            grow_jellyfish(spec.build(), spec, seed=1)
+
+    def test_repeated_growth(self):
+        """Grow twice in a row: each step splices cleanly."""
+        from repro.baselines.jellyfish import JellyfishSpec, grow_jellyfish
+
+        spec = JellyfishSpec(10, 6, 2, seed=1)
+        net = spec.build()
+        grow_jellyfish(net, spec, seed=2)
+        bigger = JellyfishSpec(11, 6, 2, seed=1)
+        grow_jellyfish(net, bigger, seed=3)
+        assert net.num_switches == 12
+        assert is_connected(net)

@@ -1,0 +1,106 @@
+"""3D torus (CamCube-style) baseline tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.torus import (
+    Torus3dSpec,
+    build_torus3d,
+    parse_server,
+    server_name,
+    torus_route,
+)
+from repro.metrics.bisection import partition_cut_width
+from repro.metrics.distance import server_hop_stats
+from repro.routing.base import RoutingError
+from repro.routing.shortest import bfs_distances
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestStructure:
+    @pytest.mark.parametrize("dims", [(2, 2, 2), (3, 3, 3), (4, 3, 2), (4, 4, 4), (5, 2, 3)])
+    def test_counts(self, dims):
+        spec = Torus3dSpec(*dims)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers
+        assert net.num_switches == 0
+        assert net.num_links == spec.num_links
+        validate_network(net, LinkPolicy.direct_server())
+
+    def test_degree_is_port_count(self):
+        spec = Torus3dSpec(4, 4, 4)
+        net = spec.build()
+        for server in net.servers:
+            assert net.degree(server) == 6
+
+    def test_dimension_of_two_has_single_links(self):
+        spec = Torus3dSpec(2, 4, 4)
+        net = spec.build()
+        # ports: 1 (dim of 2) + 2 + 2 = 5
+        assert spec.server_ports == 5
+        for server in net.servers:
+            assert net.degree(server) == 5
+
+    def test_neighbours_differ_in_one_axis_by_one_mod(self):
+        dims = (4, 3, 3)
+        net = build_torus3d(*dims)
+        for link in net.links():
+            a, b = parse_server(link.u), parse_server(link.v)
+            diffs = [
+                (axis, (x - y) % dims[axis])
+                for axis, (x, y) in enumerate(zip(a, b))
+                if x != y
+            ]
+            assert len(diffs) == 1
+            axis, delta = diffs[0]
+            assert delta in (1, dims[axis] - 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Torus3dSpec(1, 3, 3)
+
+
+class TestProperties:
+    def test_diameter_formula(self):
+        for dims in ((3, 3, 3), (4, 3, 2), (4, 4, 4)):
+            spec = Torus3dSpec(*dims)
+            measured = server_hop_stats(spec.build()).diameter
+            assert measured == spec.diameter_server_hops
+
+    def test_bisection_formula_achieved(self):
+        spec = Torus3dSpec(4, 3, 3)
+        net = spec.build()
+        # Split across the x dimension: x in {0, 1} vs {2, 3}.
+        side = {s for s in net.servers if parse_server(s)[0] < 2}
+        width = partition_cut_width(net, side)
+        assert width == spec.bisection_links == 2 * 36 / 4
+
+    def test_no_even_dimension_has_no_closed_form(self):
+        assert Torus3dSpec(3, 3, 3).bisection_links is None
+
+
+class TestRouting:
+    def test_routes_are_shortest(self):
+        dims = (4, 3, 3)
+        spec = Torus3dSpec(*dims)
+        net = spec.build()
+        rng = random.Random(1)
+        for _ in range(40):
+            src, dst = rng.sample(net.servers, 2)
+            route = spec.route(net, src, dst)
+            route.validate(net)
+            assert route.link_hops == bfs_distances(net, src, targets={dst})[dst]
+
+    def test_wrap_direction_chosen(self):
+        # 0 -> 4 on a ring of 5 should wrap backwards (1 hop).
+        route = torus_route((5, 2, 2), (0, 0, 0), (4, 0, 0))
+        assert route.link_hops == 1
+
+    def test_bad_coordinates(self):
+        with pytest.raises(RoutingError):
+            torus_route((3, 3, 3), (0, 0, 0), (3, 0, 0))
+
+    def test_name_roundtrip(self):
+        assert parse_server(server_name((1, 2, 0))) == (1, 2, 0)

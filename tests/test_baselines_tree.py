@@ -1,0 +1,79 @@
+"""Oversubscribed tree baseline tests."""
+
+import pytest
+
+from repro.baselines.tree import TreeSpec
+from repro.metrics.bisection import partition_cut_width
+from repro.metrics.distance import link_hop_stats
+from repro.routing.shortest import shortest_distance
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "n,racks,oversub", [(8, 4, 3), (8, 2, 1), (12, 6, 2), (4, 3, 1)]
+    )
+    def test_counts(self, n, racks, oversub):
+        spec = TreeSpec(n, racks, oversub)
+        net = spec.build()
+        assert net.num_servers == spec.num_servers
+        assert net.num_switches == spec.num_switches
+        assert net.num_links == spec.num_links
+        validate_network(net, LinkPolicy.switch_centric())
+
+    def test_oversubscription_split(self):
+        spec = TreeSpec(8, 4, oversub=3)
+        assert spec.uplinks_per_rack == 2  # 8 // (3 + 1)
+        assert spec.servers_per_rack == 6
+
+    def test_tor_degree_within_radix(self):
+        spec = TreeSpec(8, 4, oversub=3)
+        net = spec.build()
+        for tor in net.switches_by_role("tor"):
+            assert net.degree(tor) <= spec.n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeSpec(5, 2)  # odd radix
+        with pytest.raises(ValueError):
+            TreeSpec(8, 0)  # no racks
+        with pytest.raises(ValueError):
+            TreeSpec(8, 2, oversub=0)
+
+    def test_switch_inventory_two_sizes(self):
+        spec = TreeSpec(8, 4, oversub=3)
+        inventory = spec.switch_inventory()
+        assert inventory[8] == 4  # ToRs
+        assert sum(inventory.values()) == spec.num_switches
+
+
+class TestDistances:
+    def test_same_rack(self):
+        spec = TreeSpec(8, 4, oversub=3)
+        net = spec.build()
+        assert shortest_distance(net, "r0.0", "r0.1") == 2
+
+    def test_cross_rack_through_agg(self):
+        spec = TreeSpec(8, 4, oversub=3)
+        net = spec.build()
+        assert shortest_distance(net, "r0.0", "r1.0") == 4  # tor-agg-tor
+
+    def test_diameter_bound(self):
+        spec = TreeSpec(8, 4, oversub=3)
+        net = spec.build()
+        assert link_hop_stats(net).diameter <= spec.diameter_link_hops
+
+
+class TestBisection:
+    def test_oversubscribed_bisection_is_small(self):
+        """The point of the baseline: bisection is capped by ToR uplinks,
+        far below the server count."""
+        spec = TreeSpec(8, 4, oversub=3)
+        net = spec.build()
+        side = {s for s in net.servers if int(s[1:].split(".")[0]) < 2}
+        width = partition_cut_width(net, side)
+        assert width == spec.bisection_links == 4  # racks * uplinks / 2
+        assert width < spec.num_servers / 2  # strictly oversubscribed
+
+    def test_single_rack_no_bisection(self):
+        assert TreeSpec(8, 1).bisection_links is None

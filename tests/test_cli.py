@@ -1,0 +1,148 @@
+"""CLI surface tests (argument parsing, outputs, exit codes)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_topologies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("abccc", "bcube", "fattree"):
+            assert kind in out
+
+
+class TestBuild:
+    def test_build_summary(self, capsys):
+        assert main(["build", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2"]) == 0
+        out = capsys.readouterr().out
+        assert "18 servers" in out
+        assert "structural invariants: OK" in out
+
+    def test_bad_param_value(self):
+        with pytest.raises(SystemExit, match="integer"):
+            main(["build", "abccc", "-p", "n=three"])
+
+    def test_bad_param_format(self):
+        with pytest.raises(SystemExit, match="name=value"):
+            main(["build", "abccc", "-p", "n:3"])
+
+    def test_unknown_kind_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["build", "zork"])
+
+
+class TestRoute:
+    def test_route_by_index(self, capsys):
+        code = main(
+            ["route", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2", "0", "17"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "link hops" in out
+        assert "->" in out
+
+    def test_route_by_name(self, capsys):
+        code = main(
+            ["route", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2",
+             "s0.0/0", "s2.2/1"]
+        )
+        assert code == 0
+
+    def test_bad_server_token(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["route", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2", "0", "zap"])
+
+
+class TestExportVerifyManifest:
+    ABCCC_ARGS = ["-p", "n=3", "-p", "k=1", "-p", "s=2"]
+
+    def test_export_json_then_verify(self, capsys, tmp_path):
+        path = str(tmp_path / "net.json")
+        assert main(["export", "abccc", *self.ABCCC_ARGS, path]) == 0
+        assert main(["verify", path]) == 0
+        out = capsys.readouterr().out
+        assert "verified as ABCCC(n=3, k=1, s=2)" in out
+
+    def test_verify_with_explicit_params(self, capsys, tmp_path):
+        path = str(tmp_path / "net.json")
+        main(["export", "abccc", *self.ABCCC_ARGS, path])
+        assert main(["verify", path, "-p", "n=3", "-p", "k=1", "-p", "s=2"]) == 0
+
+    def test_verify_wrong_params_fails(self, capsys, tmp_path):
+        path = str(tmp_path / "net.json")
+        main(["export", "abccc", *self.ABCCC_ARGS, path])
+        assert main(["verify", path, "-p", "n=3", "-p", "k=2", "-p", "s=2"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_verify_foreign_network_fails(self, capsys, tmp_path):
+        path = str(tmp_path / "ft.json")
+        main(["export", "fattree", "-p", "p=4", path])
+        assert main(["verify", path]) == 1
+
+    def test_export_dot(self, capsys, tmp_path):
+        path = str(tmp_path / "net.dot")
+        assert main(["export", "bcube", "-p", "n=2", "-p", "k=1", "-f", "dot", path]) == 0
+        with open(path) as handle:
+            assert "graph" in handle.read()
+
+    def test_export_graphml(self, tmp_path):
+        path = str(tmp_path / "net.graphml")
+        assert main(
+            ["export", "hypercube", "-p", "m=3", "-f", "graphml", path]
+        ) == 0
+
+    def test_manifest(self, capsys):
+        assert main(
+            ["manifest", "abccc", *self.ABCCC_ARGS, "--rack-capacity", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deployment manifest" in out
+        assert "racks" in out
+
+
+class TestPlan:
+    def test_plan_lists_candidates(self, capsys):
+        code = main(
+            ["plan", "--min-servers", "200", "--max-servers", "3000",
+             "--max-nic-ports", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ABCCC(" in out
+        assert "pareto" in out
+
+    def test_plan_infeasible(self, capsys):
+        code = main(
+            ["plan", "--min-servers", "1000000000", "--max-servers",
+             "1000000001", "--switch-radix", "4"]
+        )
+        assert code == 1
+        assert "no feasible" in capsys.readouterr().out
+
+    def test_plan_headroom_filters(self, capsys):
+        main(["plan", "--min-servers", "100", "--max-servers", "100000",
+              "--max-nic-ports", "2", "--headroom", "2"])
+        out = capsys.readouterr().out
+        # Every listed config can grow twice purely: k + 3 <= n at s=2.
+        for line in out.splitlines():
+            if line.startswith("ABCCC("):
+                inner = line.split(")")[0]
+                n = int(inner.split("n=")[1].split(",")[0])
+                k = int(inner.split("k=")[1].split(",")[0])
+                assert k + 3 <= n
+
+
+class TestExperiments:
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "F12" in out
+
+    def test_run_single_quick(self, capsys, tmp_path):
+        code = main(["run", "F11", "--quick", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F11" in out
+        assert (tmp_path / "f11.csv").exists()

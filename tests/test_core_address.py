@@ -1,0 +1,170 @@
+"""ABCCC parameter and addressing tests, incl. hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import (
+    AbcccParams,
+    AddressError,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+
+params_strategy = st.builds(
+    AbcccParams,
+    n=st.integers(min_value=2, max_value=6),
+    k=st.integers(min_value=0, max_value=5),
+    s=st.integers(min_value=2, max_value=8),
+)
+
+
+class TestParamsValidation:
+    @pytest.mark.parametrize("n,k,s", [(1, 0, 2), (0, 1, 2), (2, -1, 2), (2, 0, 1)])
+    def test_bad_parameters(self, n, k, s):
+        with pytest.raises(AddressError):
+            AbcccParams(n, k, s)
+
+    def test_crossbar_size(self):
+        assert AbcccParams(4, 3, 2).crossbar_size == 4  # ceil(4/1)
+        assert AbcccParams(4, 3, 3).crossbar_size == 2  # ceil(4/2)
+        assert AbcccParams(4, 3, 4).crossbar_size == 2  # ceil(4/3)
+        assert AbcccParams(4, 3, 5).crossbar_size == 1  # ceil(4/4)
+
+    def test_crossbar_switch_presence(self):
+        assert AbcccParams(4, 2, 2).has_crossbar_switch
+        assert not AbcccParams(4, 2, 4).has_crossbar_switch
+
+    def test_bccc_special_case(self):
+        params = AbcccParams(4, 3, 2)
+        assert params.crossbar_size == params.levels
+
+    def test_bcube_special_case(self):
+        params = AbcccParams(4, 3, 5)
+        assert params.crossbar_size == 1
+
+
+class TestOwnership:
+    def test_owner_of_contiguous_blocks(self):
+        params = AbcccParams(4, 3, 3)  # s-1 = 2 levels per server
+        assert [params.owner_of(i) for i in range(4)] == [0, 0, 1, 1]
+
+    def test_levels_of_inverts_owner_of(self):
+        params = AbcccParams(3, 4, 3)
+        for j in range(params.crossbar_size):
+            for level in params.levels_of(j):
+                assert params.owner_of(level) == j
+
+    def test_every_level_owned_exactly_once(self):
+        for s in range(2, 7):
+            params = AbcccParams(3, 4, s)
+            owned = [
+                level
+                for j in range(params.crossbar_size)
+                for level in params.levels_of(j)
+            ]
+            assert sorted(owned) == list(range(params.levels))
+
+    def test_spare_ports(self):
+        params = AbcccParams(4, 2, 3)  # 3 levels, 2 per server: last has 1
+        assert params.spare_level_ports(0) == 0
+        assert params.spare_level_ports(1) == 1
+
+    def test_out_of_range_level(self):
+        with pytest.raises(AddressError, match="level"):
+            AbcccParams(3, 2, 2).owner_of(3)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(AddressError, match="index"):
+            AbcccParams(3, 2, 2).levels_of(5)
+
+
+class TestDigitsAndRanks:
+    def test_check_digits_length(self):
+        with pytest.raises(AddressError, match="digits"):
+            AbcccParams(3, 2, 2).check_digits((0, 1))
+
+    def test_check_digits_range(self):
+        with pytest.raises(AddressError, match="out of range"):
+            AbcccParams(3, 2, 2).check_digits((0, 3, 1))
+
+    @given(params_strategy, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_crossbar_rank_roundtrip(self, params, data):
+        rank = data.draw(st.integers(min_value=0, max_value=params.num_crossbars - 1))
+        assert params.crossbar_rank(params.crossbar_digits(rank)) == rank
+
+    def test_iter_crossbars_complete(self):
+        params = AbcccParams(3, 1, 2)
+        digits = list(params.iter_crossbars())
+        assert len(digits) == 9
+        assert len(set(digits)) == 9
+
+    @given(params_strategy, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_server_rank_roundtrip(self, params, data):
+        total = params.num_crossbars * params.crossbar_size
+        rank = data.draw(st.integers(min_value=0, max_value=total - 1))
+        addr = ServerAddress.from_rank(params, rank)
+        assert addr.rank(params) == rank
+
+    def test_server_rank_out_of_range(self):
+        params = AbcccParams(2, 1, 2)
+        with pytest.raises(AddressError):
+            ServerAddress.from_rank(params, 10**6)
+
+
+class TestNameCodecs:
+    @given(params_strategy, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_server_name_roundtrip(self, params, data):
+        rank = data.draw(
+            st.integers(
+                min_value=0,
+                max_value=params.num_crossbars * params.crossbar_size - 1,
+            )
+        )
+        addr = ServerAddress.from_rank(params, rank)
+        assert ServerAddress.parse(addr.name) == addr
+
+    def test_server_name_format_msb_first(self):
+        addr = ServerAddress((1, 0, 2), 3)  # level-indexed: x0=1, x1=0, x2=2
+        assert addr.name == "s2.0.1/3"
+
+    def test_crossbar_switch_roundtrip(self):
+        addr = CrossbarSwitchAddress((2, 0, 1))
+        assert CrossbarSwitchAddress.parse(addr.name) == addr
+
+    def test_level_switch_roundtrip(self):
+        addr = LevelSwitchAddress(1, (2, 0))
+        parsed = LevelSwitchAddress.parse(addr.name)
+        assert parsed == addr
+
+    def test_level_switch_member_digits(self):
+        addr = LevelSwitchAddress(1, (2, 0))  # digits (2, *, 0)
+        assert addr.member_digits(7) == (2, 7, 0)
+
+    def test_level_switch_serving(self):
+        addr = LevelSwitchAddress.serving(1, (2, 5, 0))
+        assert addr.level == 1
+        assert addr.rest == (2, 0)
+        assert addr.member_digits(5) == (2, 5, 0)
+
+    @pytest.mark.parametrize(
+        "name", ["x1.2/0", "s1.2", "sab/0", "s1.2/x", "c", "l1:1.2", "l1:*.x"]
+    )
+    def test_malformed_names_rejected(self, name):
+        with pytest.raises(AddressError):
+            if name.startswith("s") or not name[0] in "cl":
+                ServerAddress.parse(name)
+            elif name.startswith("c"):
+                CrossbarSwitchAddress.parse(name)
+            else:
+                LevelSwitchAddress.parse(name)
+
+    def test_ordering_is_total(self):
+        a = ServerAddress((0, 0), 0)
+        b = ServerAddress((0, 0), 1)
+        c = ServerAddress((1, 0), 0)
+        assert a < b < c

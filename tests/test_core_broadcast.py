@@ -1,0 +1,174 @@
+"""One-to-all and one-to-many tree tests."""
+
+import random
+
+import pytest
+
+from repro.core.address import AbcccParams, ServerAddress
+from repro.core.broadcast import broadcast_tree, multicast_tree
+from repro.core.topology import build_abccc
+from repro.core import properties
+from repro.routing.base import RoutingError
+
+CASES = [
+    AbcccParams(2, 1, 2),
+    AbcccParams(3, 1, 2),
+    AbcccParams(3, 2, 2),
+    AbcccParams(3, 2, 3),
+    AbcccParams(3, 1, 3),  # c = 1
+]
+
+
+@pytest.mark.parametrize("params", CASES, ids=str)
+class TestBroadcastTree:
+    def _tree(self, params, source_rank=0):
+        source = ServerAddress.from_rank(params, source_rank)
+        return source, broadcast_tree(params, source)
+
+    def test_spans_all_servers(self, params):
+        net = build_abccc(params)
+        _, tree = self._tree(params)
+        assert set(tree.servers) == set(net.servers)
+
+    def test_uses_only_real_links(self, params):
+        net = build_abccc(params)
+        _, tree = self._tree(params)
+        tree.validate(net)
+
+    def test_is_a_tree(self, params):
+        source, tree = self._tree(params)
+        roots = [s for s, p in tree.parent.items() if p is None]
+        assert roots == [source.name]
+        # depth() raises on cycles; visiting every node proves acyclicity.
+        for server in tree.servers:
+            tree.depth(server)
+
+    def test_depth_at_most_diameter(self, params):
+        _, tree = self._tree(params)
+        assert tree.max_depth <= properties.diameter_server_hops(params)
+
+    def test_stress_formula(self, params):
+        """Unicast link stress = max(c - 1, n - 1): the widest fan-out
+        sharing one first link."""
+        _, tree = self._tree(params)
+        expected = max(params.crossbar_size - 1, params.n - 1)
+        assert tree.link_stress() == expected
+
+    def test_non_default_source(self, params):
+        net = build_abccc(params)
+        last = ServerAddress.parse(net.servers[-1])
+        tree = broadcast_tree(params, last)
+        assert set(tree.servers) == set(net.servers)
+        tree.validate(net)
+
+
+class TestOnePortSchedule:
+    def _brute_force(self, tree, node):
+        """Optimal completion over ALL child orderings (exponential)."""
+        import itertools
+
+        children = tree.children()[node]
+        if not children:
+            return 0
+        sub = [self._brute_force(tree, c) for c in children]
+        best = None
+        for perm in itertools.permutations(sub):
+            finish = max(i + 1 + t for i, t in enumerate(perm))
+            best = finish if best is None or finish < best else best
+        return best
+
+    @pytest.mark.parametrize(
+        "params", [AbcccParams(2, 1, 2), AbcccParams(3, 1, 2), AbcccParams(2, 2, 2)], ids=str
+    )
+    def test_matches_brute_force(self, params):
+        source = ServerAddress.from_rank(params, 0)
+        tree = broadcast_tree(params, source)
+        assert tree.one_port_rounds() == self._brute_force(tree, tree.source)
+
+    def test_lower_bound_log2(self):
+        """One-port broadcast needs >= ceil(log2(N)) rounds."""
+        import math
+
+        params = AbcccParams(3, 2, 2)
+        tree = broadcast_tree(params, ServerAddress.from_rank(params, 0))
+        n_servers = len(tree.servers)
+        assert tree.one_port_rounds() >= math.ceil(math.log2(n_servers))
+
+    def test_at_least_depth(self):
+        params = AbcccParams(3, 2, 3)
+        tree = broadcast_tree(params, ServerAddress.from_rank(params, 0))
+        assert tree.one_port_rounds() >= tree.max_depth
+
+    def test_single_node_tree(self):
+        params = AbcccParams(2, 1, 3)  # c = 1
+        source = ServerAddress.from_rank(params, 0)
+        from repro.core.broadcast import multicast_tree
+
+        tree = multicast_tree(params, source, [])
+        assert tree.one_port_rounds() == 0
+
+    def test_children_map_consistent(self):
+        params = AbcccParams(3, 1, 2)
+        tree = broadcast_tree(params, ServerAddress.from_rank(params, 0))
+        children = tree.children()
+        assert sum(len(c) for c in children.values()) == len(tree.servers) - 1
+        for parent, kids in children.items():
+            for child in kids:
+                assert tree.parent[child] == parent
+
+
+class TestPaths:
+    def test_path_to_follows_tree(self):
+        params = AbcccParams(3, 2, 2)
+        net = build_abccc(params)
+        source = ServerAddress.parse(net.servers[0])
+        tree = broadcast_tree(params, source)
+        for server in random.Random(0).sample(net.servers, 10):
+            route = tree.path_to(server)
+            route.validate(net)
+            assert route.source == source.name
+            assert route.destination == server
+            assert route.server_hops(net) == tree.depth(server)
+
+
+class TestMulticast:
+    def test_prunes_to_group(self):
+        params = AbcccParams(3, 2, 2)
+        net = build_abccc(params)
+        source = ServerAddress.parse(net.servers[0])
+        rng = random.Random(1)
+        group = [ServerAddress.parse(n) for n in rng.sample(net.servers[1:], 5)]
+        tree = multicast_tree(params, source, group)
+        tree.validate(net)
+        for member in group:
+            assert member.name in tree.parent
+        # Pruned tree is (much) smaller than the full broadcast tree.
+        assert len(tree.servers) < net.num_servers
+
+    def test_multicast_to_all_equals_broadcast(self):
+        params = AbcccParams(2, 1, 2)
+        net = build_abccc(params)
+        source = ServerAddress.parse(net.servers[0])
+        group = [ServerAddress.parse(n) for n in net.servers[1:]]
+        pruned = multicast_tree(params, source, group)
+        full = broadcast_tree(params, source)
+        assert pruned.parent == full.parent
+
+    def test_empty_group(self):
+        params = AbcccParams(2, 1, 2)
+        source = ServerAddress((0, 0), 0)
+        tree = multicast_tree(params, source, [])
+        assert tree.servers == [source.name]
+
+    def test_leaf_monotonicity(self):
+        """Every leaf of a multicast tree is a requested destination (or
+        the source itself) — no dangling branches survive pruning."""
+        params = AbcccParams(3, 2, 2)
+        net = build_abccc(params)
+        source = ServerAddress.parse(net.servers[0])
+        group = [ServerAddress.parse(n) for n in net.servers[10:14]]
+        tree = multicast_tree(params, source, group)
+        parents = set(tree.parent.values()) - {None}
+        leaves = [s for s in tree.servers if s not in parents]
+        wanted = {m.name for m in group} | {source.name}
+        assert set(leaves) <= wanted

@@ -1,0 +1,108 @@
+"""ABCCC conformance checking: the builder passes, corruptions are caught."""
+
+import pytest
+
+from repro.core import AbcccSpec
+from repro.core.address import AbcccParams
+from repro.core.conformance import check_abccc, conformance_problems, infer_params
+from repro.core.topology import build_abccc
+from repro.topology.serialize import from_json_dict, to_json_dict
+
+GRID = [AbcccParams(2, 1, 2), AbcccParams(3, 1, 2), AbcccParams(3, 2, 2), AbcccParams(3, 2, 3), AbcccParams(3, 1, 3)]
+
+
+class TestBuilderConforms:
+    @pytest.mark.parametrize("params", GRID, ids=str)
+    def test_canonical_build_passes(self, params):
+        net = build_abccc(params)
+        assert conformance_problems(net, params) == []
+        check_abccc(net, params)  # no raise
+
+    def test_serialised_build_still_conforms(self):
+        params = AbcccParams(3, 1, 2)
+        loaded = from_json_dict(to_json_dict(build_abccc(params)))
+        check_abccc(loaded, params)
+
+
+class TestCorruptionsCaught:
+    def _net(self):
+        params = AbcccParams(3, 1, 2)
+        return params, build_abccc(params)
+
+    def test_missing_link(self):
+        params, net = self._net()
+        link = next(iter(net.links()))
+        net.remove_link(link.u, link.v)
+        problems = conformance_problems(net, params)
+        assert any("missing link" in p for p in problems)
+
+    def test_extra_link(self):
+        params, net = self._net()
+        # Free one port on two servers, then wire them directly — a
+        # server-server link is never legal in ABCCC.
+        a, b = "s0.0/0", "s2.2/1"
+        net.remove_link(a, next(iter(net.neighbors(a))))
+        net.remove_link(b, next(iter(net.neighbors(b))))
+        net.add_link(a, b)
+        problems = conformance_problems(net, params)
+        assert any("unexpected link" in p for p in problems)
+
+    def test_missing_server(self):
+        params, net = self._net()
+        net.remove_node(net.servers[0])
+        problems = conformance_problems(net, params)
+        assert any("missing server" in p for p in problems)
+
+    def test_foreign_node(self):
+        params, net = self._net()
+        net.add_server("intruder", ports=2)
+        net.add_link("intruder", net.switches[0])
+        problems = conformance_problems(net, params)
+        assert any("unexpected server" in p for p in problems)
+
+    def test_miswired_level_switch(self):
+        """Re-plug one level link into the wrong in-crossbar server."""
+        params, net = self._net()
+        switch = net.switches_by_role("level")[0]
+        member = next(iter(net.neighbors(switch)))
+        from repro.core.address import ServerAddress
+
+        addr = ServerAddress.parse(member)
+        wrong = ServerAddress(addr.digits, (addr.index + 1) % params.crossbar_size)
+        net.remove_link(switch, member)
+        # Free a port on the wrong server (its own level link) so the
+        # miswired cable physically fits.
+        other = next(n for n in net.neighbors(wrong.name) if n.startswith("l"))
+        net.remove_link(wrong.name, other)
+        net.add_link(switch, wrong.name)
+        problems = conformance_problems(net, params)
+        assert any("missing link" in p for p in problems)
+        assert any("unexpected link" in p for p in problems)
+
+    def test_wrong_parameters_rejected(self):
+        params, net = self._net()
+        with pytest.raises(ValueError, match="not ABCCC"):
+            check_abccc(net, AbcccParams(3, 2, 2))
+
+
+class TestInference:
+    @pytest.mark.parametrize("params", GRID, ids=str)
+    def test_recovers_parameters(self, params):
+        net = build_abccc(params)
+        inferred = infer_params(net)
+        # s is recovered from provisioned server ports; n and k from the
+        # address structure.
+        assert inferred.n == params.n
+        assert inferred.k == params.k
+        assert inferred.s == params.s
+
+    def test_rejects_foreign_network(self, fattree_small):
+        _, net = fattree_small
+        with pytest.raises(ValueError):
+            infer_params(net)
+
+    def test_rejects_empty_network(self):
+        from repro.topology.graph import Network
+
+        with pytest.raises(ValueError, match="no servers"):
+            infer_params(Network())

@@ -1,0 +1,192 @@
+"""Expansion planning: the pure-addition property and the baselines' pain."""
+
+import pytest
+
+from repro.core import properties
+from repro.core.address import AbcccParams
+from repro.core.expansion import (
+    ExpansionError,
+    abccc_embed,
+    apply_plan,
+    plan_abccc_growth,
+    plan_bccc_growth,
+    plan_bcube_growth,
+    plan_expansion,
+    plan_fattree_growth,
+)
+from repro.core.topology import AbcccSpec
+
+
+class TestAbcccGrowth:
+    @pytest.mark.parametrize(
+        "n,k,s", [(3, 1, 2), (4, 2, 2), (4, 1, 3), (3, 1, 3), (4, 2, 3)]
+    )
+    def test_pure_addition(self, n, k, s):
+        """Growth is pure addition whenever the grown crossbar still fits
+        the n-port crossbar switch (c_new <= n)."""
+        plan = plan_abccc_growth(n, k, s)
+        assert plan.is_pure_addition
+        assert plan.upgraded_servers == ()
+        assert plan.replaced_switches == ()
+        assert plan.removed_links == ()
+
+    def test_crossbar_outgrowing_radix_replaces_crossbar_switches(self):
+        """The boundary of the expandability claim: once k + 1 exceeds n
+        (at s = 2), crossbars outgrow the n-port crossbar switch and the
+        step is no longer pure addition."""
+        plan = plan_abccc_growth(3, 2, 2)  # c: 3 -> 4 > n = 3
+        assert not plan.is_pure_addition
+        assert len(plan.replaced_switches) == 3**3  # every old crossbar switch
+        assert plan.upgraded_servers == ()  # servers still untouched
+
+    def test_component_counts_match_formulas(self):
+        n, k, s = 3, 1, 2
+        old = AbcccParams(n, k, s)
+        new = AbcccParams(n, k + 1, s)
+        plan = plan_abccc_growth(n, k, s)
+        assert len(plan.new_servers) == properties.num_servers(new) - properties.num_servers(old)
+        assert len(plan.new_switches) == properties.num_switches(new) - properties.num_switches(old)
+        assert len(plan.new_links) == properties.num_links(new) - properties.num_links(old)
+
+    def test_spare_port_growth_adds_no_server_to_old_crossbars(self):
+        """s=3, k=2 -> k=3: level 3 uses the last server's spare port, so
+        old crossbars gain cables but no servers."""
+        plan = plan_abccc_growth(4, 2, 3)
+        old_slice_new_servers = [
+            name for name in plan.new_servers if name.startswith("s0.")
+        ]
+        assert old_slice_new_servers == []
+        assert plan.is_pure_addition
+
+    def test_crossbar_growth_adds_server_when_ports_exhausted(self):
+        """s=2: every growth step adds one server to each old crossbar."""
+        n, k = 3, 1
+        plan = plan_abccc_growth(n, k, 2)
+        # Old crossbars are the x_{k+1} = 0 slice; each gains server /2.
+        gained = [
+            name
+            for name in plan.new_servers
+            if name.startswith("s0.") and name.endswith("/2")
+        ]
+        assert len(gained) == n ** (k + 1)
+
+    def test_applying_plan_reconstructs_new_network(self):
+        """Old components (embedded) + new components == new network."""
+        old = AbcccSpec(3, 1, 2)
+        new = AbcccSpec(3, 2, 2)
+        plan = plan_abccc_growth(3, 1, 2)
+        old_net, new_net = old.build(), new.build()
+        embedded_nodes = {abccc_embed(n) for n in old_net.node_names()}
+        assert embedded_nodes | set(plan.new_servers) | set(plan.new_switches) == set(
+            new_net.node_names()
+        )
+        from repro.topology.node import link_key
+
+        embedded_links = {
+            link_key(abccc_embed(l.u), abccc_embed(l.v)) for l in old_net.links()
+        }
+        assert embedded_links | set(plan.new_links) == {l.key for l in new_net.links()}
+
+
+class TestBaselineGrowth:
+    def test_bcube_upgrades_every_server(self):
+        n, k = 3, 1
+        plan = plan_bcube_growth(n, k)
+        assert not plan.is_pure_addition
+        assert len(plan.upgraded_servers) == n ** (k + 1)  # all old servers
+
+    def test_bccc_matches_abccc_s2(self):
+        bccc = plan_bccc_growth(3, 1).summary()
+        abccc = plan_abccc_growth(3, 1, 2).summary()
+        assert bccc == abccc
+
+    def test_fattree_replaces_every_switch(self):
+        p = 4
+        plan = plan_fattree_growth(p)
+        assert not plan.is_pure_addition
+        assert len(plan.replaced_switches) == 5 * p**2 // 4  # the whole fabric
+
+    def test_fattree_keeps_existing_cables(self):
+        plan = plan_fattree_growth(4)
+        assert plan.removed_links == ()
+
+
+class TestApplyPlan:
+    def _assert_equal_networks(self, built, applied):
+        assert set(applied.node_names()) == set(built.node_names())
+        assert {l.key for l in applied.links()} == {l.key for l in built.links()}
+        for name in built.node_names():
+            assert applied.node(name).kind == built.node(name).kind
+            assert applied.node(name).ports == built.node(name).ports
+
+    @pytest.mark.parametrize("n,k,s", [(3, 1, 2), (4, 1, 3), (2, 1, 2)])
+    def test_abccc_plan_is_executable(self, n, k, s):
+        """Applying the plan to the old build reproduces the new build."""
+        old = AbcccSpec(n, k, s)
+        new = AbcccSpec(n, k + 1, s)
+        plan = plan_abccc_growth(n, k, s)
+        applied = apply_plan(old.build(), plan, abccc_embed)
+        self._assert_equal_networks(new.build(), applied)
+
+    def test_applied_network_conforms(self):
+        from repro.core.address import AbcccParams
+        from repro.core.conformance import check_abccc
+
+        plan = plan_abccc_growth(3, 1, 2)
+        applied = apply_plan(AbcccSpec(3, 1, 2).build(), plan, abccc_embed)
+        check_abccc(applied, AbcccParams(3, 2, 2))
+
+    def test_bcube_plan_applies_with_upgrades(self):
+        from repro.baselines.bcube import BcubeSpec, bcube_embed
+
+        plan = plan_bcube_growth(3, 1)
+        applied = apply_plan(BcubeSpec(3, 1).build(), plan, bcube_embed)
+        self._assert_equal_networks(BcubeSpec(3, 2).build(), applied)
+
+    def test_fattree_plan_applies_with_replacements(self):
+        from repro.baselines.fattree import FatTreeSpec, fattree_embed
+
+        plan = plan_fattree_growth(4)
+        applied = apply_plan(FatTreeSpec(4).build(), plan, fattree_embed)
+        self._assert_equal_networks(FatTreeSpec(6).build(), applied)
+
+    def test_boundary_plan_applies_switch_replacement(self):
+        """Even the non-pure boundary step (crossbar switch swap) is
+        executable."""
+        plan = plan_abccc_growth(3, 2, 2)
+        applied = apply_plan(AbcccSpec(3, 2, 2).build(), plan, abccc_embed)
+        self._assert_equal_networks(AbcccSpec(3, 3, 2).build(), applied)
+
+
+class TestPlanMechanics:
+    def test_summary_keys(self):
+        summary = plan_abccc_growth(2, 1, 2).summary()
+        assert set(summary) == {
+            "new_servers",
+            "new_switches",
+            "new_cables",
+            "removed_cables",
+            "upgraded_servers",
+            "replaced_switches",
+            "recabled_existing",
+        }
+
+    def test_num_new_components(self):
+        plan = plan_abccc_growth(2, 1, 2)
+        assert plan.num_new_components == (
+            len(plan.new_servers) + len(plan.new_switches) + len(plan.new_links)
+        )
+
+    def test_embed_rejects_garbage(self):
+        with pytest.raises(ExpansionError):
+            abccc_embed("zork")
+
+    def test_shrinking_rejected(self):
+        with pytest.raises(ExpansionError, match="no place"):
+            plan_expansion(AbcccSpec(3, 2, 2), AbcccSpec(3, 1, 2), abccc_embed)
+
+    def test_colliding_embedding_rejected(self):
+        with pytest.raises(ExpansionError, match="collides"):
+            plan_expansion(
+                AbcccSpec(2, 1, 2), AbcccSpec(2, 2, 2), lambda name: "s0.0.0/0"
+            )

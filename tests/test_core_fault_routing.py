@@ -1,0 +1,146 @@
+"""Fault-tolerant routing: correctness under injected failures."""
+
+import random
+
+import pytest
+
+from repro.core import fault_tolerant_route
+from repro.core.address import AbcccParams, LevelSwitchAddress, ServerAddress
+from repro.core.topology import build_abccc
+from repro.routing.base import RoutingError
+from repro.routing.shortest import bfs_distances
+
+
+@pytest.fixture(scope="module")
+def medium():
+    params = AbcccParams(3, 2, 2)
+    return params, build_abccc(params)
+
+
+class TestHealthyNetwork:
+    def test_matches_locality_route_length(self, medium):
+        params, net = medium
+        rng = random.Random(1)
+        for _ in range(20):
+            src, dst = rng.sample(net.servers, 2)
+            result = fault_tolerant_route(params, net, src, dst, seed=2)
+            assert not result.fallback_used
+            assert result.detours == 0
+            result.route.validate(net)
+            # On a healthy network the greedy walk is a shortest path.
+            assert result.link_hops == bfs_distances(net, src, targets={dst})[dst]
+
+    def test_self_route(self, medium):
+        params, net = medium
+        server = net.servers[0]
+        result = fault_tolerant_route(params, net, server, server)
+        assert result.route.nodes == (server,)
+
+
+class TestSingleFailures:
+    def test_survives_any_single_level_switch_failure(self, medium):
+        params, net = medium
+        src, dst = net.servers[0], net.servers[-1]
+        for switch in net.switches_by_role("level")[:20]:
+            alive = net.subgraph_without(dead_nodes=[switch])
+            result = fault_tolerant_route(params, alive, src, dst, seed=3)
+            result.route.validate(alive)
+            assert result.route.destination == dst
+
+    def test_survives_single_crossbar_switch_failure(self, medium):
+        params, net = medium
+        src, dst = net.servers[0], net.servers[-1]
+        for switch in net.switches_by_role("crossbar")[:15]:
+            alive = net.subgraph_without(dead_nodes=[switch])
+            result = fault_tolerant_route(params, alive, src, dst, seed=3)
+            result.route.validate(alive)
+
+    def test_survives_single_link_failure_on_route(self, medium):
+        params, net = medium
+        src, dst = net.servers[0], net.servers[-1]
+        baseline = fault_tolerant_route(params, net, src, dst).route
+        for u, v in list(baseline.edges()):
+            alive = net.subgraph_without(dead_links=[(u, v)])
+            result = fault_tolerant_route(params, alive, src, dst, seed=4)
+            result.route.validate(alive)
+            assert result.route.destination == dst
+
+
+class TestEndpointFailures:
+    def test_dead_source_rejected(self, medium):
+        params, net = medium
+        src, dst = net.servers[0], net.servers[1]
+        alive = net.subgraph_without(dead_nodes=[src])
+        with pytest.raises(RoutingError, match="source"):
+            fault_tolerant_route(params, alive, src, dst)
+
+    def test_dead_destination_rejected(self, medium):
+        params, net = medium
+        src, dst = net.servers[0], net.servers[1]
+        alive = net.subgraph_without(dead_nodes=[dst])
+        with pytest.raises(RoutingError, match="destination"):
+            fault_tolerant_route(params, alive, src, dst)
+
+
+class TestHeavyFailures:
+    def test_agrees_with_bfs_reachability(self, medium):
+        """Whenever BFS says a pair is connected, fault_tolerant_route
+        (with fallback) must find a route; when disconnected it must raise."""
+        params, net = medium
+        rng = random.Random(9)
+        dead = rng.sample(net.servers, 12) + rng.sample(net.switches, 8)
+        alive = net.subgraph_without(dead_nodes=dead)
+        servers = alive.servers
+        for _ in range(40):
+            src, dst = rng.sample(servers, 2)
+            reachable = dst in bfs_distances(alive, src, targets={dst})
+            if reachable:
+                result = fault_tolerant_route(params, alive, src, dst, seed=11)
+                result.route.validate(alive)
+            else:
+                with pytest.raises(RoutingError):
+                    fault_tolerant_route(params, alive, src, dst, seed=11)
+
+    def test_no_fallback_raises_when_greedy_stuck(self, medium):
+        """With fallback disabled, an isolated destination raises."""
+        params, net = medium
+        src = net.servers[0]
+        dst = net.servers[-1]
+        # Kill every link of dst except nothing -> isolate it fully.
+        alive = net.copy()
+        for neighbor in list(alive.neighbors(dst)):
+            alive.remove_link(dst, neighbor)
+        with pytest.raises(RoutingError):
+            fault_tolerant_route(params, alive, src, dst, allow_fallback=False)
+
+    def test_detour_forced_and_counted(self, medium):
+        """A pair differing in exactly one level, with that level's switch
+        dead at the source crossbar: reordering cannot help (there is
+        nothing to reorder), so the greedy router MUST detour — and must
+        report it."""
+        params, net = medium
+        src = ServerAddress((0, 0, 0), 0)
+        dst = ServerAddress((1, 0, 0), 0)  # only level 0 differs
+        switch = LevelSwitchAddress.serving(0, src.digits)
+        alive = net.subgraph_without(dead_nodes=[switch.name])
+        result = fault_tolerant_route(params, alive, src.name, dst.name, seed=6)
+        result.route.validate(alive)
+        assert not result.fallback_used
+        assert result.detours >= 1
+        # The detour costs real hops: strictly longer than the healthy route.
+        healthy = fault_tolerant_route(params, net, src.name, dst.name).route
+        assert result.route.link_hops > healthy.link_hops
+
+
+class TestBCubeDegenerateCase:
+    def test_c1_routing_without_crossbar_switches(self):
+        params = AbcccParams(3, 1, 3)  # c = 1
+        net = build_abccc(params)
+        src, dst = net.servers[0], net.servers[-1]
+        result = fault_tolerant_route(params, net, src, dst)
+        result.route.validate(net)
+        # Fail a level switch on the route and retry.
+        switch = next(n for n in result.route.nodes if n.startswith("l"))
+        alive = net.subgraph_without(dead_nodes=[switch])
+        rerouted = fault_tolerant_route(params, alive, src, dst, seed=1)
+        rerouted.route.validate(alive)

@@ -1,0 +1,108 @@
+"""Parallel-path tests: rotation families, disjointness, connectivity."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.address import AbcccParams, ServerAddress
+from repro.core.paths import (
+    crossbar_disjoint_routes,
+    edge_disjoint_path_count,
+    intermediate_crossbars,
+    node_disjoint_path_count,
+    rotation_routes,
+)
+from repro.core.topology import build_abccc
+
+
+class TestRotationRoutes:
+    def test_one_route_per_rotation(self):
+        params = AbcccParams(3, 2, 2)
+        src = ServerAddress((0, 0, 0), 0)
+        dst = ServerAddress((1, 1, 1), 0)
+        routes = rotation_routes(params, src, dst)
+        assert len(routes) == 3
+
+    def test_fewer_when_digits_agree(self):
+        params = AbcccParams(3, 2, 2)
+        src = ServerAddress((0, 0, 0), 0)
+        dst = ServerAddress((1, 0, 0), 0)
+        assert len(rotation_routes(params, src, dst)) == 1
+
+    def test_same_crossbar(self):
+        params = AbcccParams(3, 2, 2)
+        src = ServerAddress((0, 0, 0), 0)
+        dst = ServerAddress((0, 0, 0), 1)
+        routes = rotation_routes(params, src, dst)
+        assert len(routes) == 1
+        assert routes[0].link_hops == 2
+
+    def test_all_routes_valid(self, abccc_medium):
+        spec, net = abccc_medium
+        params = spec.abccc
+        rng = random.Random(4)
+        for _ in range(15):
+            src = ServerAddress.parse(rng.choice(net.servers))
+            dst = ServerAddress.parse(rng.choice(net.servers))
+            for route in rotation_routes(params, src, dst):
+                route.validate(net)
+
+
+class TestDisjointness:
+    def test_full_family_disjoint_when_all_digits_differ(self):
+        """The paper's parallel-path claim: k+1 rotations give pairwise
+        crossbar-disjoint routes when every digit differs."""
+        for params in (AbcccParams(2, 2, 2), AbcccParams(3, 2, 2), AbcccParams(3, 3, 2)):
+            src = ServerAddress(tuple([0] * params.levels), 0)
+            dst = ServerAddress(tuple([1] * params.levels), 0)
+            routes = rotation_routes(params, src, dst)
+            assert len(routes) == params.levels
+            families = [intermediate_crossbars(r) for r in routes]
+            for a, b in itertools.combinations(families, 2):
+                assert not (a & b)
+            # Greedy filter keeps everything.
+            assert len(crossbar_disjoint_routes(params, src, dst)) == params.levels
+
+    def test_greedy_filter_yields_disjoint_family(self):
+        params = AbcccParams(3, 2, 2)
+        rng = random.Random(8)
+        for _ in range(20):
+            total = params.num_crossbars * params.crossbar_size
+            src = ServerAddress.from_rank(params, rng.randrange(total))
+            dst = ServerAddress.from_rank(params, rng.randrange(total))
+            chosen = crossbar_disjoint_routes(params, src, dst)
+            families = [intermediate_crossbars(r) for r in chosen]
+            for a, b in itertools.combinations(families, 2):
+                assert not (a & b)
+
+    def test_intermediate_crossbars_excludes_endpoints(self):
+        params = AbcccParams(3, 1, 2)
+        src = ServerAddress((0, 0), 0)
+        dst = ServerAddress((1, 1), 1)
+        for route in rotation_routes(params, src, dst):
+            inter = intermediate_crossbars(route)
+            assert src.digits not in inter
+            assert dst.digits not in inter
+
+
+class TestGroundTruthConnectivity:
+    def test_edge_disjoint_count_equals_server_ports(self, abccc_small):
+        """A dual-port server supports exactly 2 edge-disjoint paths."""
+        spec, net = abccc_small
+        src, dst = net.servers[0], net.servers[-1]
+        assert edge_disjoint_path_count(net, src, dst) == spec.s
+
+    def test_node_disjoint_count_equals_min_degree(self, abccc_s3):
+        """Connectivity saturates the endpoint degrees.  Note: the *last*
+        server of a crossbar may own fewer levels than s - 1 and thus have
+        spare (unwired) ports, so the cap is the wired degree, not s."""
+        spec, net = abccc_s3
+        src, dst = net.servers[0], net.servers[-1]
+        expected = min(net.degree(src), net.degree(dst))
+        assert node_disjoint_path_count(net, src, dst) == expected
+
+    def test_bcube_connectivity_is_k_plus_1(self, bcube_small):
+        spec, net = bcube_small
+        src, dst = net.servers[0], net.servers[-1]
+        assert edge_disjoint_path_count(net, src, dst) == spec.k + 1

@@ -1,0 +1,140 @@
+"""Permutation-strategy tests, incl. optimality of the locality order."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import AbcccParams, ServerAddress
+from repro.core.permutation import (
+    STRATEGIES,
+    balanced_order,
+    differing_levels,
+    generate,
+    locality_order,
+    transfer_count,
+)
+
+
+def _addr(params: AbcccParams, digits, index=0) -> ServerAddress:
+    return ServerAddress(tuple(digits), index)
+
+
+class TestDifferingLevels:
+    def test_basic(self):
+        params = AbcccParams(3, 2, 2)
+        src = _addr(params, (0, 1, 2))
+        dst = _addr(params, (0, 2, 2))
+        assert differing_levels(src, dst) == [1]
+
+    def test_mismatched_orders_rejected(self):
+        with pytest.raises(ValueError):
+            differing_levels(ServerAddress((0,), 0), ServerAddress((0, 1), 0))
+
+
+class TestStrategiesAreValidPermutations:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_permutes_exactly_the_differing_levels(self, strategy):
+        params = AbcccParams(3, 3, 2)
+        src = _addr(params, (0, 1, 2, 0), index=1)
+        dst = _addr(params, (1, 1, 0, 2), index=3)
+        order = generate(params, src, dst, strategy=strategy, seed=7)
+        assert sorted(order) == differing_levels(src, dst)
+
+    def test_random_is_seed_deterministic(self):
+        params = AbcccParams(3, 3, 2)
+        src = _addr(params, (0, 1, 2, 0))
+        dst = _addr(params, (1, 2, 0, 1))
+        a = generate(params, src, dst, strategy="random", seed=5)
+        b = generate(params, src, dst, strategy="random", seed=5)
+        assert a == b
+
+    def test_unknown_strategy(self):
+        params = AbcccParams(3, 1, 2)
+        with pytest.raises(ValueError, match="unknown permutation strategy"):
+            generate(params, _addr(params, (0, 0)), _addr(params, (1, 1)), strategy="zig")
+
+
+class TestTransferCount:
+    def test_empty_order_same_index(self):
+        params = AbcccParams(3, 2, 2)
+        assert transfer_count(params, 1, 1, []) == 0
+
+    def test_empty_order_different_index(self):
+        params = AbcccParams(3, 2, 2)
+        assert transfer_count(params, 0, 1, []) == 1
+
+    def test_counts_boundaries(self):
+        params = AbcccParams(3, 3, 2)  # owner(i) == i
+        # order [1, 0, 2]: start 1 (matches src), 1->0, 0->2, end 2 != dst 0.
+        assert transfer_count(params, 1, 0, [1, 0, 2]) == 3
+
+    def test_grouped_levels_free(self):
+        params = AbcccParams(3, 3, 3)  # owners: [0, 0, 1, 1]
+        assert transfer_count(params, 0, 1, [0, 1, 2, 3]) == 1
+
+
+class TestLocalityOptimality:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_locality_minimises_transfers_over_all_orders(self, data):
+        """Brute force: no permutation of the differing levels beats the
+        locality order's transfer count."""
+        n = data.draw(st.integers(min_value=2, max_value=3))
+        k = data.draw(st.integers(min_value=1, max_value=3))
+        s = data.draw(st.integers(min_value=2, max_value=3))
+        params = AbcccParams(n, k, s)
+        digits = lambda: tuple(
+            data.draw(st.integers(min_value=0, max_value=n - 1))
+            for _ in range(params.levels)
+        )
+        src = ServerAddress(
+            digits(), data.draw(st.integers(0, params.crossbar_size - 1))
+        )
+        dst = ServerAddress(
+            digits(), data.draw(st.integers(0, params.crossbar_size - 1))
+        )
+        levels = differing_levels(src, dst)
+        order = locality_order(params, src, dst, levels)
+        ours = transfer_count(params, src.index, dst.index, order)
+        if len(levels) <= 6:
+            best = min(
+                transfer_count(params, src.index, dst.index, list(perm))
+                for perm in itertools.permutations(levels)
+            ) if levels else transfer_count(params, src.index, dst.index, [])
+            assert ours == best
+
+    def test_starts_with_source_group(self):
+        params = AbcccParams(3, 3, 2)
+        src = _addr(params, (0, 0, 0, 0), index=2)
+        dst = _addr(params, (1, 1, 1, 1), index=0)
+        order = locality_order(params, src, dst, [0, 1, 2, 3])
+        assert order[0] == 2  # src owns level 2
+        assert order[-1] == 0  # dst owns level 0
+
+
+class TestBalancedRotation:
+    def test_rotation_changes_start(self):
+        params = AbcccParams(3, 3, 2)
+        src = _addr(params, (0, 0, 0, 0))
+        dst = _addr(params, (1, 1, 1, 1))
+        levels = [0, 1, 2, 3]
+        base = balanced_order(params, src, dst, levels, rotation=0)
+        rotated = balanced_order(params, src, dst, levels, rotation=1)
+        assert base != rotated
+        assert sorted(base) == sorted(rotated) == levels
+
+    def test_rotation_is_modular(self):
+        params = AbcccParams(3, 2, 2)
+        src = _addr(params, (0, 0, 0))
+        dst = _addr(params, (1, 1, 1))
+        levels = [0, 1, 2]
+        assert balanced_order(params, src, dst, levels, 1) == balanced_order(
+            params, src, dst, levels, 4
+        )
+
+    def test_empty_levels(self):
+        params = AbcccParams(3, 2, 2)
+        src = _addr(params, (0, 0, 0))
+        assert balanced_order(params, src, src, [], rotation=3) == []

@@ -1,0 +1,133 @@
+"""Design-planner tests: feasibility filters, ranking, Pareto flags."""
+
+import pytest
+
+from repro.core.planner import Candidate, Requirements, best, plan
+
+
+class TestRequirements:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Requirements(min_servers=0)
+        with pytest.raises(ValueError):
+            Requirements(min_servers=10, max_servers=5)
+        with pytest.raises(ValueError):
+            Requirements(max_nic_ports=1)
+        with pytest.raises(ValueError):
+            Requirements(expansion_headroom=-1)
+
+
+class TestFeasibility:
+    def test_scale_window_respected(self):
+        req = Requirements(min_servers=500, max_servers=2000, max_nic_ports=3)
+        for candidate in plan(req):
+            assert 500 <= candidate.servers <= 2000
+
+    def test_nic_budget_respected(self):
+        req = Requirements(min_servers=50, max_servers=5000, max_nic_ports=2)
+        for candidate in plan(req):
+            assert candidate.spec.s == 2
+
+    def test_diameter_ceiling(self):
+        req = Requirements(
+            min_servers=100, max_servers=5000, max_nic_ports=5, max_diameter=6
+        )
+        for candidate in plan(req):
+            assert candidate.diameter <= 6
+
+    def test_bisection_floor(self):
+        req = Requirements(
+            min_servers=100,
+            max_servers=5000,
+            max_nic_ports=6,
+            min_bisection_per_server=0.25,
+        )
+        candidates = plan(req)
+        assert candidates
+        for candidate in candidates:
+            assert candidate.bisection_per_server >= 0.25
+
+    def test_expansion_headroom_excludes_boundary_configs(self):
+        """With 2 growth steps required, s=2 configs where c would outgrow
+        n are rejected."""
+        base = Requirements(min_servers=100, max_servers=10**6, max_nic_ports=2)
+        with_headroom = Requirements(
+            min_servers=100,
+            max_servers=10**6,
+            max_nic_ports=2,
+            expansion_headroom=2,
+        )
+        allowed = {c.label for c in plan(base)}
+        restricted = {c.label for c in plan(with_headroom)}
+        assert restricted < allowed
+        # Every surviving config really can grow twice purely.
+        for candidate in plan(with_headroom):
+            n, k = candidate.spec.n, candidate.spec.k
+            assert (k + 2 + 1) <= n * (candidate.spec.s - 1)
+
+    def test_infeasible_returns_empty(self):
+        req = Requirements(
+            min_servers=10**9, max_servers=2 * 10**9, max_nic_ports=2, switch_radix=4
+        )
+        assert plan(req, max_k=3) == []
+
+
+class TestRankingAndPareto:
+    def test_sorted_by_cost(self):
+        req = Requirements(min_servers=100, max_servers=3000, max_nic_ports=4)
+        candidates = plan(req)
+        costs = [c.capex_per_server for c in candidates]
+        assert costs == sorted(costs)
+
+    def test_pareto_flags_consistent(self):
+        req = Requirements(min_servers=100, max_servers=3000, max_nic_ports=4)
+        candidates = plan(req)
+        frontier = [c for c in candidates if c.pareto]
+        assert frontier
+        # No frontier member may dominate another frontier member.
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (
+                    a.diameter <= b.diameter
+                    and (a.bisection_per_server or 0) >= (b.bisection_per_server or 0)
+                    and a.capex_per_server <= b.capex_per_server
+                    and (
+                        a.diameter < b.diameter
+                        or (a.bisection_per_server or 0) > (b.bisection_per_server or 0)
+                        or a.capex_per_server < b.capex_per_server
+                    )
+                )
+                assert not dominates
+
+
+class TestBest:
+    REQ = Requirements(min_servers=200, max_servers=5000, max_nic_ports=5)
+
+    def test_cost_objective(self):
+        winner = best(self.REQ, "cost")
+        assert winner is not None
+        assert winner.capex_per_server == min(
+            c.capex_per_server for c in plan(self.REQ)
+        )
+
+    def test_latency_objective(self):
+        winner = best(self.REQ, "latency")
+        assert winner.diameter == min(c.diameter for c in plan(self.REQ))
+
+    def test_bandwidth_objective(self):
+        winner = best(self.REQ, "bandwidth")
+        assert winner.bisection_per_server == max(
+            (c.bisection_per_server or 0) for c in plan(self.REQ)
+        )
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            best(self.REQ, "vibes")
+
+    def test_none_when_infeasible(self):
+        req = Requirements(
+            min_servers=10**9, max_servers=2 * 10**9, max_nic_ports=2, switch_radix=4
+        )
+        assert best(req) is None

@@ -1,0 +1,169 @@
+"""Closed-form ABCCC properties vs brute force on built instances.
+
+This is the module that licenses the analytic sweeps of the experiment
+suite: every formula in :mod:`repro.core.properties` is checked against
+exhaustive counting / BFS over a parameter grid.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import properties
+from repro.core.address import AbcccParams
+from repro.core.topology import build_abccc
+from repro.metrics.bisection import digit_split_abccc, partition_cut_width
+from repro.metrics.distance import server_hop_stats
+from repro.routing.shortest import bfs_distances
+
+#: the grid: every (n, k, s) with n in 2..4, k in 0..2, s in 2..k+3
+GRID = [
+    AbcccParams(n, k, s)
+    for n, k in itertools.product((2, 3, 4), (0, 1, 2))
+    for s in range(2, k + 4)
+]
+
+
+@pytest.fixture(scope="module")
+def built():
+    return {params: build_abccc(params) for params in GRID}
+
+
+class TestCounts:
+    def test_server_count(self, built):
+        for params, net in built.items():
+            assert net.num_servers == properties.num_servers(params), params
+
+    def test_switch_count(self, built):
+        for params, net in built.items():
+            assert net.num_switches == properties.num_switches(params), params
+
+    def test_switch_roles(self, built):
+        for params, net in built.items():
+            crossbars = net.switches_by_role("crossbar")
+            levels = net.switches_by_role("level")
+            assert len(crossbars) == properties.num_crossbar_switches(params), params
+            assert len(levels) == properties.num_level_switches(params), params
+
+    def test_link_count(self, built):
+        for params, net in built.items():
+            assert net.num_links == properties.num_links(params), params
+
+    def test_level_link_count(self, built):
+        for params, net in built.items():
+            level_links = sum(
+                1
+                for link in net.links()
+                if link.u.startswith("l") or link.v.startswith("l")
+            )
+            assert level_links == properties.num_level_links(params), params
+
+
+class TestDiameter:
+    def test_server_hop_diameter_exact(self, built):
+        """The k + c + 1 formula is *exact*: BFS over every pair agrees."""
+        for params, net in built.items():
+            measured = server_hop_stats(net).diameter
+            assert measured == properties.diameter_server_hops(params), params
+
+    def test_link_hop_diameter_is_double(self, built):
+        for params, net in built.items():
+            servers = set(net.servers)
+            worst = 0
+            for src in net.servers:
+                dist = bfs_distances(net, src)
+                worst = max(worst, max(dist[d] for d in servers))
+            assert worst == properties.diameter_link_hops(params), params
+
+
+class TestBisection:
+    def test_digit_cut_achieves_formula(self, built):
+        """For even n the level-k digit cut has exactly n^(k+1)/2 links."""
+        for params, net in built.items():
+            if params.n % 2 != 0:
+                continue
+            side = digit_split_abccc(net, params.k)
+            width = partition_cut_width(net, side)
+            assert width == properties.bisection_links(params), params
+
+    def test_odd_n_has_no_closed_form(self):
+        assert properties.bisection_links(AbcccParams(3, 1, 2)) is None
+
+    def test_per_server_formula(self):
+        params = AbcccParams(4, 3, 2)
+        assert properties.bisection_per_server(params) == pytest.approx(1 / 8)
+        params = AbcccParams(4, 3, 5)  # c = 1: BCube's 1/2
+        assert properties.bisection_per_server(params) == pytest.approx(1 / 2)
+
+
+class TestExpectedRouteLength:
+    @pytest.mark.parametrize(
+        "params",
+        [AbcccParams(2, 1, 2), AbcccParams(3, 1, 2), AbcccParams(2, 2, 2), AbcccParams(3, 2, 3), AbcccParams(2, 2, 3)],
+        ids=str,
+    )
+    def test_formula_matches_exhaustive_mean(self, params):
+        """The closed form equals the exact mean of the locality route
+        length over ALL ordered pairs (identical pairs included)."""
+        from repro.core.address import ServerAddress
+        from repro.core.routing import logical_distance
+
+        total = params.num_crossbars * params.crossbar_size
+        addresses = [ServerAddress.from_rank(params, r) for r in range(total)]
+        mean = sum(
+            logical_distance(params, a, b) for a in addresses for b in addresses
+        ) / (total * total)
+        assert properties.expected_server_hops(params) == pytest.approx(mean)
+
+    def test_bcube_case_is_pure_corrections(self):
+        params = AbcccParams(4, 2, 4)  # c = 1
+        assert properties.expected_server_hops(params) == pytest.approx(
+            3 * (1 - 1 / 4)
+        )
+
+    def test_link_hops_double(self):
+        params = AbcccParams(3, 2, 2)
+        assert properties.expected_link_hops(params) == pytest.approx(
+            2 * properties.expected_server_hops(params)
+        )
+
+    def test_mean_below_diameter(self):
+        for params in GRID:
+            assert (
+                properties.expected_server_hops(params)
+                <= properties.diameter_server_hops(params)
+            )
+
+
+class TestSpecialCases:
+    def test_bcube_degeneration_counts(self):
+        """c == 1 collapses to BCube: same servers, switches, links."""
+        from repro.baselines.bcube import BcubeSpec
+
+        params = AbcccParams(3, 2, 4)
+        bcube = BcubeSpec(3, 2)
+        assert properties.num_servers(params) == bcube.num_servers
+        assert properties.num_switches(params) == bcube.num_switches
+        assert properties.num_links(params) == bcube.num_links
+        assert properties.diameter_server_hops(params) == bcube.diameter_server_hops
+
+    def test_bccc_diameter_linear_in_k(self):
+        diameters = [
+            properties.diameter_server_hops(AbcccParams(4, k, 2)) for k in range(1, 6)
+        ]
+        assert diameters == [2 * k + 2 for k in range(1, 6)]
+
+    def test_crossbar_switch_ports_commodity(self):
+        assert properties.crossbar_switch_ports(AbcccParams(8, 3, 2)) == 8
+        # crossbars can outgrow the radix only when k + 1 > n
+        assert properties.crossbar_switch_ports(AbcccParams(2, 3, 2)) == 4
+
+    def test_expansion_server_requirement(self):
+        assert properties.expansion_requires_new_server(AbcccParams(4, 1, 2))
+        # s=3, k=1: 2 levels on server 0, level 2 would start server 1 -> new
+        assert properties.expansion_requires_new_server(AbcccParams(4, 1, 3))
+        # s=3, k=2: server 1 owns level 2 and has a spare port for level 3
+        assert not properties.expansion_requires_new_server(AbcccParams(4, 2, 3))
+
+    def test_parallel_path_count(self):
+        assert properties.parallel_path_count(AbcccParams(4, 3, 2)) == 4

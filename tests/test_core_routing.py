@@ -1,0 +1,171 @@
+"""Digit-correction routing: validity, length bounds, shortest-path quality."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import properties
+from repro.core.address import AbcccParams, ServerAddress
+from repro.core.routing import (
+    abccc_route,
+    logical_distance,
+    route_length_bound,
+    route_with_order,
+)
+from repro.routing.base import RoutingError
+from repro.routing.shortest import bfs_distances
+
+PARAMS_POOL = [
+    AbcccParams(2, 1, 2),
+    AbcccParams(3, 1, 2),
+    AbcccParams(3, 2, 2),
+    AbcccParams(3, 2, 3),
+    AbcccParams(4, 2, 2),
+    AbcccParams(2, 3, 2),
+    AbcccParams(4, 1, 3),  # c = 1 (BCube case)
+]
+
+
+def _random_server(params: AbcccParams, rng: random.Random) -> ServerAddress:
+    total = params.num_crossbars * params.crossbar_size
+    return ServerAddress.from_rank(params, rng.randrange(total))
+
+
+class TestRouteValidity:
+    @pytest.mark.parametrize("params", PARAMS_POOL, ids=str)
+    @pytest.mark.parametrize("strategy", ["identity", "random", "locality", "balanced"])
+    def test_routes_are_valid_paths(self, params, strategy):
+        from repro.core.topology import build_abccc
+
+        net = build_abccc(params)
+        rng = random.Random(17)
+        for i in range(25):
+            src = _random_server(params, rng)
+            dst = _random_server(params, rng)
+            route = abccc_route(
+                params, src, dst, strategy=strategy, seed=i, rotation=i
+            )
+            route.validate(net)
+            assert route.source == src.name
+            assert route.destination == dst.name
+            assert route.is_simple
+
+    def test_self_route(self):
+        params = AbcccParams(3, 1, 2)
+        addr = ServerAddress((0, 0), 0)
+        assert abccc_route(params, addr, addr).nodes == (addr.name,)
+
+    def test_same_crossbar_route(self):
+        params = AbcccParams(3, 2, 2)
+        src = ServerAddress((0, 1, 2), 0)
+        dst = ServerAddress((0, 1, 2), 2)
+        route = abccc_route(params, src, dst)
+        assert route.link_hops == 2  # through the crossbar switch
+
+
+class TestLengthGuarantees:
+    @pytest.mark.parametrize("params", PARAMS_POOL, ids=str)
+    def test_diameter_bound_respected(self, params):
+        rng = random.Random(3)
+        bound = 2 * properties.diameter_server_hops(params)
+        for _ in range(40):
+            src = _random_server(params, rng)
+            dst = _random_server(params, rng)
+            route = abccc_route(params, src, dst, strategy="locality")
+            assert route.link_hops <= bound
+
+    def test_length_bound_matches_route(self):
+        params = AbcccParams(3, 2, 2)
+        rng = random.Random(5)
+        for _ in range(50):
+            src = _random_server(params, rng)
+            dst = _random_server(params, rng)
+            route = abccc_route(params, src, dst, strategy="locality")
+            assert route.link_hops == route_length_bound(params, src, dst)
+            assert logical_distance(params, src, dst) == route.link_hops // 2
+
+    @pytest.mark.parametrize(
+        "params",
+        [AbcccParams(3, 1, 2), AbcccParams(3, 2, 2), AbcccParams(2, 2, 2), AbcccParams(3, 2, 3)],
+        ids=str,
+    )
+    def test_locality_routes_are_shortest(self, params):
+        """Locality digit correction matches BFS shortest paths exactly
+        (exhaustively over sources, sampled destinations)."""
+        from repro.core.topology import build_abccc
+
+        net = build_abccc(params)
+        rng = random.Random(23)
+        servers = net.servers
+        for src_name in rng.sample(servers, min(12, len(servers))):
+            dist = bfs_distances(net, src_name)
+            src = ServerAddress.parse(src_name)
+            for dst_name in rng.sample(servers, min(20, len(servers))):
+                if dst_name == src_name:
+                    continue
+                route = abccc_route(params, src, ServerAddress.parse(dst_name))
+                assert route.link_hops == dist[dst_name], (src_name, dst_name)
+
+
+class TestRouteWithOrder:
+    def test_incomplete_order_rejected(self):
+        params = AbcccParams(3, 2, 2)
+        src = ServerAddress((0, 0, 0), 0)
+        dst = ServerAddress((1, 1, 1), 0)
+        with pytest.raises(RoutingError, match="uncorrected"):
+            route_with_order(params, src, dst, [0, 1])
+
+    def test_already_correct_levels_skipped(self):
+        params = AbcccParams(3, 2, 2)
+        src = ServerAddress((0, 1, 0), 0)
+        dst = ServerAddress((1, 1, 0), 0)
+        route = route_with_order(params, src, dst, [0, 1, 2])
+        assert route.link_hops == 2  # only level 0 differs
+
+    def test_bad_level_rejected(self):
+        params = AbcccParams(3, 1, 2)
+        src = ServerAddress((0, 0), 0)
+        dst = ServerAddress((1, 1), 0)
+        with pytest.raises(Exception):
+            route_with_order(params, src, dst, [0, 5])
+
+    def test_bad_digits_rejected(self):
+        params = AbcccParams(3, 1, 2)
+        with pytest.raises(Exception):
+            route_with_order(
+                params, ServerAddress((9, 0), 0), ServerAddress((0, 0), 0), []
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_routing_hypothesis_sweep(data):
+    """Random (params, pair, strategy): route is valid, simple, within the
+    diameter bound, and its node names round-trip through the codecs."""
+    n = data.draw(st.integers(min_value=2, max_value=4))
+    k = data.draw(st.integers(min_value=0, max_value=3))
+    s = data.draw(st.integers(min_value=2, max_value=4))
+    params = AbcccParams(n, k, s)
+    total = params.num_crossbars * params.crossbar_size
+    src = ServerAddress.from_rank(params, data.draw(st.integers(0, total - 1)))
+    dst = ServerAddress.from_rank(params, data.draw(st.integers(0, total - 1)))
+    strategy = data.draw(st.sampled_from(["identity", "random", "locality", "balanced"]))
+    route = abccc_route(params, src, dst, strategy=strategy, seed=1, rotation=2)
+    assert route.is_simple
+    if strategy == "locality":
+        # Only the transfer-minimal strategy meets the diameter bound.
+        assert route.link_hops <= 2 * properties.diameter_server_hops(params)
+    else:
+        # Any strategy: <= one transfer around every correction plus the
+        # first/last moves -> (k+1) corrections + (k+1) + 2 transfers.
+        assert route.link_hops <= 2 * (2 * params.levels + 2)
+    assert route.nodes[0] == src.name
+    assert route.nodes[-1] == dst.name
+    # Every visited server parses back to a legal address.
+    for name in route.nodes:
+        if name.startswith("s"):
+            addr = ServerAddress.parse(name)
+            params.check_digits(addr.digits)

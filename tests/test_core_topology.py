@@ -1,0 +1,125 @@
+"""ABCCC builder structure tests: wiring rules, degeneration, spec surface."""
+
+import pytest
+
+from repro.core import AbcccSpec, build_abccc
+from repro.core.address import (
+    AbcccParams,
+    CrossbarSwitchAddress,
+    LevelSwitchAddress,
+    ServerAddress,
+)
+from repro.core.topology import iter_level_switches
+from repro.topology.validate import LinkPolicy, validate_network
+
+
+class TestWiring:
+    def test_every_server_linked_to_its_crossbar_switch(self, abccc_medium):
+        spec, net = abccc_medium
+        for name in net.servers:
+            addr = ServerAddress.parse(name)
+            csw = CrossbarSwitchAddress(addr.digits).name
+            assert net.has_link(name, csw)
+
+    def test_level_switch_members_are_owners(self, abccc_s3):
+        spec, net = abccc_s3
+        params = spec.abccc
+        for switch_name in net.switches_by_role("level"):
+            lsw = LevelSwitchAddress.parse(switch_name)
+            owner = params.owner_of(lsw.level)
+            members = net.neighbors(switch_name)
+            assert len(members) == params.n
+            for member in members:
+                addr = ServerAddress.parse(member)
+                assert addr.index == owner
+                # Members differ only in the switch's level digit.
+                expected_rest = lsw.rest
+                actual_rest = (
+                    addr.digits[: lsw.level] + addr.digits[lsw.level + 1 :]
+                )
+                assert actual_rest == expected_rest
+
+    def test_level_switch_count_enumeration(self):
+        params = AbcccParams(3, 2, 2)
+        switches = list(iter_level_switches(params))
+        assert len(switches) == 3 * 9
+        assert len({s.name for s in switches}) == len(switches)
+
+    def test_server_port_usage_within_budget(self, abccc_s3):
+        spec, net = abccc_s3
+        params = spec.abccc
+        for name in net.servers:
+            addr = ServerAddress.parse(name)
+            expected_degree = 1 + params.level_ports_used(addr.index)
+            assert net.degree(name) == expected_degree
+            assert expected_degree <= spec.s
+
+    def test_server_centric_policy_holds(self, abccc_medium):
+        spec, net = abccc_medium
+        validate_network(net, LinkPolicy.server_centric())
+
+    def test_meta_carries_params(self, abccc_medium):
+        spec, net = abccc_medium
+        assert net.meta["kind"] == "abccc"
+        assert net.meta["params"] == spec.abccc
+
+
+class TestDegenerateCases:
+    def test_c1_has_no_crossbar_switches(self):
+        net = build_abccc(AbcccParams(3, 1, 3))  # c = 1
+        assert net.switches_by_role("crossbar") == []
+
+    def test_c1_is_isomorphic_to_bcube(self):
+        """Same link structure as BCube modulo the '/0' name suffix."""
+        from repro.baselines.bcube import build_bcube
+
+        abccc = build_abccc(AbcccParams(3, 1, 3))
+        bcube = build_bcube(3, 1)
+
+        def strip(name: str) -> str:
+            return name[:-2] if name.endswith("/0") else name
+
+        abccc_links = {tuple(sorted((strip(l.u), strip(l.v)))) for l in abccc.links()}
+        bcube_links = {tuple(sorted((l.u, l.v))) for l in bcube.links()}
+        assert abccc_links == bcube_links
+
+    def test_k0_s2(self):
+        """ABCCC(n, 0, 2): one level, singleton crossbars — a single star."""
+        net = build_abccc(AbcccParams(4, 0, 2))
+        assert net.num_servers == 4
+        assert net.num_switches == 1
+        assert net.num_links == 4
+
+
+class TestSpecSurface:
+    def test_params_dict(self):
+        assert AbcccSpec(4, 2, 3).params() == {"n": 4, "k": 2, "s": 3}
+
+    def test_accessors(self):
+        spec = AbcccSpec(4, 2, 3)
+        assert (spec.n, spec.k, spec.s) == (4, 2, 3)
+
+    def test_switch_inventory_mixes_sizes_when_crossbars_outgrow_radix(self):
+        spec = AbcccSpec(2, 3, 2)  # c = 4 > n = 2
+        inventory = spec.switch_inventory()
+        assert inventory[2] == 4 * 8  # level switches: (k+1) n^k
+        assert inventory[4] == 16  # crossbar switches need 4 ports
+
+    def test_switch_inventory_single_size_when_commodity(self):
+        spec = AbcccSpec(4, 2, 2)  # c = 3 <= n = 4
+        inventory = spec.switch_inventory()
+        assert set(inventory) == {4}
+        assert inventory[4] == spec.num_switches
+
+    def test_route_delegates_to_digit_correction(self, abccc_small):
+        spec, net = abccc_small
+        route = spec.route(net, net.servers[0], net.servers[-1])
+        route.validate(net)
+        assert route.source == net.servers[0]
+        assert route.destination == net.servers[-1]
+
+    def test_invalid_parameters_rejected(self):
+        from repro.core.address import AddressError
+
+        with pytest.raises(AddressError):
+            AbcccSpec(1, 1, 2)

@@ -1,0 +1,92 @@
+"""Deployment manifests and expansion work orders."""
+
+import pytest
+
+from repro.core import AbcccSpec, plan_abccc_growth, plan_bcube_growth
+from repro.baselines import BcubeSpec
+from repro.deploy import (
+    build_manifest,
+    expansion_work_orders,
+    render_work_orders,
+)
+from repro.metrics.layout import LayoutConfig
+
+
+class TestManifest:
+    def test_covers_everything(self):
+        spec = AbcccSpec(3, 1, 2)
+        net = spec.build()
+        manifest = build_manifest(net, LayoutConfig(rack_capacity=6))
+        assert sum(len(b.servers) for b in manifest.racks) == net.num_servers
+        assert sum(len(b.switches) for b in manifest.racks) == net.num_switches
+        assert len(manifest.cables) == net.num_links
+
+    def test_cable_lengths_consistent_with_layout(self):
+        spec = AbcccSpec(3, 1, 2)
+        net = spec.build()
+        config = LayoutConfig(rack_capacity=6)
+        manifest = build_manifest(net, config)
+        for cable in manifest.cables:
+            assert cable.length == config.cable_length(cable.rack_u, cable.rack_v)
+            assert cable.intra_rack == (cable.rack_u == cable.rack_v)
+
+    def test_render_mentions_counts(self):
+        spec = AbcccSpec(2, 1, 2)
+        manifest = build_manifest(spec.build())
+        text = manifest.render()
+        assert "racks" in text
+        assert "cables" in text
+
+
+class TestWorkOrders:
+    def test_pure_addition_has_no_disruptive_phase(self):
+        plan = plan_abccc_growth(3, 1, 2)
+        new_net = AbcccSpec(3, 2, 2).build()
+        orders = expansion_work_orders(plan, new_net)
+        assert [o.phase for o in orders] == [1, 2, 3]
+        assert not any(o.disruptive for o in orders)
+
+    def test_order_item_counts_match_plan(self):
+        plan = plan_abccc_growth(3, 1, 2)
+        new_net = AbcccSpec(3, 2, 2).build()
+        orders = {o.phase: o for o in expansion_work_orders(plan, new_net)}
+        assert orders[1].size == len(plan.new_switches)
+        assert orders[2].size == len(plan.new_servers)
+        assert orders[3].size == len(plan.new_links)
+
+    def test_bcube_growth_is_disruptive(self):
+        plan = plan_bcube_growth(3, 1)
+        new_net = BcubeSpec(3, 2).build()
+        orders = expansion_work_orders(plan, new_net)
+        disruptive = [o for o in orders if o.disruptive]
+        assert len(disruptive) == 1
+        assert disruptive[0].phase == 4
+        assert disruptive[0].size == len(plan.upgraded_servers)
+        assert all("add NIC" in item for item in disruptive[0].items)
+
+    def test_cables_sorted_intra_rack_first(self):
+        plan = plan_abccc_growth(3, 1, 2)
+        new_net = AbcccSpec(3, 2, 2).build()
+        config = LayoutConfig(rack_capacity=9)
+        orders = {o.phase: o for o in expansion_work_orders(plan, new_net, config)}
+        from repro.metrics.layout import assign_racks
+
+        racks = assign_racks(new_net, config)
+
+        def is_intra(item: str) -> bool:
+            u, _, v = item.partition(" <-> ")
+            return racks[u] == racks[v]
+
+        flags = [is_intra(item) for item in orders[3].items]
+        # once we leave the intra-rack block we never return
+        assert flags == sorted(flags, reverse=True)
+
+    def test_render(self):
+        plan = plan_bcube_growth(2, 1)
+        new_net = BcubeSpec(2, 2).build()
+        text = render_work_orders(expansion_work_orders(plan, new_net))
+        assert "phase 1" in text
+        assert "DISRUPTIVE" in text
+
+    def test_render_empty(self):
+        assert render_work_orders([]) == "nothing to do"

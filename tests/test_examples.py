@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs cleanly end to end.
+
+Examples are documentation that executes; these tests keep them honest.
+Each runs in a subprocess (its own interpreter, like a user would) and
+must exit 0 with the expected landmark strings in its output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: script -> strings its stdout must contain.
+LANDMARKS = {
+    "quickstart.py": ["ABCCC(n=4, k=2, s=3)", "permutation traffic", "CAPEX"],
+    "expansion_planning.py": ["PURE ADDITION", "BCube", "fat-tree"],
+    "failure_resilience.py": ["healthy", "severe outage", "stretch"],
+    "tradeoff_explorer.py": ["Pareto frontier"],
+    "mapreduce_shuffle.py": ["completion", "BCUBE"],
+    "deployment_manifest.py": ["conformance: PASS", "sabotage drill", "makespan"],
+    "capacity_planning.py": ["feasible configuration", "full report"],
+}
+
+
+def _run(script: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+def test_examples_directory_fully_covered():
+    """Every example on disk has a smoke test (and vice versa)."""
+    on_disk = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert on_disk == set(LANDMARKS)
+
+
+@pytest.mark.parametrize("script", sorted(LANDMARKS))
+def test_example_runs(script):
+    out = _run(script)
+    for landmark in LANDMARKS[script]:
+        assert landmark in out, f"{script}: missing {landmark!r} in output"

@@ -1,0 +1,65 @@
+"""Harness plumbing: registration rules, runner output, CSV writing."""
+
+import os
+
+import pytest
+
+from repro.experiments import all_experiments, run_all, run_experiment
+from repro.experiments.harness import Experiment, register
+
+
+class TestRegistration:
+    def test_duplicate_id_rejected(self):
+        all_experiments()  # ensure the built-ins are registered first
+        with pytest.raises(ValueError, match="already registered"):
+            register("T1", "imposter", "nothing")(lambda quick: [])
+
+    def test_experiment_objects_are_frozen(self):
+        experiment = all_experiments()[0]
+        with pytest.raises(AttributeError):
+            experiment.title = "renamed"
+
+    def test_ordering_groups_then_numbers(self):
+        ids = [e.exp_id for e in all_experiments()]
+        groups = [i[0] for i in ids]
+        # T block, then F block, then E block — no interleaving.
+        assert groups == sorted(groups, key=lambda g: {"T": 0, "F": 1, "E": 2}[g])
+        for kind in "TFE":
+            numbers = [int(i[1:]) for i in ids if i[0] == kind]
+            assert numbers == sorted(numbers)
+
+
+class TestRunner:
+    def test_run_experiment_prints_and_writes(self, capsys, tmp_path):
+        tables = run_experiment("F2", quick=True, out_dir=str(tmp_path))
+        out = capsys.readouterr().out
+        assert "### F2" in out
+        assert "expectation:" in out
+        assert "finished in" in out
+        written = sorted(os.listdir(tmp_path))
+        assert len(written) == len(tables)
+        assert all(name.startswith("f2") and name.endswith(".csv") for name in written)
+
+    def test_quiet_mode(self, capsys, tmp_path):
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
+        assert capsys.readouterr().out == ""
+
+    def test_no_csv_when_out_dir_none(self, capsys):
+        tables = run_experiment("F11", quick=True, out_dir=None, verbose=False)
+        assert tables  # ran fine, nothing persisted
+
+    def test_single_table_filename_has_no_suffix(self, tmp_path):
+        run_experiment("F5", quick=True, out_dir=str(tmp_path), verbose=False)
+        assert (tmp_path / "f5.csv").exists()
+
+    def test_multi_table_filenames_numbered(self, tmp_path):
+        run_experiment("T1", quick=True, out_dir=str(tmp_path), verbose=False)
+        assert (tmp_path / "t1_0.csv").exists()
+        assert (tmp_path / "t1_1.csv").exists()
+
+    def test_execute_does_not_write(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        from repro.experiments import get_experiment
+
+        get_experiment("F11").execute(quick=True)
+        assert os.listdir(tmp_path) == []

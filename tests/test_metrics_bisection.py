@@ -1,0 +1,110 @@
+"""Bisection estimation: exact cuts, bounds, candidate partitions."""
+
+import pytest
+
+from repro.baselines.bcube import BcubeSpec
+from repro.core import AbcccSpec
+from repro.metrics.bisection import (
+    bisection_upper_bound,
+    digit_split_abccc,
+    digit_split_bcube,
+    exact_bisection_small,
+    partition_cut_width,
+    random_split,
+    spectral_split,
+)
+from repro.topology.graph import Network
+
+
+def _dumbbell() -> Network:
+    """Two stars joined by one bridge link: bisection is obviously 1."""
+    net = Network("dumbbell")
+    for side in ("a", "b"):
+        net.add_switch(f"w{side}", ports=4)
+        for i in range(3):
+            net.add_server(f"{side}{i}", ports=1)
+            net.add_link(f"{side}{i}", f"w{side}")
+    net.add_link("wa", "wb")
+    return net
+
+
+class TestPartitionCutWidth:
+    def test_dumbbell_natural_cut(self):
+        net = _dumbbell()
+        width = partition_cut_width(net, {"a0", "a1", "a2"})
+        assert width == 1
+
+    def test_dumbbell_bad_cut_costs_more(self):
+        net = _dumbbell()
+        width = partition_cut_width(net, {"a0", "a1", "b0"})
+        assert width > 1
+
+    def test_rejects_improper_subsets(self, tiny_net):
+        with pytest.raises(ValueError):
+            partition_cut_width(tiny_net, set())
+        with pytest.raises(ValueError):
+            partition_cut_width(tiny_net, {"a", "b"})
+
+    def test_rejects_non_servers(self, tiny_net):
+        with pytest.raises(ValueError, match="non-server"):
+            partition_cut_width(tiny_net, {"sw"})
+
+    def test_switch_placement_optimised(self, tiny_net):
+        # One server on each side; the only link cut is one of the two.
+        assert partition_cut_width(tiny_net, {"a"}) == 1
+
+
+class TestExactSmall:
+    def test_dumbbell(self):
+        assert exact_bisection_small(_dumbbell()) == 1
+
+    def test_abccc_tiny_matches_formula(self):
+        spec = AbcccSpec(2, 1, 2)  # 8 servers
+        assert exact_bisection_small(spec.build()) == spec.bisection_links == 2
+
+    def test_bcube_tiny_matches_formula(self):
+        spec = BcubeSpec(2, 1)  # 4 servers
+        assert exact_bisection_small(spec.build()) == spec.bisection_links == 2
+
+    def test_refuses_large_instances(self, abccc_medium):
+        _, net = abccc_medium
+        with pytest.raises(ValueError, match="too many"):
+            exact_bisection_small(net)
+
+
+class TestUpperBound:
+    def test_upper_bound_at_least_exact(self):
+        net = _dumbbell()
+        assert bisection_upper_bound(net) >= exact_bisection_small(net)
+
+    def test_digit_split_finds_formula_on_abccc(self):
+        spec = AbcccSpec(2, 2, 2)
+        net = spec.build()
+        candidates = [digit_split_abccc(net, level) for level in range(3)]
+        assert bisection_upper_bound(net, candidates) == spec.bisection_links
+
+    def test_digit_split_finds_formula_on_bcube(self):
+        spec = BcubeSpec(2, 2)
+        net = spec.build()
+        candidates = [digit_split_bcube(net, level) for level in range(3)]
+        assert bisection_upper_bound(net, candidates) == spec.bisection_links
+
+    def test_digit_split_requires_builder_meta(self, tiny_net):
+        with pytest.raises(ValueError, match="builder"):
+            digit_split_abccc(tiny_net, 0)
+
+
+class TestSplits:
+    def test_spectral_split_is_half(self, abccc_small):
+        _, net = abccc_small
+        side = spectral_split(net)
+        assert len(side) == net.num_servers // 2
+
+    def test_random_split_is_half_and_seeded(self, abccc_small):
+        _, net = abccc_small
+        a = random_split(net, seed=1)
+        b = random_split(net, seed=1)
+        c = random_split(net, seed=2)
+        assert a == b
+        assert len(a) == net.num_servers // 2
+        assert a != c

@@ -1,0 +1,89 @@
+"""Link-load accounting and aggregate bottleneck throughput."""
+
+import pytest
+
+from repro.metrics.bottleneck import (
+    aggregate_bottleneck_throughput,
+    link_loads,
+    load_stats,
+    per_server_abt,
+)
+from repro.routing.base import Route
+from repro.topology.graph import Network
+
+
+@pytest.fixture()
+def path_net() -> Network:
+    """a - w1 - b - w2 - c chain (servers a, b, c)."""
+    net = Network("chain")
+    for name in ("a", "b", "c"):
+        net.add_server(name, ports=2)
+    net.add_switch("w1", ports=2)
+    net.add_switch("w2", ports=2)
+    net.add_link("a", "w1")
+    net.add_link("w1", "b")
+    net.add_link("b", "w2")
+    net.add_link("w2", "c")
+    return net
+
+
+class TestLinkLoads:
+    def test_counts_crossings(self, path_net):
+        r1 = Route.of(["a", "w1", "b"])
+        r2 = Route.of(["a", "w1", "b", "w2", "c"])
+        loads = link_loads(path_net, [r1, r2])
+        assert loads[("a", "w1")] == 2.0
+        assert loads[("b", "w2")] == 1.0
+
+    def test_capacity_normalisation(self):
+        net = Network()
+        net.add_server("a", ports=1)
+        net.add_server("b", ports=1)
+        net.add_link("a", "b", capacity=4.0)
+        loads = link_loads(net, [Route.of(["a", "b"])] * 2)
+        assert loads[("a", "b")] == pytest.approx(0.5)
+
+    def test_repeated_link_in_one_route_counts_twice(self, path_net):
+        walk = Route.of(["a", "w1", "b", "w1", "a"])  # out and back
+        loads = link_loads(path_net, [walk])
+        # Each undirected link is crossed twice by the walk.
+        assert loads[("a", "w1")] == 2.0
+        assert loads[("b", "w1")] == 2.0
+
+
+class TestLoadStats:
+    def test_zeros_included(self, path_net):
+        stats = load_stats(path_net, [Route.of(["a", "w1", "b"])])
+        assert stats.total_links == 4
+        assert stats.loaded_links == 2
+        assert stats.utilisation == pytest.approx(0.5)
+        assert stats.max_load == 1.0
+        assert stats.mean_load == pytest.approx(0.5)
+
+    def test_empty_routes(self, path_net):
+        stats = load_stats(path_net, [])
+        assert stats.num_routes == 0
+        assert stats.max_load == 0.0
+        assert stats.coefficient_of_variation == 0.0
+
+
+class TestAbt:
+    def test_hand_computed(self, path_net):
+        # Two flows share a-w1-b; one flow continues to c.
+        routes = [
+            Route.of(["a", "w1", "b"]),
+            Route.of(["a", "w1", "b", "w2", "c"]),
+        ]
+        # bottleneck load 2 on (a, w1); ABT = 2 flows / 2 = 1.
+        assert aggregate_bottleneck_throughput(path_net, routes) == pytest.approx(1.0)
+
+    def test_single_flow(self, path_net):
+        routes = [Route.of(["a", "w1", "b"])]
+        assert aggregate_bottleneck_throughput(path_net, routes) == pytest.approx(1.0)
+
+    def test_empty(self, path_net):
+        assert aggregate_bottleneck_throughput(path_net, []) == 0.0
+
+    def test_per_server(self, path_net):
+        routes = [Route.of(["a", "w1", "b"])]
+        assert per_server_abt(path_net, routes) == pytest.approx(1.0 / 3)

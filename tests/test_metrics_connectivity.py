@@ -1,0 +1,150 @@
+"""Failure injection and resilience metrics."""
+
+import pytest
+
+from repro.metrics.connectivity import (
+    FailureScenario,
+    apply_failures,
+    connection_ratio,
+    draw_failures,
+    largest_component_fraction,
+    sample_server_pairs,
+    server_pair_connectivity,
+)
+
+
+class TestDrawFailures:
+    def test_fraction_counts(self, abccc_small):
+        _, net = abccc_small
+        scenario = draw_failures(net, server_fraction=0.5, seed=1)
+        assert len(scenario.dead_servers) == round(0.5 * net.num_servers)
+        assert scenario.dead_switches == ()
+        assert scenario.dead_links == ()
+
+    def test_seed_determinism(self, abccc_small):
+        _, net = abccc_small
+        a = draw_failures(net, server_fraction=0.3, switch_fraction=0.2, seed=7)
+        b = draw_failures(net, server_fraction=0.3, switch_fraction=0.2, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self, abccc_small):
+        _, net = abccc_small
+        a = draw_failures(net, server_fraction=0.3, seed=7)
+        b = draw_failures(net, server_fraction=0.3, seed=8)
+        assert a != b
+
+    def test_fraction_validation(self, abccc_small):
+        _, net = abccc_small
+        with pytest.raises(ValueError, match="fraction"):
+            draw_failures(net, server_fraction=1.5)
+
+    def test_empty_scenario(self, abccc_small):
+        _, net = abccc_small
+        scenario = draw_failures(net)
+        assert scenario.is_empty
+
+
+class TestRackFailures:
+    def test_whole_racks_die_together(self, abccc_medium):
+        from repro.metrics.connectivity import draw_rack_failures
+        from repro.metrics.layout import LayoutConfig, assign_racks
+
+        _, net = abccc_medium
+        scenario = draw_rack_failures(net, 2, rack_capacity=9, seed=1)
+        racks = assign_racks(net, LayoutConfig(rack_capacity=9))
+        dead_racks = {racks[name] for name in scenario.dead_servers}
+        assert len(dead_racks) == 2
+        # Every server of a dead rack is dead — no partial racks.
+        for name, rack in racks.items():
+            if rack in dead_racks and net.node(name).is_server:
+                assert name in scenario.dead_servers
+
+    def test_switches_in_dead_racks_die(self, abccc_medium):
+        from repro.metrics.connectivity import draw_rack_failures
+
+        _, net = abccc_medium
+        scenario = draw_rack_failures(net, 1, rack_capacity=9, seed=2)
+        assert scenario.dead_switches  # crossbar switches live in racks
+
+    def test_zero_racks_is_empty(self, abccc_small):
+        from repro.metrics.connectivity import draw_rack_failures
+
+        _, net = abccc_small
+        assert draw_rack_failures(net, 0, rack_capacity=6).is_empty
+
+    def test_bounds_validated(self, abccc_small):
+        from repro.metrics.connectivity import draw_rack_failures
+
+        _, net = abccc_small
+        with pytest.raises(ValueError, match="num_racks"):
+            draw_rack_failures(net, 99, rack_capacity=6)
+
+    def test_seed_determinism(self, abccc_small):
+        from repro.metrics.connectivity import draw_rack_failures
+
+        _, net = abccc_small
+        a = draw_rack_failures(net, 1, rack_capacity=6, seed=5)
+        b = draw_rack_failures(net, 1, rack_capacity=6, seed=5)
+        assert a == b
+
+
+class TestApplyFailures:
+    def test_removes_components(self, abccc_small):
+        _, net = abccc_small
+        scenario = draw_failures(net, server_fraction=0.25, link_fraction=0.1, seed=3)
+        alive = apply_failures(net, scenario)
+        assert alive.num_servers == net.num_servers - len(scenario.dead_servers)
+        for name in scenario.dead_servers:
+            assert name not in alive
+        assert net.num_servers > alive.num_servers  # original untouched? no:
+        # original network must be untouched
+        assert all(name in net for name in scenario.dead_servers)
+
+
+class TestConnectionRatio:
+    def test_no_failures_is_fully_connected(self, abccc_small):
+        _, net = abccc_small
+        scenario = FailureScenario((), (), ())
+        assert connection_ratio(net, scenario, sample_pairs=50) == 1.0
+
+    def test_degrades_with_failures(self, abccc_medium):
+        _, net = abccc_medium
+        light = draw_failures(net, switch_fraction=0.05, seed=2)
+        heavy = draw_failures(net, switch_fraction=0.5, seed=2)
+        ratio_light = connection_ratio(net, light, sample_pairs=150, seed=0)
+        ratio_heavy = connection_ratio(net, heavy, sample_pairs=150, seed=0)
+        assert ratio_heavy <= ratio_light <= 1.0
+
+    def test_total_blackout(self, abccc_small):
+        _, net = abccc_small
+        scenario = draw_failures(net, switch_fraction=1.0, seed=1)
+        assert connection_ratio(net, scenario, sample_pairs=30) == 0.0
+
+
+class TestLargestComponent:
+    def test_intact_network(self, abccc_small):
+        _, net = abccc_small
+        scenario = FailureScenario((), (), ())
+        assert largest_component_fraction(net, scenario) == 1.0
+
+    def test_all_servers_dead(self, abccc_small):
+        _, net = abccc_small
+        scenario = FailureScenario(tuple(net.servers), (), ())
+        assert largest_component_fraction(net, scenario) == 0.0
+
+
+class TestPairUtilities:
+    def test_sample_pairs_distinct(self, abccc_small):
+        _, net = abccc_small
+        pairs = sample_server_pairs(net, 25, seed=1)
+        assert len(pairs) == 25
+        assert len(set(pairs)) == 25
+        for src, dst in pairs:
+            assert src != dst
+
+    def test_pair_connectivity_values(self, abccc_small):
+        spec, net = abccc_small
+        pairs = sample_server_pairs(net, 5, seed=2)
+        for node_conn, edge_conn in server_pair_connectivity(net, pairs):
+            assert 1 <= node_conn <= spec.s
+            assert node_conn <= edge_conn <= spec.s

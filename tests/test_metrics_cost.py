@@ -1,0 +1,75 @@
+"""CAPEX model tests."""
+
+import pytest
+
+from repro.baselines import BcubeSpec, FatTreeSpec, HypercubeSpec
+from repro.core import AbcccSpec, plan_abccc_growth
+from repro.metrics.cost import CapexBreakdown, PriceBook, capex, expansion_capex
+
+
+class TestPriceBook:
+    def test_commodity_switch_cost_linear(self):
+        prices = PriceBook(switch_base=100, switch_port=10)
+        assert prices.switch_cost(8) == 100 + 80
+
+    def test_premium_kink_above_commodity_radix(self):
+        prices = PriceBook(
+            switch_base=0, switch_port=10, premium_port=30, commodity_radix=48
+        )
+        assert prices.switch_cost(48) == 480
+        assert prices.switch_cost(50) == 480 + 60
+
+    def test_zero_ports(self):
+        assert PriceBook().switch_cost(0) == 0.0
+
+
+class TestCapex:
+    def test_hand_computed_abccc(self):
+        spec = AbcccSpec(2, 1, 2)  # 8 servers, 4 csw (2... ports), 4 lsw
+        prices = PriceBook(
+            switch_base=10, switch_port=1, premium_port=1, nic_port=2, cable=1
+        )
+        breakdown = capex(spec, prices)
+        # level switches: 4 x (10 + 2); crossbar switches: 4 x (10 + 2)
+        assert breakdown.switch_cost == 8 * 12
+        assert breakdown.nic_cost == 8 * 2 * 2
+        assert breakdown.cable_cost == spec.num_links * 1
+        assert breakdown.total == breakdown.switch_cost + breakdown.nic_cost + breakdown.cable_cost
+        assert breakdown.per_server == pytest.approx(breakdown.total / 8)
+
+    def test_switchless_topology(self):
+        breakdown = capex(HypercubeSpec(3))
+        assert breakdown.switch_cost == 0.0
+        assert breakdown.nic_cost > 0
+
+    def test_default_price_book_used(self):
+        assert capex(BcubeSpec(2, 1)).total > 0
+
+    def test_per_server_ordering_matches_paper(self):
+        """At default prices, the s dial raises per-server cost toward
+        BCube — the monotonicity the T2/F4 narrative relies on."""
+        prices = PriceBook()
+        costs = [
+            capex(AbcccSpec(4, 3, s), prices).per_server for s in (2, 3, 4)
+        ]
+        assert costs == sorted(costs)
+
+    def test_as_dict_keys(self):
+        data = capex(BcubeSpec(2, 1)).as_dict()
+        assert set(data) == {"switches", "nics", "cables", "total", "per_server"}
+
+
+class TestExpansionCapex:
+    def test_positive_for_growth(self):
+        plan = plan_abccc_growth(2, 1, 2)
+        assert expansion_capex(plan) > 0
+
+    def test_upgrades_cost_extra(self):
+        from repro.core import plan_bcube_growth
+
+        pure = plan_abccc_growth(3, 1, 2)
+        dirty = plan_bcube_growth(3, 1)
+        prices = PriceBook()
+        # Same per-unit prices: the BCube plan pays for upgraded NICs too.
+        assert expansion_capex(dirty, prices) > 0
+        assert len(dirty.upgraded_servers) > 0

@@ -1,0 +1,101 @@
+"""Distance metrics: projections, stats, sampling."""
+
+import networkx as nx
+import pytest
+
+from repro.metrics.distance import (
+    DistanceStats,
+    link_diameter,
+    link_hop_stats,
+    logical_server_adjacency,
+    server_diameter,
+    server_hop_stats,
+)
+from repro.topology.graph import Network
+
+
+class TestLogicalAdjacency:
+    def test_shared_switch(self, tiny_net):
+        adjacency = logical_server_adjacency(tiny_net)
+        assert adjacency["a"] == {"b"}
+        assert adjacency["b"] == {"a"}
+
+    def test_direct_link(self):
+        net = Network()
+        net.add_server("a", ports=1)
+        net.add_server("b", ports=1)
+        net.add_link("a", "b")
+        adjacency = logical_server_adjacency(net)
+        assert adjacency["a"] == {"b"}
+
+    def test_mixed(self, abccc_small):
+        _, net = abccc_small
+        adjacency = logical_server_adjacency(net)
+        # Every dual-port server has crossbar peers + n-1 level peers.
+        spec = abccc_small[0]
+        for server, peers in adjacency.items():
+            assert len(peers) == (spec.abccc.crossbar_size - 1) + (spec.n - 1)
+
+
+class TestStats:
+    def test_link_stats_match_networkx(self, abccc_small):
+        _, net = abccc_small
+        stats = link_hop_stats(net)
+        graph = net.to_networkx()
+        servers = net.servers
+        expected_diameter = max(
+            nx.shortest_path_length(graph, s, d)
+            for s in servers[:6]
+            for d in servers
+            if s != d
+        )
+        assert stats.diameter >= expected_diameter
+        assert stats.exact
+        assert stats.pairs == len(servers) * (len(servers) - 1)
+
+    def test_histogram_sums_to_pairs(self, abccc_small):
+        _, net = abccc_small
+        stats = server_hop_stats(net)
+        assert sum(stats.histogram.values()) == stats.pairs
+
+    def test_mean_consistent_with_histogram(self, abccc_small):
+        _, net = abccc_small
+        stats = link_hop_stats(net)
+        mean = sum(h * c for h, c in stats.histogram.items()) / stats.pairs
+        assert stats.mean == pytest.approx(mean)
+
+    def test_sampling_reduces_pairs(self, abccc_medium):
+        _, net = abccc_medium
+        sampled = link_hop_stats(net, sample_sources=5, seed=1)
+        assert not sampled.exact
+        assert sampled.pairs == 5 * (net.num_servers - 1)
+
+    def test_sampled_diameter_lower_bounds_exact(self, abccc_small):
+        _, net = abccc_small
+        exact = link_hop_stats(net)
+        sampled = link_hop_stats(net, sample_sources=3, seed=2)
+        assert sampled.diameter <= exact.diameter
+
+    def test_p99(self):
+        stats = DistanceStats(
+            diameter=10, mean=2.0, histogram={1: 99, 10: 1}, pairs=100, exact=True
+        )
+        assert stats.p99 == 1
+        stats = DistanceStats(
+            diameter=10, mean=2.0, histogram={1: 90, 10: 10}, pairs=100, exact=True
+        )
+        assert stats.p99 == 10
+
+    def test_disconnected_raises(self):
+        net = Network()
+        net.add_server("a", ports=1)
+        net.add_server("b", ports=1)
+        with pytest.raises(ValueError, match="unreachable"):
+            link_hop_stats(net)
+
+
+class TestConvenience:
+    def test_diameters(self, abccc_small):
+        spec, net = abccc_small
+        assert server_diameter(net) == spec.diameter_server_hops
+        assert link_diameter(net) == spec.diameter_link_hops

@@ -1,0 +1,104 @@
+"""Physical layout and cabling model tests."""
+
+import pytest
+
+from repro.core import AbcccSpec
+from repro.baselines import FatTreeSpec
+from repro.metrics.layout import CablePlan, LayoutConfig, assign_racks, cable_plan
+from repro.topology.graph import Network
+
+
+class TestLayoutConfig:
+    def test_rack_positions_row_major(self):
+        config = LayoutConfig(racks_per_row=3, rack_pitch=1.0, row_pitch=5.0)
+        assert config.rack_position(0) == (0.0, 0.0)
+        assert config.rack_position(2) == (2.0, 0.0)
+        assert config.rack_position(3) == (0.0, 5.0)
+
+    def test_distances_manhattan(self):
+        config = LayoutConfig(racks_per_row=3, rack_pitch=1.0, row_pitch=5.0)
+        assert config.rack_distance(0, 4) == pytest.approx(1.0 + 5.0)
+
+    def test_cable_length_intra_vs_inter(self):
+        config = LayoutConfig(intra_rack_length=2.0, tray_overhead=4.0)
+        assert config.cable_length(3, 3) == 2.0
+        assert config.cable_length(0, 1) == pytest.approx(4.0 + config.rack_pitch)
+
+    def test_price(self):
+        config = LayoutConfig(price_per_metre=2.0, connector_price=3.0)
+        assert config.cable_price(10.0) == pytest.approx(23.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayoutConfig(rack_capacity=0)
+
+
+class TestRackAssignment:
+    def test_servers_fill_in_order(self):
+        spec = AbcccSpec(3, 1, 2)
+        net = spec.build()
+        racks = assign_racks(net, LayoutConfig(rack_capacity=6))
+        servers = net.servers
+        assert racks[servers[0]] == 0
+        assert racks[servers[5]] == 0
+        assert racks[servers[6]] == 1
+
+    def test_crossbars_stay_rack_local(self):
+        """Address-order placement keeps whole crossbars in one rack when
+        the capacity is a multiple of the crossbar size."""
+        spec = AbcccSpec(3, 2, 2)  # crossbars of 3
+        net = spec.build()
+        racks = assign_racks(net, LayoutConfig(rack_capacity=9))
+        from repro.core.address import ServerAddress
+
+        by_crossbar = {}
+        for server in net.servers:
+            digits = ServerAddress.parse(server).digits
+            by_crossbar.setdefault(digits, set()).add(racks[server])
+        assert all(len(r) == 1 for r in by_crossbar.values())
+
+    def test_every_switch_placed(self):
+        spec = FatTreeSpec(4)
+        net = spec.build()
+        racks = assign_racks(net, LayoutConfig(rack_capacity=8))
+        assert set(racks) == set(net.node_names())
+
+    def test_disconnected_switch_rejected(self):
+        net = Network()
+        net.add_server("a", ports=1)
+        net.add_switch("island", ports=2)
+        with pytest.raises(ValueError, match="disconnected"):
+            assign_racks(net, LayoutConfig())
+
+
+class TestCablePlan:
+    def test_counts_every_link(self):
+        spec = AbcccSpec(3, 1, 2)
+        net = spec.build()
+        plan = cable_plan(net, LayoutConfig(rack_capacity=6))
+        assert plan.num_cables == net.num_links
+        assert plan.total_length == pytest.approx(sum(plan.lengths))
+        assert 0 <= plan.intra_rack_fraction <= 1
+
+    def test_single_rack_all_intra(self):
+        spec = AbcccSpec(2, 1, 2)  # 8 servers
+        net = spec.build()
+        plan = cable_plan(net, LayoutConfig(rack_capacity=64))
+        assert plan.racks_used == 1
+        assert plan.intra_rack_fraction == 1.0
+        assert plan.max_length == LayoutConfig().intra_rack_length
+
+    def test_price_consistency(self):
+        spec = AbcccSpec(3, 1, 2)
+        net = spec.build()
+        config = LayoutConfig(rack_capacity=6)
+        plan = cable_plan(net, config)
+        manual = sum(config.cable_price(length) for length in plan.lengths)
+        assert plan.total_price(config) == pytest.approx(manual)
+
+    def test_smaller_racks_mean_longer_cables(self):
+        spec = AbcccSpec(3, 2, 2)
+        net = spec.build()
+        tight = cable_plan(net, LayoutConfig(rack_capacity=9))
+        roomy = cable_plan(net, LayoutConfig(rack_capacity=81))
+        assert tight.total_length > roomy.total_length

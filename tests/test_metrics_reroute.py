@@ -1,0 +1,92 @@
+"""Reroute-impact accounting tests."""
+
+import pytest
+
+from repro.core import AbcccSpec, fault_tolerant_route
+from repro.metrics.connectivity import FailureScenario, draw_failures
+from repro.metrics.reroute import reroute_impact
+from repro.routing.shortest import bfs_path
+from repro.sim.traffic import permutation_traffic
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    spec = AbcccSpec(3, 2, 2)
+    return spec, spec.build()
+
+
+def _ft_router(spec):
+    """Failure-aware ABCCC router usable on the alive subgraph."""
+
+    def router(net, src, dst):
+        return fault_tolerant_route(spec.abccc, net, src, dst, seed=1).route
+
+    return router
+
+
+class TestNoFailures:
+    def test_everything_unchanged(self, fabric):
+        spec, net = fabric
+        flows = permutation_traffic(net.servers, seed=1)
+        impact = reroute_impact(net, flows, bfs_path, FailureScenario((), (), ()))
+        assert impact.unchanged == len(flows)
+        assert impact.rerouted == impact.disconnected == impact.endpoint_lost == 0
+        assert impact.churn_ratio == 0.0
+        assert impact.throughput_retention == pytest.approx(1.0)
+
+
+class TestWithFailures:
+    def test_accounting_partitions_flows(self, fabric):
+        spec, net = fabric
+        flows = permutation_traffic(net.servers, seed=2)
+        scenario = draw_failures(net, server_fraction=0.1, switch_fraction=0.1, seed=3)
+        impact = reroute_impact(net, flows, _ft_router(spec), scenario)
+        assert (
+            impact.endpoint_lost
+            + impact.disconnected
+            + impact.rerouted
+            + impact.unchanged
+            == impact.total_flows
+        )
+        assert impact.endpoint_lost > 0  # 10% of servers died; perm traffic
+        assert impact.rerouted > 0  # some surviving routes crossed failures
+
+    def test_rerouted_routes_avoid_failures(self, fabric):
+        """Internal consistency: churn_ratio and stretch are computed over
+        flows whose *new* route is valid on the alive graph."""
+        spec, net = fabric
+        flows = permutation_traffic(net.servers, seed=4)
+        scenario = draw_failures(net, switch_fraction=0.15, seed=5)
+        impact = reroute_impact(net, flows, _ft_router(spec), scenario)
+        assert 0.0 <= impact.churn_ratio <= 1.0
+        assert impact.mean_stretch_rerouted >= 0.5
+
+    def test_throughput_degrades_not_collapses(self, fabric):
+        spec, net = fabric
+        flows = permutation_traffic(net.servers, seed=6)
+        scenario = draw_failures(net, switch_fraction=0.1, seed=7)
+        impact = reroute_impact(net, flows, _ft_router(spec), scenario)
+        assert 0.0 < impact.throughput_retention
+
+    def test_address_router_without_fault_awareness(self, fabric):
+        """A failure-oblivious router strands the flows whose route dies —
+        recorded as disconnected, not silently rerouted."""
+        spec, net = fabric
+        flows = permutation_traffic(net.servers, seed=8)
+        scenario = draw_failures(net, switch_fraction=0.2, seed=9)
+
+        def oblivious(network, src, dst):
+            return spec.route(net, src, dst)  # always the healthy route
+
+        impact = reroute_impact(net, flows, oblivious, scenario)
+        assert impact.rerouted == 0
+        assert impact.disconnected > 0
+
+    def test_total_switch_blackout(self, fabric):
+        spec, net = fabric
+        flows = permutation_traffic(net.servers, seed=10)
+        scenario = draw_failures(net, switch_fraction=1.0, seed=11)
+        impact = reroute_impact(net, flows, _ft_router(spec), scenario)
+        assert impact.survivors == 0
+        assert impact.aggregate_after == 0.0
+        assert impact.throughput_retention == 0.0

@@ -1,0 +1,65 @@
+"""Forwarding-state accounting tests."""
+
+import pytest
+
+from repro.core import AbcccSpec
+from repro.metrics.state import (
+    BYTES_PER_ENTRY,
+    algorithmic_state,
+    state_ratio,
+    table_state,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    spec = AbcccSpec(3, 1, 2)
+    return spec, spec.build()
+
+
+class TestTableState:
+    def test_every_node_routes_to_every_server(self, instance):
+        _, net = instance
+        stats = table_state(net)
+        # Each of the |V| nodes holds an entry per server destination,
+        # minus itself when it is a server.
+        servers = net.num_servers
+        expected_total = sum(
+            servers - (1 if net.node(n).is_server else 0)
+            for n in net.node_names()
+        )
+        assert stats.total_entries == expected_total
+        assert stats.max_entries == servers  # switches store all servers
+
+    def test_restricted_destinations(self, instance):
+        _, net = instance
+        stats = table_state(net, destinations=net.servers[:3])
+        assert stats.max_entries == 3
+
+    def test_bytes(self, instance):
+        _, net = instance
+        stats = table_state(net)
+        assert stats.total_bytes == stats.total_entries * BYTES_PER_ENTRY
+
+
+class TestAlgorithmicState:
+    def test_constant_per_node(self, instance):
+        _, net = instance
+        stats = algorithmic_state(net, address_digits=2)
+        assert stats.mean_entries == 2.0
+        assert stats.max_entries == 2
+        assert stats.total_entries == 2 * len(net)
+
+
+class TestRatio:
+    def test_ratio_grows_with_size(self):
+        small = AbcccSpec(2, 1, 2).build()
+        large = AbcccSpec(3, 1, 2).build()
+        ratio_small = state_ratio(table_state(small), algorithmic_state(small, 2))
+        ratio_large = state_ratio(table_state(large), algorithmic_state(large, 2))
+        assert ratio_large > ratio_small > 1.0
+
+    def test_zero_algorithmic_state(self, instance):
+        _, net = instance
+        zero = algorithmic_state(net, address_digits=0)
+        assert state_ratio(table_state(net), zero) == float("inf")

@@ -1,0 +1,60 @@
+"""Topology report tests (library function + CLI command)."""
+
+import pytest
+
+from repro.baselines import FatTreeSpec, HypercubeSpec
+from repro.cli import main
+from repro.core import AbcccSpec
+from repro.report import topology_report
+
+
+class TestReport:
+    def test_abccc_report_sections(self):
+        text = topology_report(AbcccSpec(3, 1, 2))
+        assert "ABCCC(n=3, k=1, s=2)" in text
+        assert "servers        : 18" in text
+        assert "crossbar size  : 2" in text
+        assert "expected route" in text
+        assert "conformance    : OK" in text
+        assert "invariants     : OK" in text
+        assert "diameter" in text
+
+    def test_measured_diameter_matches_analytic(self):
+        spec = AbcccSpec(3, 1, 2)
+        text = topology_report(spec)
+        assert f"diameter     : {spec.diameter_link_hops} link hops" in text
+
+    def test_non_abccc_topology(self):
+        text = topology_report(FatTreeSpec(4))
+        assert "conformance" not in text
+        assert "invariants     : OK" in text
+
+    def test_measurement_skip_for_large_instances(self):
+        text = topology_report(AbcccSpec(4, 3, 2), max_measure_nodes=100)
+        assert "measurements skipped" in text
+        assert "diameter     :" not in text
+
+    def test_switchless_inventory(self):
+        text = topology_report(HypercubeSpec(4))
+        assert "switches       : 0" in text
+
+    def test_sampled_distances_flagged(self):
+        text = topology_report(AbcccSpec(3, 2, 2), sample_sources=8)
+        assert "8-source sample" in text
+
+
+class TestCliReport:
+    def test_report_command(self, capsys):
+        code = main(["report", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed-form properties" in out
+        assert "conformance    : OK" in out
+
+    def test_report_respects_measure_cap(self, capsys):
+        code = main(
+            ["report", "abccc", "-p", "n=4", "-p", "k=3", "-p", "s=2",
+             "--max-measure-nodes", "10"]
+        )
+        assert code == 0
+        assert "measurements skipped" in capsys.readouterr().out

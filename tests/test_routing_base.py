@@ -1,0 +1,95 @@
+"""Tests for Route objects and length conventions."""
+
+import pytest
+
+from repro.routing.base import Route, RoutingError, stretch
+
+
+class TestRouteBasics:
+    def test_single_node_route(self):
+        route = Route.of(["a"])
+        assert route.source == "a"
+        assert route.destination == "a"
+        assert route.link_hops == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Route.of([])
+
+    def test_endpoints_and_hops(self):
+        route = Route.of(["a", "w", "b"])
+        assert route.source == "a"
+        assert route.destination == "b"
+        assert route.link_hops == 2
+        assert len(route) == 3
+        assert list(route) == ["a", "w", "b"]
+
+    def test_edges(self):
+        route = Route.of(["a", "w", "b"])
+        assert list(route.edges()) == [("a", "w"), ("w", "b")]
+
+    def test_is_simple(self):
+        assert Route.of(["a", "b", "c"]).is_simple
+        assert not Route.of(["a", "b", "a"]).is_simple
+
+
+class TestValidation:
+    def test_valid_route(self, tiny_net):
+        route = Route.of(["a", "sw", "b"])
+        assert route.is_valid(tiny_net)
+        route.validate(tiny_net)
+
+    def test_unknown_node(self, tiny_net):
+        route = Route.of(["a", "ghost"])
+        assert not route.is_valid(tiny_net)
+        with pytest.raises(RoutingError, match="unknown node"):
+            route.validate(tiny_net)
+
+    def test_non_link_step(self, tiny_net):
+        route = Route.of(["a", "b"])
+        with pytest.raises(RoutingError, match="non-existent link"):
+            route.validate(tiny_net)
+
+
+class TestServerHops:
+    def test_switched_path(self, tiny_net):
+        route = Route.of(["a", "sw", "b"])
+        assert route.server_hops(tiny_net) == 1
+
+    def test_single_server(self, tiny_net):
+        assert Route.of(["a"]).server_hops(tiny_net) == 0
+
+    def test_direct_server_links_count_once(self):
+        from repro.topology.graph import Network
+
+        net = Network()
+        for name in ("a", "b", "c"):
+            net.add_server(name, ports=2)
+        net.add_link("a", "b")
+        net.add_link("b", "c")
+        route = Route.of(["a", "b", "c"])
+        assert route.server_hops(net) == 2
+        assert route.link_hops == 2
+
+
+class TestConcat:
+    def test_concat_joins(self):
+        left = Route.of(["a", "w", "b"])
+        right = Route.of(["b", "v", "c"])
+        joined = left.concat(right)
+        assert joined.nodes == ("a", "w", "b", "v", "c")
+
+    def test_concat_requires_shared_endpoint(self):
+        with pytest.raises(RoutingError, match="cannot concat"):
+            Route.of(["a"]).concat(Route.of(["b"]))
+
+
+class TestStretch:
+    def test_equal_lengths(self):
+        assert stretch(Route.of(["a", "b"]), 1) == 1.0
+
+    def test_longer_route(self):
+        assert stretch(Route.of(["a", "b", "c", "d"]), 2) == 1.5
+
+    def test_zero_shortest_convention(self):
+        assert stretch(Route.of(["a"]), 0) == 1.0

@@ -1,0 +1,97 @@
+"""ECMP router tests (shortest-path compliance, affinity, path counting)."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.routing.base import RoutingError
+from repro.routing.ecmp import EcmpRouter, fnv1a
+from repro.routing.shortest import shortest_distance
+
+
+class TestFnv1a:
+    def test_deterministic(self):
+        assert fnv1a("hello") == fnv1a("hello")
+
+    def test_distinct_inputs_differ(self):
+        assert fnv1a("a") != fnv1a("b")
+
+    def test_known_vector(self):
+        # FNV-1a of empty string is the offset basis.
+        assert fnv1a("") == 0xCBF29CE484222325
+
+
+class TestEcmpRouting:
+    def test_routes_are_shortest(self, fattree_small):
+        _, net = fattree_small
+        router = EcmpRouter(net)
+        servers = net.servers
+        for src, dst in itertools.islice(itertools.combinations(servers, 2), 40):
+            route = router.route(net, src, dst, flow_id="f")
+            route.validate(net)
+            assert route.link_hops == shortest_distance(net, src, dst)
+
+    def test_flow_affinity(self, fattree_small):
+        _, net = fattree_small
+        router = EcmpRouter(net)
+        src, dst = net.servers[0], net.servers[-1]
+        first = router.route(net, src, dst, flow_id="flow-1")
+        again = router.route(net, src, dst, flow_id="flow-1")
+        assert first.nodes == again.nodes
+
+    def test_flows_spread_over_paths(self, fattree_small):
+        _, net = fattree_small
+        router = EcmpRouter(net)
+        src, dst = net.servers[0], net.servers[-1]
+        distinct = {
+            router.route(net, src, dst, flow_id=f"flow-{i}").nodes for i in range(64)
+        }
+        # FatTree(4) has 4 shortest inter-pod paths; hashing must find > 1.
+        assert len(distinct) > 1
+
+    def test_self_route(self, fattree_small):
+        _, net = fattree_small
+        route = EcmpRouter(net).route(net, net.servers[0], net.servers[0])
+        assert route.link_hops == 0
+
+    def test_bound_to_network(self, fattree_small, tiny_net):
+        _, net = fattree_small
+        router = EcmpRouter(net)
+        with pytest.raises(RoutingError, match="bound"):
+            router.route(tiny_net, "a", "b")
+
+    def test_unreachable(self, tiny_net):
+        tiny_net.add_server("island", ports=1)
+        router = EcmpRouter(tiny_net)
+        with pytest.raises(RoutingError, match="unreachable"):
+            router.route(tiny_net, "a", "island")
+
+
+class TestNextHopsAndCounts:
+    def test_next_hops_decrease_distance(self, fattree_small):
+        _, net = fattree_small
+        router = EcmpRouter(net)
+        src, dst = net.servers[0], net.servers[-1]
+        base = shortest_distance(net, src, dst)
+        for hop in router.next_hops(src, dst):
+            assert shortest_distance(net, hop, dst) == base - 1
+
+    def test_path_count_matches_enumeration(self, fattree_small):
+        _, net = fattree_small
+        router = EcmpRouter(net)
+        graph = net.to_networkx()
+        src, dst = net.servers[0], net.servers[-1]
+        expected = len(list(nx.all_shortest_paths(graph, src, dst)))
+        assert router.path_count(src, dst) == expected
+
+    def test_fattree_interpod_path_count(self, fattree_small):
+        spec, net = fattree_small
+        router = EcmpRouter(net)
+        # Inter-pod pairs have (p/2)^2 shortest paths in a p-ary fat-tree.
+        assert router.path_count("h0.0.0", "h1.0.0") == (spec.p // 2) ** 2
+
+    def test_intrapod_same_edge_path_count(self, fattree_small):
+        _, net = fattree_small
+        router = EcmpRouter(net)
+        assert router.path_count("h0.0.0", "h0.0.1") == 1

@@ -1,0 +1,135 @@
+"""BFS primitives cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.routing.base import RoutingError
+from repro.routing.shortest import (
+    all_pairs_server_distances,
+    bfs_distances,
+    bfs_path,
+    eccentricity,
+    k_shortest_paths,
+    shortest_distance,
+)
+from repro.topology.graph import Network
+
+
+def _random_net(seed: int, servers: int = 10, extra_links: int = 12) -> Network:
+    """A random connected server-only network (direct links)."""
+    rng = random.Random(seed)
+    net = Network(f"rand{seed}")
+    names = [f"n{i}" for i in range(servers)]
+    for name in names:
+        net.add_server(name, ports=servers)
+    for i in range(1, servers):  # random spanning tree first
+        net.add_link(names[i], names[rng.randrange(i)])
+    added = 0
+    while added < extra_links:
+        u, v = rng.sample(names, 2)
+        if not net.has_link(u, v):
+            net.add_link(u, v)
+            added += 1
+    return net
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_bfs_distances_match_networkx(seed):
+    net = _random_net(seed)
+    graph = net.to_networkx()
+    for source in list(net.node_names())[:4]:
+        ours = bfs_distances(net, source)
+        reference = nx.single_source_shortest_path_length(graph, source)
+        assert ours == dict(reference)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_bfs_path_is_shortest_and_valid(seed):
+    net = _random_net(seed)
+    rng = random.Random(seed + 99)
+    for _ in range(10):
+        src, dst = rng.sample(list(net.node_names()), 2)
+        route = bfs_path(net, src, dst)
+        route.validate(net)
+        assert route.is_simple
+        assert route.link_hops == shortest_distance(net, src, dst)
+
+
+def test_bfs_path_same_endpoints():
+    net = _random_net(0)
+    route = bfs_path(net, "n0", "n0")
+    assert route.nodes == ("n0",)
+
+
+def test_bfs_unknown_nodes():
+    net = _random_net(0)
+    with pytest.raises(RoutingError, match="unknown source"):
+        bfs_path(net, "ghost", "n0")
+    with pytest.raises(RoutingError, match="unknown destination"):
+        bfs_path(net, "n0", "ghost")
+
+
+def test_bfs_unreachable():
+    net = Network()
+    net.add_server("a", ports=1)
+    net.add_server("b", ports=1)
+    with pytest.raises(RoutingError, match="unreachable"):
+        bfs_path(net, "a", "b")
+
+
+def test_avoid_blocks_nodes(tiny_net):
+    with pytest.raises(RoutingError, match="unreachable"):
+        bfs_path(tiny_net, "a", "b", avoid={"sw"})
+
+
+def test_avoid_blocked_destination(tiny_net):
+    with pytest.raises(RoutingError, match="blocked"):
+        bfs_path(tiny_net, "a", "b", avoid={"b"})
+
+
+def test_targets_early_exit():
+    net = _random_net(1)
+    dist = bfs_distances(net, "n0", targets={"n1"})
+    assert "n1" in dist
+
+
+def test_eccentricity_matches_networkx():
+    net = _random_net(2)
+    graph = net.to_networkx()
+    assert eccentricity(net, "n0") == nx.eccentricity(graph, "n0")
+
+
+def test_eccentricity_over_subset():
+    net = _random_net(2)
+    subset = ["n1", "n2"]
+    expected = max(shortest_distance(net, "n0", t) for t in subset)
+    assert eccentricity(net, "n0", over=subset) == expected
+
+
+def test_k_shortest_paths_ordering(tiny_net):
+    tiny_net.add_switch("sw2", ports=4)
+    tiny_net.add_link("a", "sw2")
+    tiny_net.add_link("b", "sw2")
+    paths = k_shortest_paths(tiny_net, "a", "b", k=5)
+    assert len(paths) == 2
+    assert all(p.link_hops == 2 for p in paths)
+
+
+def test_k_shortest_paths_no_path():
+    net = Network()
+    net.add_server("a", ports=1)
+    net.add_server("b", ports=1)
+    assert k_shortest_paths(net, "a", "b", k=3) == []
+
+
+def test_all_pairs_server_distances(abccc_small):
+    _, net = abccc_small
+    triples = list(all_pairs_server_distances(net))
+    servers = net.num_servers
+    assert len(triples) == servers * (servers - 1)
+    by_pair = {(s, d): h for s, d, h in triples}
+    # Symmetric because links are undirected.
+    for (s, d), hops in list(by_pair.items())[:30]:
+        assert by_pair[(d, s)] == hops

@@ -1,0 +1,71 @@
+"""Forwarding-table construction and table-driven forwarding."""
+
+import pytest
+
+from repro.routing.base import Route, RoutingError
+from repro.routing.shortest import shortest_distance
+from repro.routing.table import ForwardingTable
+
+
+class TestFromShortestPaths:
+    def test_forwarding_reaches_all_destinations(self, abccc_small):
+        _, net = abccc_small
+        table = ForwardingTable.from_shortest_paths(net)
+        servers = net.servers
+        for dst in servers[:4]:
+            for src in servers:
+                if src == dst:
+                    continue
+                route = table.forward(net, src, dst)
+                assert route.destination == dst
+                assert route.link_hops == shortest_distance(net, src, dst)
+
+    def test_restricted_destinations(self, tiny_net):
+        table = ForwardingTable.from_shortest_paths(tiny_net, destinations=["b"])
+        assert table.has_entry("a", "b")
+        assert not table.has_entry("b", "a")
+
+    def test_size_counts_entries(self, tiny_net):
+        table = ForwardingTable.from_shortest_paths(tiny_net)
+        # 2 destinations x 2 other nodes each (server + switch).
+        assert table.size == 4
+
+
+class TestFromRoutes:
+    def test_installs_route_hops(self, tiny_net):
+        route = Route.of(["a", "sw", "b"])
+        table = ForwardingTable.from_routes([route])
+        assert table.next_hop("a", "b") == "sw"
+        assert table.next_hop("sw", "b") == "b"
+        forwarded = table.forward(tiny_net, "a", "b")
+        assert forwarded.nodes == route.nodes
+
+    def test_missing_entry_raises(self, tiny_net):
+        table = ForwardingTable()
+        with pytest.raises(RoutingError, match="no forwarding entry"):
+            table.forward(tiny_net, "a", "b")
+
+    def test_entries_iteration(self):
+        table = ForwardingTable()
+        table.set_entry("a", "b", "w")
+        assert list(table.entries()) == [("a", "b", "w")]
+
+
+class TestForwardingFailures:
+    def test_loop_detection(self, tiny_net):
+        table = ForwardingTable()
+        table.set_entry("a", "b", "sw")
+        table.set_entry("sw", "b", "a")  # loops back
+        with pytest.raises(RoutingError, match="loop"):
+            table.forward(tiny_net, "a", "b")
+
+    def test_stale_entry_over_dead_link(self, tiny_net):
+        table = ForwardingTable.from_shortest_paths(tiny_net)
+        tiny_net.remove_link("a", "sw")
+        with pytest.raises(RoutingError, match="down"):
+            table.forward(tiny_net, "a", "b")
+
+    def test_custom_hop_budget(self, tiny_net):
+        table = ForwardingTable.from_shortest_paths(tiny_net)
+        with pytest.raises(RoutingError, match="loop"):
+            table.forward(tiny_net, "a", "b", max_hops=1)

@@ -1,0 +1,85 @@
+"""Churn/availability simulation tests."""
+
+import pytest
+
+from repro.core import AbcccSpec
+from repro.sim.churn import ChurnConfig, simulate_churn
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    spec = AbcccSpec(3, 1, 2)
+    return spec, spec.build()
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(server_mtbf=0)
+        with pytest.raises(ValueError):
+            ChurnConfig(sample_interval=-1)
+
+
+class TestChurnRuns:
+    def test_deterministic(self, fabric):
+        _, net = fabric
+        a = simulate_churn(net, duration=200.0, seed=7)
+        b = simulate_churn(net, duration=200.0, seed=7)
+        assert a == b
+
+    def test_sampling_cadence(self, fabric):
+        _, net = fabric
+        config = ChurnConfig(sample_interval=10.0)
+        result = simulate_churn(net, duration=100.0, config=config, seed=1)
+        assert result.samples == 10
+        assert result.pair_checks == result.samples * 20
+
+    def test_no_failures_with_huge_mtbf(self, fabric):
+        _, net = fabric
+        config = ChurnConfig(server_mtbf=1e12, switch_mtbf=1e12)
+        result = simulate_churn(net, duration=100.0, config=config, seed=2)
+        assert result.pair_availability == 1.0
+        assert result.mean_alive_fraction == 1.0
+
+    def test_constant_churn_lowers_availability(self, fabric):
+        _, net = fabric
+        flaky = ChurnConfig(server_mtbf=50.0, server_mttr=25.0,
+                            switch_mtbf=50.0, switch_mttr=25.0)
+        result = simulate_churn(net, duration=500.0, config=flaky, seed=3)
+        assert result.pair_availability < 1.0
+        assert result.mean_alive_fraction < 1.0
+        assert result.endpoint_down_checks > 0
+
+    def test_path_availability_at_least_pair(self, fabric):
+        """Excluding endpoint-hardware outages can only help."""
+        _, net = fabric
+        flaky = ChurnConfig(server_mtbf=100.0, server_mttr=30.0)
+        result = simulate_churn(net, duration=400.0, config=flaky, seed=4)
+        assert result.path_availability >= result.pair_availability
+
+    def test_monitored_pairs_explicit(self, fabric):
+        _, net = fabric
+        pairs = [(net.servers[0], net.servers[1])]
+        result = simulate_churn(
+            net, duration=50.0, monitored_pairs=pairs, seed=5
+        )
+        assert result.pair_checks == result.samples * 1
+
+    def test_availability_tracks_mttr(self, fabric):
+        """Faster repair -> higher availability, same failure rate."""
+        _, net = fabric
+        slow = ChurnConfig(server_mtbf=100.0, server_mttr=50.0,
+                           switch_mtbf=100.0, switch_mttr=50.0)
+        fast = ChurnConfig(server_mtbf=100.0, server_mttr=2.0,
+                           switch_mtbf=100.0, switch_mttr=2.0)
+        slow_result = simulate_churn(net, duration=800.0, config=slow, seed=6)
+        fast_result = simulate_churn(net, duration=800.0, config=fast, seed=6)
+        assert fast_result.pair_availability > slow_result.pair_availability
+
+    def test_too_few_servers(self):
+        from repro.topology.graph import Network
+
+        net = Network()
+        net.add_server("only", ports=1)
+        with pytest.raises(ValueError, match="two servers"):
+            simulate_churn(net, duration=10.0)

@@ -1,0 +1,107 @@
+"""Discrete-event engine tests: ordering, ties, cancellation, budgets."""
+
+import pytest
+
+from repro.sim.events import SimulationError, Simulator
+
+
+class TestOrdering:
+    def test_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(3.0, lambda: log.append("c"))
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.schedule_at(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_relative_scheduling(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(1.5, lambda: log.append(("second", sim.now)))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 2.5)]
+
+
+class TestErrors:
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError, match="cannot schedule"):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="negative"):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_not_run(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule_at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        sim.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule_at(1.0, lambda: None)
+        drop = sim.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.time == 1.0
+
+
+class TestBudgets:
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append(1))
+        sim.schedule_at(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule_at(float(i), lambda i=i: log.append(i))
+        sim.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4

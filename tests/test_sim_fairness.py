@@ -1,0 +1,115 @@
+"""Alpha-fair allocation: textbook cases and consistency with max-min."""
+
+import pytest
+
+from repro.routing.base import Route
+from repro.sim.fairness import alpha_fair_allocation
+from repro.sim.flow import max_min_allocation
+from repro.sim.traffic import Flow
+from repro.topology.graph import Network
+
+
+def _two_link_line() -> Network:
+    net = Network()
+    for name in ("s0", "s1", "s2"):
+        net.add_server(name, ports=4)
+    net.add_link("s0", "s1", capacity=1.0)
+    net.add_link("s1", "s2", capacity=1.0)
+    return net
+
+
+def _triangle_setup():
+    """The classic NUM example: long flow A over both links, short flows
+    B and C over one each."""
+    net = _two_link_line()
+    flows = [Flow("A", "s0", "s2"), Flow("B", "s0", "s1"), Flow("C", "s1", "s2")]
+    routes = {
+        "A": Route.of(["s0", "s1", "s2"]),
+        "B": Route.of(["s0", "s1"]),
+        "C": Route.of(["s1", "s2"]),
+    }
+    return net, flows, routes
+
+
+class TestProportionalFairness:
+    def test_textbook_triangle(self):
+        """Proportional fairness gives A = 1/3 and B = C = 2/3."""
+        net, flows, routes = _triangle_setup()
+        allocation = alpha_fair_allocation(net, flows, routes, alpha=1.0)
+        assert allocation.rates["A"] == pytest.approx(1 / 3, abs=0.02)
+        assert allocation.rates["B"] == pytest.approx(2 / 3, abs=0.02)
+        assert allocation.rates["C"] == pytest.approx(2 / 3, abs=0.02)
+
+    def test_feasible_after_projection(self):
+        net, flows, routes = _triangle_setup()
+        allocation = alpha_fair_allocation(net, flows, routes, alpha=1.0)
+        assert allocation.rates["A"] + allocation.rates["B"] <= 1.0 + 1e-6
+        assert allocation.rates["A"] + allocation.rates["C"] <= 1.0 + 1e-6
+
+    def test_single_flow_gets_capacity(self):
+        net = _two_link_line()
+        flows = [Flow("f", "s0", "s1")]
+        routes = {"f": Route.of(["s0", "s1"])}
+        allocation = alpha_fair_allocation(net, flows, routes, alpha=1.0)
+        assert allocation.rates["f"] == pytest.approx(1.0, abs=0.02)
+
+
+class TestAlphaSpectrum:
+    def test_low_alpha_favours_short_flows(self):
+        """As alpha decreases the long flow A is squeezed harder."""
+        net, flows, routes = _triangle_setup()
+        fair = alpha_fair_allocation(net, flows, routes, alpha=1.0)
+        greedy = alpha_fair_allocation(net, flows, routes, alpha=0.5)
+        assert greedy.rates["A"] < fair.rates["A"]
+        assert greedy.aggregate_throughput >= fair.aggregate_throughput - 0.02
+
+    def test_high_alpha_approaches_max_min(self):
+        net, flows, routes = _triangle_setup()
+        nearly_maxmin = alpha_fair_allocation(
+            net, flows, routes, alpha=8.0, iterations=8000
+        )
+        maxmin = max_min_allocation(net, flows, routes)
+        for flow_id in maxmin.rates:
+            assert nearly_maxmin.rates[flow_id] == pytest.approx(
+                maxmin.rates[flow_id], abs=0.07
+            )
+
+    def test_alpha_validation(self):
+        net, flows, routes = _triangle_setup()
+        with pytest.raises(ValueError, match="alpha"):
+            alpha_fair_allocation(net, flows, routes, alpha=0)
+
+
+class TestOnTopology:
+    def test_abccc_permutation_feasible_and_positive(self, abccc_small):
+        spec, net = abccc_small
+        from repro.sim.flow import route_all
+        from repro.sim.traffic import permutation_traffic
+        from repro.topology.node import link_key
+
+        flows = permutation_traffic(net.servers, seed=2)
+        routes = route_all(net, flows, spec.route)
+        allocation = alpha_fair_allocation(net, flows, routes, alpha=1.0)
+        assert all(r > 0 for r in allocation.rates.values())
+        loads = {}
+        for flow in flows:
+            for u, v in routes[flow.flow_id].edges():
+                key = link_key(u, v)
+                loads[key] = loads.get(key, 0.0) + allocation.rates[flow.flow_id]
+        for key, load in loads.items():
+            assert load <= net.link(*key).capacity + 1e-6
+
+    def test_ordering_matches_maxmin_conclusions(self, abccc_small, bcube_small):
+        """The F7 throughput ordering (BCube > ABCCC per server) holds
+        under proportional fairness too — the conclusion is not a
+        max-min artefact."""
+        from repro.sim.flow import route_all
+        from repro.sim.traffic import permutation_traffic
+
+        results = {}
+        for spec, net in (abccc_small, bcube_small):
+            flows = permutation_traffic(net.servers, seed=3)
+            routes = route_all(net, flows, spec.route)
+            allocation = alpha_fair_allocation(net, flows, routes, alpha=1.0)
+            results[spec.kind] = allocation.aggregate_throughput / net.num_servers
+        assert results["bcube"] > results["abccc"]

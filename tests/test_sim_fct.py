@@ -1,0 +1,133 @@
+"""Fluid FCT simulation: hand-computable schedules and invariants."""
+
+import pytest
+
+from repro.routing.base import Route
+from repro.sim.fct import FctResult, shuffle_completion_time, simulate_fct
+from repro.sim.traffic import Flow, permutation_traffic
+from repro.topology.graph import Network
+
+
+def _single_link(capacity=1.0) -> Network:
+    net = Network()
+    net.add_server("a", ports=4)
+    net.add_server("b", ports=4)
+    net.add_link("a", "b", capacity=capacity)
+    return net
+
+
+def _ab_routes(flows):
+    return {f.flow_id: Route.of(["a", "b"]) for f in flows}
+
+
+class TestHandSchedules:
+    def test_single_flow(self):
+        net = _single_link()
+        flows = [Flow("f", "a", "b", size=3.0)]
+        result = simulate_fct(net, flows, _ab_routes(flows))
+        assert result.completion_times["f"] == pytest.approx(3.0)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_two_equal_flows_share_then_nothing_frees(self):
+        """Two size-1 flows on one unit link: both at rate 0.5, both done
+        at t=2."""
+        net = _single_link()
+        flows = [Flow("f1", "a", "b"), Flow("f2", "a", "b")]
+        result = simulate_fct(net, flows, _ab_routes(flows))
+        assert result.completion_times["f1"] == pytest.approx(2.0)
+        assert result.completion_times["f2"] == pytest.approx(2.0)
+
+    def test_unequal_sizes_redistribute(self):
+        """Sizes 1 and 3 sharing a unit link: both at 0.5 until t=2 (small
+        one done), then the big one runs at 1.0 with 2 volume left -> t=4."""
+        net = _single_link()
+        flows = [Flow("small", "a", "b", size=1.0), Flow("big", "a", "b", size=3.0)]
+        result = simulate_fct(net, flows, _ab_routes(flows))
+        assert result.completion_times["small"] == pytest.approx(2.0)
+        assert result.completion_times["big"] == pytest.approx(4.0)
+        assert result.fct("big") == pytest.approx(4.0)
+
+    def test_late_arrival(self):
+        """Second flow arrives at t=1: first runs alone [0,1) at rate 1
+        (0.0 volume left at t=1? no: size 2, 1 left), then both share."""
+        net = _single_link()
+        flows = [Flow("early", "a", "b", size=2.0), Flow("late", "a", "b", size=1.0)]
+        result = simulate_fct(
+            net, flows, _ab_routes(flows), arrivals={"late": 1.0}
+        )
+        # t in [0,1): early alone, 1 volume left. t >= 1: share at 0.5.
+        # early finishes at 1 + 1/0.5 = 3; late: 1 + ... late has 1 volume
+        # at 0.5 -> would finish at 3 too (both bottlenecked equally).
+        assert result.completion_times["early"] == pytest.approx(3.0)
+        assert result.completion_times["late"] == pytest.approx(3.0)
+        assert result.fct("late") == pytest.approx(2.0)
+
+    def test_idle_gap_between_arrivals(self):
+        net = _single_link()
+        flows = [Flow("f1", "a", "b"), Flow("f2", "a", "b")]
+        result = simulate_fct(
+            net, flows, _ab_routes(flows), arrivals={"f1": 0.0, "f2": 10.0}
+        )
+        assert result.completion_times["f1"] == pytest.approx(1.0)
+        assert result.completion_times["f2"] == pytest.approx(11.0)
+
+
+class TestInvariants:
+    def test_all_flows_complete(self, abccc_small):
+        spec, net = abccc_small
+        from repro.sim.flow import route_all
+
+        flows = permutation_traffic(net.servers, seed=3)
+        routes = route_all(net, flows, spec.route)
+        result = simulate_fct(net, flows, routes)
+        assert set(result.completion_times) == {f.flow_id for f in flows}
+        assert result.makespan == max(result.completion_times.values())
+        assert all(t > 0 for t in result.fcts)
+
+    def test_makespan_lower_bound(self, abccc_small):
+        """Makespan >= the size/min-max-min-rate bound of the first round."""
+        spec, net = abccc_small
+        from repro.sim.flow import max_min_allocation, route_all
+
+        flows = permutation_traffic(net.servers, seed=4)
+        routes = route_all(net, flows, spec.route)
+        allocation = max_min_allocation(net, flows, routes)
+        result = simulate_fct(net, flows, routes)
+        assert result.makespan >= 1.0 / allocation.max_rate - 1e-9
+
+    def test_helper_matches_simulation(self, abccc_small):
+        spec, net = abccc_small
+        from repro.sim.flow import route_all
+
+        flows = permutation_traffic(net.servers, seed=5)
+        routes = route_all(net, flows, spec.route)
+        assert shuffle_completion_time(net, flows, routes) == pytest.approx(
+            simulate_fct(net, flows, routes).makespan
+        )
+
+
+class TestValidation:
+    def test_duplicate_flow_ids(self):
+        net = _single_link()
+        flows = [Flow("f", "a", "b"), Flow("f", "a", "b")]
+        with pytest.raises(ValueError, match="duplicate"):
+            simulate_fct(net, flows, _ab_routes(flows))
+
+    def test_unknown_arrival(self):
+        net = _single_link()
+        flows = [Flow("f", "a", "b")]
+        with pytest.raises(KeyError, match="unknown flow"):
+            simulate_fct(net, flows, _ab_routes(flows), arrivals={"ghost": 1.0})
+
+    def test_round_budget(self):
+        net = _single_link()
+        # Distinct sizes force one completion (and one solver round) each.
+        flows = [Flow(f"f{i}", "a", "b", size=float(i + 1)) for i in range(5)]
+        with pytest.raises(RuntimeError, match="rounds"):
+            simulate_fct(net, flows, _ab_routes(flows), max_rounds=2)
+
+    def test_empty_flow_set(self):
+        net = _single_link()
+        result = simulate_fct(net, [], {})
+        assert result.makespan == 0.0
+        assert result.mean_fct == 0.0

@@ -1,0 +1,170 @@
+"""Max-min fair allocation: hand-checked cases and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.base import Route
+from repro.sim.flow import max_min_allocation, route_all
+from repro.sim.traffic import Flow, permutation_traffic
+from repro.topology.graph import Network
+
+
+def _line(capacities) -> Network:
+    """s0 - s1 - ... direct chain with given link capacities."""
+    net = Network("line")
+    for i in range(len(capacities) + 1):
+        net.add_server(f"s{i}", ports=4)
+    for i, cap in enumerate(capacities):
+        net.add_link(f"s{i}", f"s{i+1}", capacity=cap)
+    return net
+
+
+class TestHandCases:
+    def test_two_flows_share_one_link(self):
+        net = _line([1.0])
+        flows = [Flow("f1", "s0", "s1"), Flow("f2", "s0", "s1")]
+        routes = {f.flow_id: Route.of(["s0", "s1"]) for f in flows}
+        allocation = max_min_allocation(net, flows, routes)
+        assert allocation.rates["f1"] == pytest.approx(0.5)
+        assert allocation.rates["f2"] == pytest.approx(0.5)
+        assert allocation.jain_fairness == pytest.approx(1.0)
+
+    def test_classic_two_bottleneck_example(self):
+        """Flows: A over links 1+2, B over link 1, C over link 2; caps 1.
+        Max-min: A = B = C = 0.5?  No — the classic result is A = 0.5 on
+        whichever saturates first... with equal caps both links saturate
+        together: A = B = C = 0.5."""
+        net = _line([1.0, 1.0])
+        flows = [Flow("A", "s0", "s2"), Flow("B", "s0", "s1"), Flow("C", "s1", "s2")]
+        routes = {
+            "A": Route.of(["s0", "s1", "s2"]),
+            "B": Route.of(["s0", "s1"]),
+            "C": Route.of(["s1", "s2"]),
+        }
+        allocation = max_min_allocation(net, flows, routes)
+        for rate in allocation.rates.values():
+            assert rate == pytest.approx(0.5)
+
+    def test_asymmetric_bottlenecks(self):
+        """Same demands but link 2 has capacity 2: after link 1 freezes
+        A and B at 0.5, C continues to 1.5."""
+        net = _line([1.0, 2.0])
+        flows = [Flow("A", "s0", "s2"), Flow("B", "s0", "s1"), Flow("C", "s1", "s2")]
+        routes = {
+            "A": Route.of(["s0", "s1", "s2"]),
+            "B": Route.of(["s0", "s1"]),
+            "C": Route.of(["s1", "s2"]),
+        }
+        allocation = max_min_allocation(net, flows, routes)
+        assert allocation.rates["A"] == pytest.approx(0.5)
+        assert allocation.rates["B"] == pytest.approx(0.5)
+        assert allocation.rates["C"] == pytest.approx(1.5)
+        assert allocation.bottlenecks["C"] == ("s1", "s2")
+
+    def test_lone_flow_gets_full_capacity(self):
+        net = _line([3.0])
+        flows = [Flow("f", "s0", "s1")]
+        routes = {"f": Route.of(["s0", "s1"])}
+        allocation = max_min_allocation(net, flows, routes)
+        assert allocation.rates["f"] == pytest.approx(3.0)
+
+
+class TestInvariants:
+    def _abccc_allocation(self, seed):
+        from repro.core import AbcccSpec
+
+        spec = AbcccSpec(3, 1, 2)
+        net = spec.build()
+        flows = permutation_traffic(net.servers, seed=seed)
+        routes = route_all(net, flows, spec.route)
+        return net, flows, routes, max_min_allocation(net, flows, routes)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_feasibility(self, seed):
+        """No link carries more than its capacity."""
+        net, flows, routes, allocation = self._abccc_allocation(seed)
+        from repro.topology.node import link_key
+
+        loads = {}
+        for flow in flows:
+            rate = allocation.rates[flow.flow_id]
+            for u, v in routes[flow.flow_id].edges():
+                key = link_key(u, v)
+                loads[key] = loads.get(key, 0.0) + rate
+        for key, load in loads.items():
+            assert load <= net.link(*key).capacity + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bottleneck_property(self, seed):
+        """Every flow's recorded bottleneck link is saturated, and the flow
+        has the maximal rate among that link's flows (the defining
+        property of max-min fairness)."""
+        net, flows, routes, allocation = self._abccc_allocation(seed)
+        from repro.topology.node import link_key
+
+        link_rates = {}
+        for flow in flows:
+            for u, v in routes[flow.flow_id].edges():
+                link_rates.setdefault(link_key(u, v), []).append(
+                    allocation.rates[flow.flow_id]
+                )
+        for flow in flows:
+            bottleneck = allocation.bottlenecks[flow.flow_id]
+            rates = link_rates[bottleneck]
+            assert sum(rates) == pytest.approx(net.link(*bottleneck).capacity)
+            assert allocation.rates[flow.flow_id] == pytest.approx(max(rates))
+
+    def test_every_flow_rated(self):
+        _, flows, _, allocation = self._abccc_allocation(3)
+        assert set(allocation.rates) == {f.flow_id for f in flows}
+        assert allocation.min_rate > 0
+
+
+class TestValidation:
+    def test_route_endpoint_mismatch(self):
+        net = _line([1.0])
+        flows = [Flow("f", "s0", "s1")]
+        routes = {"f": Route.of(["s1", "s0"])}
+        with pytest.raises(ValueError, match="flow wants"):
+            max_min_allocation(net, flows, routes)
+
+    def test_missing_route(self):
+        net = _line([1.0])
+        flows = [Flow("f", "s0", "s1")]
+        with pytest.raises(KeyError):
+            max_min_allocation(net, flows, {})
+
+
+class TestRouteAll:
+    def test_plain_router(self):
+        from repro.routing.shortest import bfs_path
+
+        net = _line([1.0, 1.0])
+        flows = [Flow("f", "s0", "s2")]
+        routes = route_all(net, flows, bfs_path)
+        assert routes["f"].destination == "s2"
+
+    def test_flow_id_aware_router(self):
+        seen = []
+
+        def router(net, src, dst, flow_id=""):
+            seen.append(flow_id)
+            return Route.of([src, dst])
+
+        net = _line([1.0])
+        flows = [Flow("f9", "s0", "s1")]
+        route_all(net, flows, router)
+        assert seen == ["f9"]
+
+
+class TestAllocationStats:
+    def test_aggregate_and_extremes(self):
+        net = _line([1.0])
+        flows = [Flow("f1", "s0", "s1"), Flow("f2", "s0", "s1")]
+        routes = {f.flow_id: Route.of(["s0", "s1"]) for f in flows}
+        allocation = max_min_allocation(net, flows, routes)
+        assert allocation.aggregate_throughput == pytest.approx(1.0)
+        assert allocation.min_rate == allocation.max_rate == pytest.approx(0.5)
+        assert allocation.mean_rate == pytest.approx(0.5)
+        assert allocation.num_flows == 2

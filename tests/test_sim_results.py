@@ -1,0 +1,64 @@
+"""ResultTable rendering and CSV persistence."""
+
+import pytest
+
+from repro.sim.results import ResultTable
+
+
+@pytest.fixture()
+def table() -> ResultTable:
+    table = ResultTable("demo", ["name", "value", "flag"])
+    table.add_row(name="alpha", value=1.23456, flag=True)
+    table.add_row(name="beta", value=None, flag=False)
+    return table
+
+
+class TestRows:
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(KeyError, match="unknown columns"):
+            table.add_row(nope=1)
+
+    def test_column_access(self, table):
+        assert table.column("name") == ["alpha", "beta"]
+        with pytest.raises(KeyError):
+            table.column("ghost")
+
+    def test_partial_rows_allowed(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(a=1)
+        assert table.column("b") == [None]
+
+
+class TestRendering:
+    def test_render_contains_data(self, table):
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "1.235" in text  # default precision 3
+        assert "yes" in text and "no" in text
+        assert "-" in text  # None cell
+
+    def test_precision(self, table):
+        assert "1.23" in table.render(precision=2)
+
+    def test_notes_rendered(self, table):
+        table.add_note("hello note")
+        assert "note: hello note" in table.render()
+
+    def test_integral_floats_shown_as_ints(self):
+        table = ResultTable("t", ["x"])
+        table.add_row(x=4.0)
+        assert " 4\n" in table.render() or table.render().rstrip().endswith("4")
+
+
+class TestCsv:
+    def test_roundtrip(self, table, tmp_path):
+        path = table.to_csv(str(tmp_path / "sub" / "demo.csv"))
+        loaded = ResultTable.from_csv(path)
+        assert loaded.columns == table.columns
+        assert loaded.rows[0]["name"] == "alpha"
+        assert loaded.rows[1]["value"] == ""  # None -> empty cell
+
+    def test_title_default(self, table, tmp_path):
+        path = table.to_csv(str(tmp_path / "x.csv"))
+        assert ResultTable.from_csv(path).title == "x.csv"

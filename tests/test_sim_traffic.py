@@ -1,0 +1,131 @@
+"""Traffic-pattern generators: shapes, determinism, validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.traffic import (
+    Flow,
+    all_to_all_traffic,
+    hotspot_traffic,
+    one_to_all_traffic,
+    permutation_traffic,
+    shuffle_traffic,
+    uniform_random_traffic,
+)
+
+SERVERS = [f"s{i}" for i in range(12)]
+
+
+class TestFlow:
+    def test_self_flow_rejected(self):
+        with pytest.raises(ValueError, match="src == dst"):
+            Flow("f", "a", "a")
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            Flow("f", "a", "b", size=0)
+
+
+class TestPermutation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        count=st.integers(min_value=2, max_value=40),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_is_derangement(self, count, seed):
+        servers = [f"n{i}" for i in range(count)]
+        flows = permutation_traffic(servers, seed=seed)
+        assert len(flows) == count
+        sources = [f.src for f in flows]
+        destinations = [f.dst for f in flows]
+        assert sorted(sources) == sorted(servers)
+        assert sorted(destinations) == sorted(servers)
+        assert all(f.src != f.dst for f in flows)
+
+    def test_seed_determinism(self):
+        assert permutation_traffic(SERVERS, 3) == permutation_traffic(SERVERS, 3)
+
+    def test_too_few_servers(self):
+        with pytest.raises(ValueError):
+            permutation_traffic(["only"])
+
+
+class TestAllToAll:
+    def test_complete(self):
+        flows = all_to_all_traffic(SERVERS[:4])
+        assert len(flows) == 12
+        pairs = {(f.src, f.dst) for f in flows}
+        assert len(pairs) == 12
+
+    def test_subsampled(self):
+        flows = all_to_all_traffic(SERVERS, max_flows=20, seed=1)
+        assert len(flows) == 20
+        assert len({(f.src, f.dst) for f in flows}) == 20
+
+    def test_cap_larger_than_population(self):
+        flows = all_to_all_traffic(SERVERS[:3], max_flows=100)
+        assert len(flows) == 6
+
+
+class TestUniform:
+    def test_count_and_validity(self):
+        flows = uniform_random_traffic(SERVERS, 30, seed=2)
+        assert len(flows) == 30
+        assert all(f.src != f.dst for f in flows)
+
+    def test_distinct_ids(self):
+        flows = uniform_random_traffic(SERVERS, 30, seed=2)
+        assert len({f.flow_id for f in flows}) == 30
+
+
+class TestHotspot:
+    def test_hot_traffic_targets_hotspots(self):
+        flows = hotspot_traffic(SERVERS, 200, num_hotspots=2, hot_fraction=1.0, seed=3)
+        destinations = {f.dst for f in flows}
+        assert len(destinations) == 2
+
+    def test_mixed_fraction(self):
+        flows = hotspot_traffic(SERVERS, 300, num_hotspots=1, hot_fraction=0.5, seed=4)
+        counts = {}
+        for flow in flows:
+            counts[flow.dst] = counts.get(flow.dst, 0) + 1
+        # The hotspot should receive far more than a uniform share.
+        assert max(counts.values()) > 300 / len(SERVERS) * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hot_fraction"):
+            hotspot_traffic(SERVERS, 10, hot_fraction=1.5)
+        with pytest.raises(ValueError, match="num_hotspots"):
+            hotspot_traffic(SERVERS, 10, num_hotspots=0)
+
+
+class TestShuffle:
+    def test_every_mapper_to_every_reducer(self):
+        flows = shuffle_traffic(SERVERS, num_mappers=3, num_reducers=4, seed=5)
+        assert len(flows) == 12
+        mappers = {f.src for f in flows}
+        reducers = {f.dst for f in flows}
+        assert len(mappers) == 3
+        assert len(reducers) == 4
+        assert not mappers & reducers  # disjoint roles
+
+    def test_too_many_roles(self):
+        with pytest.raises(ValueError, match="exceed"):
+            shuffle_traffic(SERVERS[:4], num_mappers=3, num_reducers=2)
+
+
+class TestOneToAll:
+    def test_covers_everyone_once(self):
+        flows = one_to_all_traffic(SERVERS, source="s3")
+        assert len(flows) == len(SERVERS) - 1
+        assert all(f.src == "s3" for f in flows)
+        assert "s3" not in {f.dst for f in flows}
+
+    def test_default_source(self):
+        flows = one_to_all_traffic(SERVERS)
+        assert flows[0].src == SERVERS[0]
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError, match="not a server"):
+            one_to_all_traffic(SERVERS, source="ghost")

@@ -1,0 +1,153 @@
+"""Unit tests for the Network container."""
+
+import pytest
+
+from repro.topology.graph import Network, NetworkError
+from repro.topology.node import NodeKind
+
+
+@pytest.fixture()
+def net() -> Network:
+    net = Network("t")
+    net.add_server("a", ports=2)
+    net.add_server("b", ports=2)
+    net.add_switch("w", ports=3)
+    net.add_link("a", "w")
+    net.add_link("b", "w")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(NetworkError, match="duplicate node"):
+            net.add_server("a", ports=1)
+
+    def test_duplicate_link_rejected(self, net):
+        with pytest.raises(NetworkError, match="duplicate link"):
+            net.add_link("w", "a")
+
+    def test_link_to_unknown_node_rejected(self, net):
+        with pytest.raises(NetworkError, match="unknown node"):
+            net.add_link("a", "ghost")
+
+    def test_port_budget_enforced(self, net):
+        net.add_server("c", ports=1)
+        net.add_link("c", "w")  # switch now full (3 ports)
+        net.add_server("d", ports=1)
+        with pytest.raises(NetworkError, match="no free port"):
+            net.add_link("d", "w")
+
+    def test_counts(self, net):
+        assert net.num_servers == 2
+        assert net.num_switches == 1
+        assert net.num_links == 2
+        assert len(net) == 3
+
+
+class TestQueries:
+    def test_contains(self, net):
+        assert "a" in net
+        assert "ghost" not in net
+
+    def test_node_lookup(self, net):
+        assert net.node("w").kind is NodeKind.SWITCH
+        with pytest.raises(NetworkError):
+            net.node("ghost")
+
+    def test_neighbors(self, net):
+        assert net.neighbors("w") == {"a", "b"}
+        assert net.degree("w") == 2
+
+    def test_link_lookup_is_order_insensitive(self, net):
+        assert net.link("w", "a") is net.link("a", "w")
+        assert net.has_link("b", "w")
+        assert not net.has_link("a", "b")
+
+    def test_servers_and_switches_lists(self, net):
+        assert net.servers == ["a", "b"]
+        assert net.switches == ["w"]
+
+    def test_switches_by_role(self):
+        net = Network()
+        net.add_switch("w1", ports=2, role="level")
+        net.add_switch("w2", ports=2, role="crossbar")
+        assert net.switches_by_role("level") == ["w1"]
+
+    def test_find_by_address(self):
+        net = Network()
+        net.add_server("a", ports=1, address=(0, 1))
+        assert net.find_by_address((0, 1)) == "a"
+        assert net.find_by_address((9, 9)) is None
+
+    def test_find_by_address_sees_late_additions(self):
+        net = Network()
+        net.add_server("a", ports=1, address=1)
+        assert net.find_by_address(1) == "a"
+        net.add_server("b", ports=1, address=2)
+        assert net.find_by_address(2) == "b"
+
+
+class TestRemoval:
+    def test_remove_link(self, net):
+        net.remove_link("a", "w")
+        assert not net.has_link("a", "w")
+        assert net.degree("a") == 0
+        assert net.degree("w") == 1
+
+    def test_remove_missing_link(self, net):
+        with pytest.raises(NetworkError, match="no link"):
+            net.remove_link("a", "b")
+
+    def test_remove_node_drops_incident_links(self, net):
+        net.remove_node("w")
+        assert "w" not in net
+        assert net.num_links == 0
+
+    def test_remove_missing_node(self, net):
+        with pytest.raises(NetworkError, match="no node"):
+            net.remove_node("ghost")
+
+    def test_port_freed_after_removal(self, net):
+        net.add_server("c", ports=1)
+        net.add_link("c", "w")  # switch full
+        net.remove_link("a", "w")
+        net.add_server("d", ports=1)
+        net.add_link("d", "w")  # reuses the freed port
+        assert net.has_link("d", "w")
+
+
+class TestCopies:
+    def test_copy_is_independent(self, net):
+        clone = net.copy()
+        clone.remove_node("a")
+        assert "a" in net
+        assert net.has_link("a", "w")
+
+    def test_copy_drops_private_meta(self, net):
+        net.meta["params"] = 1
+        net.meta["_cache"] = 2
+        clone = net.copy()
+        assert clone.meta == {"params": 1}
+
+    def test_subgraph_without_nodes(self, net):
+        sub = net.subgraph_without(dead_nodes=["a"])
+        assert "a" not in sub
+        assert "a" in net
+
+    def test_subgraph_without_links(self, net):
+        sub = net.subgraph_without(dead_links=[("w", "a")])
+        assert not sub.has_link("a", "w")
+        assert sub.num_servers == 2
+
+    def test_subgraph_tolerates_missing_targets(self, net):
+        sub = net.subgraph_without(dead_nodes=["ghost"], dead_links=[("a", "b")])
+        assert len(sub) == len(net)
+
+
+class TestNetworkxExport:
+    def test_roundtrip_counts(self, net):
+        graph = net.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.nodes["w"]["kind"] == "switch"
+        assert graph.edges["a", "w"]["capacity"] == 1.0

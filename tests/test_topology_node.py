@@ -1,0 +1,80 @@
+"""Unit tests for node/link primitives."""
+
+import pytest
+
+from repro.topology.node import Link, Node, NodeKind, link_key
+
+
+class TestNode:
+    def test_server_flags(self):
+        node = Node("s1", NodeKind.SERVER, ports=2)
+        assert node.is_server
+        assert not node.is_switch
+
+    def test_switch_flags(self):
+        node = Node("w1", NodeKind.SWITCH, ports=8, role="level")
+        assert node.is_switch
+        assert not node.is_server
+        assert node.role == "level"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Node("", NodeKind.SERVER, ports=1)
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ValueError, match="port"):
+            Node("x", NodeKind.SERVER, ports=0)
+
+    def test_negative_ports_rejected(self):
+        with pytest.raises(ValueError):
+            Node("x", NodeKind.SWITCH, ports=-3)
+
+    def test_address_carried(self):
+        node = Node("s", NodeKind.SERVER, ports=1, address=(1, 2))
+        assert node.address == (1, 2)
+
+    def test_frozen(self):
+        node = Node("s", NodeKind.SERVER, ports=1)
+        with pytest.raises(AttributeError):
+            node.ports = 5
+
+
+class TestLinkKey:
+    def test_sorts_endpoints(self):
+        assert link_key("b", "a") == ("a", "b")
+        assert link_key("a", "b") == ("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            link_key("a", "a")
+
+
+class TestLink:
+    def test_between_canonicalises(self):
+        link = Link.between("z", "a")
+        assert link.key == ("a", "z")
+
+    def test_direct_constructor_enforces_order(self):
+        with pytest.raises(ValueError, match="canonical"):
+            Link("z", "a")
+
+    def test_other_endpoint(self):
+        link = Link.between("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+
+    def test_other_rejects_non_member(self):
+        link = Link.between("a", "b")
+        with pytest.raises(KeyError):
+            link.other("c")
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Link.between("a", "b", capacity=0)
+
+    def test_length_positive(self):
+        with pytest.raises(ValueError, match="length"):
+            Link.between("a", "b", length=-1)
+
+    def test_default_capacity(self):
+        assert Link.between("a", "b").capacity == 1.0

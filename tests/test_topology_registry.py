@@ -1,0 +1,79 @@
+"""Tests for the topology registry and the TopologySpec interface."""
+
+import pytest
+
+from repro.core import AbcccSpec
+from repro.topology import registry
+from repro.topology.spec import TopologySpec
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        kinds = registry.available()
+        assert {"abccc", "bccc", "bcube", "dcell", "fattree", "ficonn", "hypercube"} <= set(
+            kinds
+        )
+
+    def test_create(self):
+        spec = registry.create("abccc", n=3, k=1, s=2)
+        assert isinstance(spec, AbcccSpec)
+        assert spec.params() == {"n": 3, "k": 1, "s": 2}
+
+    def test_unknown_kind(self):
+        with pytest.raises(registry.UnknownTopologyError, match="nope"):
+            registry.create("nope")
+
+    def test_reregister_same_class_is_noop(self):
+        registry.register(AbcccSpec)  # idempotent
+
+    def test_register_conflicting_class_rejected(self):
+        class Impostor(AbcccSpec):
+            kind = "abccc"
+
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(Impostor)
+
+    def test_register_empty_kind_rejected(self):
+        class Nameless(AbcccSpec):
+            kind = ""
+
+        with pytest.raises(ValueError, match="empty kind"):
+            registry.register(Nameless)
+
+
+class TestSpecInterface:
+    def test_label(self):
+        assert AbcccSpec(4, 2, 3).label == "ABCCC(n=4, k=2, s=3)"
+
+    def test_equality_and_hash(self):
+        a = AbcccSpec(3, 1, 2)
+        b = AbcccSpec(3, 1, 2)
+        c = AbcccSpec(3, 1, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_cross_kind_inequality(self):
+        from repro.baselines import BcccSpec
+
+        assert AbcccSpec(3, 1, 2) != BcccSpec(3, 1)
+
+    def test_default_switch_inventory(self):
+        from repro.baselines import BcubeSpec
+
+        spec = BcubeSpec(4, 1)
+        assert spec.switch_inventory() == {4: spec.num_switches}
+
+    def test_empty_inventory_for_switchless(self):
+        from repro.baselines import HypercubeSpec
+
+        assert HypercubeSpec(3).switch_inventory() == {}
+
+    def test_default_link_diameter_doubles_server_hops(self):
+        spec = AbcccSpec(3, 1, 2)
+        assert spec.diameter_link_hops == 2 * spec.diameter_server_hops
+
+    def test_default_route_is_bfs(self, fattree_small):
+        spec, net = fattree_small
+        route = spec.route(net, net.servers[0], net.servers[-1])
+        assert route.link_hops == 6

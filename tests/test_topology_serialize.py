@@ -1,0 +1,99 @@
+"""Serialization round-trips and exports."""
+
+import json
+
+import pytest
+
+from repro.baselines import BcubeSpec, FatTreeSpec
+from repro.core import AbcccSpec
+from repro.topology.serialize import (
+    from_json_dict,
+    load_json,
+    save_graphml,
+    save_json,
+    to_dot,
+    to_json_dict,
+)
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [AbcccSpec(3, 1, 2), BcubeSpec(3, 1), FatTreeSpec(4)],
+        ids=lambda s: s.kind,
+    )
+    def test_structure_preserved(self, spec):
+        net = spec.build()
+        loaded = from_json_dict(to_json_dict(net))
+        assert loaded.name == net.name
+        assert set(loaded.node_names()) == set(net.node_names())
+        assert {l.key for l in loaded.links()} == {l.key for l in net.links()}
+        for name in net.node_names():
+            assert loaded.node(name).kind == net.node(name).kind
+            assert loaded.node(name).ports == net.node(name).ports
+            assert loaded.node(name).role == net.node(name).role
+
+    def test_capacities_preserved(self, tiny_net):
+        tiny_net.remove_link("a", "sw")
+        tiny_net.add_link("a", "sw", capacity=7.5, length=3.0)
+        loaded = from_json_dict(to_json_dict(tiny_net))
+        link = loaded.link("a", "sw")
+        assert link.capacity == 7.5
+        assert link.length == 3.0
+
+    def test_tuple_addresses_roundtrip(self):
+        net = BcubeSpec(2, 1).build()
+        loaded = from_json_dict(to_json_dict(net))
+        name = net.servers[0]
+        assert loaded.node(name).address == net.node(name).address
+
+    def test_file_roundtrip(self, tmp_path):
+        net = AbcccSpec(2, 1, 2).build()
+        path = save_json(net, str(tmp_path / "net.json"))
+        loaded = load_json(path)
+        assert loaded.num_links == net.num_links
+
+    def test_meta_scalars_survive(self):
+        net = BcubeSpec(2, 1).build()
+        data = to_json_dict(net)
+        assert data["meta"]["n"] == 2
+        loaded = from_json_dict(data)
+        assert loaded.meta["k"] == 1
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="format"):
+            from_json_dict({"format": 99, "nodes": [], "links": []})
+
+    def test_json_serialisable(self):
+        net = AbcccSpec(2, 1, 2).build()
+        json.dumps(to_json_dict(net))  # must not raise
+
+    def test_loaded_abccc_routes_identically(self):
+        """A loaded network supports the address-based router unchanged."""
+        spec = AbcccSpec(3, 1, 2)
+        net = spec.build()
+        loaded = from_json_dict(to_json_dict(net))
+        route = spec.route(loaded, loaded.servers[0], loaded.servers[-1])
+        route.validate(loaded)
+
+
+class TestExports:
+    def test_graphml(self, tmp_path):
+        import networkx as nx
+
+        net = AbcccSpec(2, 1, 2).build()
+        path = save_graphml(net, str(tmp_path / "net.graphml"))
+        graph = nx.read_graphml(path)
+        assert graph.number_of_nodes() == len(net)
+        assert graph.number_of_edges() == net.num_links
+
+    def test_dot_contains_nodes_and_edges(self, tiny_net):
+        dot = to_dot(tiny_net)
+        assert '"a" [shape=box];' in dot
+        assert '"sw" [shape=ellipse];' in dot
+        assert '"a" -- "sw";' in dot or '"sw" -- "a";' in dot
+
+    def test_dot_size_guard(self):
+        net = AbcccSpec(3, 1, 2).build()
+        with pytest.raises(ValueError, match="max_nodes"):
+            to_dot(net, max_nodes=5)
