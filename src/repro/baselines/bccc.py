@@ -51,19 +51,22 @@ def build_bccc(n: int, k: int) -> Network:
 
     for digits in itertools.product(range(n), repeat=levels):
         crossbar = CrossbarSwitchAddress(tuple(digits))
-        net.add_switch(crossbar.name, ports=crossbar_ports, address=crossbar, role="crossbar")
+        crossbar_name = crossbar.name
+        net.add_switch(crossbar_name, ports=crossbar_ports, address=crossbar, role="crossbar")
         for j in range(levels):
             server = ServerAddress(tuple(digits), j)
-            net.add_server(server.name, ports=2, address=server)
-            net.add_link(server.name, crossbar.name)
+            server_name = server.name
+            net.add_server(server_name, ports=2, address=server)
+            net.add_link(server_name, crossbar_name)
 
     for level in range(levels):
         for rest in itertools.product(range(n), repeat=k):
             switch = LevelSwitchAddress(level, tuple(rest))
-            net.add_switch(switch.name, ports=n, address=switch, role="level")
+            switch_name = switch.name
+            net.add_switch(switch_name, ports=n, address=switch, role="level")
             for value in range(n):
                 member = ServerAddress(switch.member_digits(value), level)
-                net.add_link(switch.name, member.name)
+                net.add_link(switch_name, member.name)
 
     return net
 

@@ -52,9 +52,10 @@ def build_bcube(n: int, k: int) -> Network:
     for level in range(levels):
         for rest in itertools.product(range(n), repeat=k):
             switch = LevelSwitchAddress(level, tuple(rest))
-            net.add_switch(switch.name, ports=n, address=switch, role="level")
+            switch_name = switch.name
+            net.add_switch(switch_name, ports=n, address=switch, role="level")
             for value in range(n):
-                net.add_link(switch.name, server_name(switch.member_digits(value)))
+                net.add_link(switch_name, server_name(switch.member_digits(value)))
     return net
 
 

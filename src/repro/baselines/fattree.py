@@ -34,19 +34,21 @@ def build_fattree(p: int) -> Network:
         for j in range(half):
             net.add_switch(f"x{i}.{j}", ports=p, role="core")
     for pod in range(p):
-        for i in range(half):
-            net.add_switch(f"e{pod}.{i}", ports=p, role="edge")
-            net.add_switch(f"a{pod}.{i}", ports=p, role="aggregation")
-        for i in range(half):
+        edges = [f"e{pod}.{i}" for i in range(half)]
+        aggs = [f"a{pod}.{j}" for j in range(half)]
+        for edge, agg in zip(edges, aggs):
+            net.add_switch(edge, ports=p, role="edge")
+            net.add_switch(agg, ports=p, role="aggregation")
+        for i, edge in enumerate(edges):
             for h in range(half):
                 name = f"h{pod}.{i}.{h}"
                 net.add_server(name, ports=1, address=(pod, i, h))
-                net.add_link(name, f"e{pod}.{i}")
-            for j in range(half):
-                net.add_link(f"e{pod}.{i}", f"a{pod}.{j}")
-        for j in range(half):
+                net.add_link(name, edge)
+            for agg in aggs:
+                net.add_link(edge, agg)
+        for j, agg in enumerate(aggs):
             for m in range(half):
-                net.add_link(f"a{pod}.{j}", f"x{j}.{m}")
+                net.add_link(agg, f"x{j}.{m}")
     return net
 
 

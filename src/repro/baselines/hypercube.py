@@ -41,10 +41,11 @@ def build_hypercube(m: int) -> Network:
     for value in range(size):
         net.add_server(server_name(value, m), ports=m, address=value)
     for value in range(size):
+        name = server_name(value, m)
         for bit in range(m):
             other = value ^ (1 << bit)
             if other > value:
-                net.add_link(server_name(value, m), server_name(other, m))
+                net.add_link(name, server_name(other, m))
     return net
 
 

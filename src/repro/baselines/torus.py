@@ -48,14 +48,16 @@ def build_torus3d(a: int, b: int, c: int) -> Network:
     for coord in itertools.product(range(a), range(b), range(c)):
         net.add_server(server_name(coord), ports=ports, address=coord)
     for coord in itertools.product(range(a), range(b), range(c)):
+        name = server_name(coord)
         for axis, size in enumerate(dims):
             neighbour = list(coord)
             neighbour[axis] = (coord[axis] + 1) % size
             neighbour = tuple(neighbour)
             if neighbour == coord:
                 continue
-            if not net.has_link(server_name(coord), server_name(neighbour)):
-                net.add_link(server_name(coord), server_name(neighbour))
+            neighbour_name = server_name(neighbour)
+            if not net.has_link(name, neighbour_name):
+                net.add_link(name, neighbour_name)
     return net
 
 

@@ -139,17 +139,19 @@ class TreeSpec(TopologySpec):
         for i in range(self.num_core):
             net.add_switch(f"core{i}", ports=agg_ports, role="core")
         for i in range(self.num_agg):
-            net.add_switch(f"agg{i}", ports=agg_ports, role="aggregation")
+            agg = f"agg{i}"
+            net.add_switch(agg, ports=agg_ports, role="aggregation")
             for j in range(self.num_core):
-                net.add_link(f"agg{i}", f"core{j}")
+                net.add_link(agg, f"core{j}")
         for rack in range(self.racks):
-            net.add_switch(f"tor{rack}", ports=self.n, role="tor")
+            tor = f"tor{rack}"
+            net.add_switch(tor, ports=self.n, role="tor")
             for i in range(self.servers_per_rack):
                 name = f"r{rack}.{i}"
                 net.add_server(name, ports=1, address=(rack, i))
-                net.add_link(name, f"tor{rack}")
+                net.add_link(name, tor)
             for uplink in range(self._uplinks):
-                net.add_link(f"tor{rack}", f"agg{uplink}")
+                net.add_link(tor, f"agg{uplink}")
         return net
 
     def route(self, net: Network, src: str, dst: str) -> Route:

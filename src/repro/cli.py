@@ -14,7 +14,8 @@ Commands:
 * ``manifest KIND --params …`` — print the deployment manifest (rack
   BOMs + cable schedule).
 * ``experiments`` — list the evaluation suite.
-* ``run EXP_ID|all [--quick] [--out DIR]`` — regenerate tables/figures.
+* ``run EXP_ID|all [--quick] [--out DIR] [--workers N]`` — regenerate
+  tables/figures; ``--workers`` fans all-pairs sweeps out over processes.
 """
 
 from __future__ import annotations
@@ -206,9 +207,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import run_all, run_experiment
 
     if args.exp_id.lower() == "all":
-        run_all(quick=args.quick, out_dir=args.out)
+        run_all(quick=args.quick, out_dir=args.out, workers=args.workers)
     else:
-        run_experiment(args.exp_id, quick=args.quick, out_dir=args.out)
+        run_experiment(
+            args.exp_id, quick=args.quick, out_dir=args.out, workers=args.workers
+        )
     return 0
 
 
@@ -277,6 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("exp_id", help="experiment id (T1, F5, ...) or 'all'")
     run.add_argument("--quick", action="store_true", help="small instances/samples")
     run.add_argument("--out", default="results", help="CSV output directory")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for all-pairs sweeps (0 = all cores; default 1)",
+    )
     run.set_defaults(fn=_cmd_run)
     return parser
 

@@ -47,21 +47,25 @@ def build_abccc(params: AbcccParams) -> Network:
     csw_ports = properties.crossbar_switch_ports(params)
 
     for digits in params.iter_crossbars():
+        csw_name = None
         if params.has_crossbar_switch:
             csw = CrossbarSwitchAddress(digits)
-            net.add_switch(csw.name, ports=csw_ports, address=csw, role="crossbar")
+            csw_name = csw.name
+            net.add_switch(csw_name, ports=csw_ports, address=csw, role="crossbar")
         for j in range(c):
             server = ServerAddress(digits, j)
-            net.add_server(server.name, ports=params.s, address=server)
-            if params.has_crossbar_switch:
-                net.add_link(server.name, CrossbarSwitchAddress(digits).name)
+            server_name = server.name
+            net.add_server(server_name, ports=params.s, address=server)
+            if csw_name is not None:
+                net.add_link(server_name, csw_name)
 
     for lsw in iter_level_switches(params):
-        net.add_switch(lsw.name, ports=params.n, address=lsw, role="level")
+        lsw_name = lsw.name
+        net.add_switch(lsw_name, ports=params.n, address=lsw, role="level")
         owner = params.owner_of(lsw.level)
         for value in range(params.n):
             member = ServerAddress(lsw.member_digits(value), owner)
-            net.add_link(lsw.name, member.name)
+            net.add_link(lsw_name, member.name)
 
     return net
 

@@ -12,12 +12,17 @@ in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import csv
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sim.results import ResultTable
+
+#: per-run timing log written next to the experiment CSVs; one row per
+#: ``run_experiment`` call so quick-vs-full runs and perf PRs compare.
+RUNTIMES_FILENAME = "runtimes.csv"
 
 
 @dataclass(frozen=True)
@@ -108,12 +113,27 @@ def run_experiment(
     quick: bool = False,
     out_dir: Optional[str] = "results",
     verbose: bool = True,
+    workers: Optional[int] = None,
 ) -> List[ResultTable]:
-    """Run one experiment; print its tables and write CSVs under out_dir."""
+    """Run one experiment; print its tables and write CSVs under out_dir.
+
+    ``workers`` sets the sweep engine's default worker count for the
+    duration of the run (see :mod:`repro.metrics.engine`); every run
+    appends its wall time and effective worker count to
+    ``out_dir/runtimes.csv``.
+    """
+    from repro.metrics import engine
+
     experiment = get_experiment(exp_id)
+    previous = engine.set_default_workers(workers) if workers is not None else None
     started = time.perf_counter()
-    tables = experiment.execute(quick=quick)
+    try:
+        tables = experiment.execute(quick=quick)
+    finally:
+        if previous is not None:
+            engine.set_default_workers(previous)
     elapsed = time.perf_counter() - started
+    effective_workers = engine.resolve_workers(workers)
     if verbose:
         print(f"### {experiment.exp_id} — {experiment.title}")
         print(f"expectation: {experiment.expectation}")
@@ -125,14 +145,35 @@ def run_experiment(
             suffix = "" if len(tables) == 1 else f"_{i}"
             name = f"{experiment.exp_id.lower()}{suffix}.csv"
             table.to_csv(os.path.join(out_dir, name))
+        _append_runtime(out_dir, experiment.exp_id, quick, effective_workers, elapsed)
     return tables
 
 
+def _append_runtime(
+    out_dir: str, exp_id: str, quick: bool, workers: int, elapsed: float
+) -> str:
+    """Append one timing row to ``out_dir/runtimes.csv`` (header on create)."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, RUNTIMES_FILENAME)
+    write_header = not os.path.exists(path)
+    with open(path, "a", newline="") as handle:
+        writer = csv.writer(handle)
+        if write_header:
+            writer.writerow(["experiment", "quick", "workers", "wall_time_s"])
+        writer.writerow([exp_id, int(quick), workers, f"{elapsed:.3f}"])
+    return path
+
+
 def run_all(
-    quick: bool = False, out_dir: Optional[str] = "results", verbose: bool = True
+    quick: bool = False,
+    out_dir: Optional[str] = "results",
+    verbose: bool = True,
+    workers: Optional[int] = None,
 ) -> Dict[str, List[ResultTable]]:
     """Run the full evaluation suite."""
     return {
-        exp.exp_id: run_experiment(exp.exp_id, quick=quick, out_dir=out_dir, verbose=verbose)
+        exp.exp_id: run_experiment(
+            exp.exp_id, quick=quick, out_dir=out_dir, verbose=verbose, workers=workers
+        )
         for exp in all_experiments()
     }

@@ -41,11 +41,19 @@ from repro.metrics.state import (
 )
 from repro.metrics.distance import (
     DistanceStats,
+    legacy_link_hop_stats,
+    legacy_server_hop_stats,
     link_diameter,
     link_hop_stats,
     logical_server_adjacency,
     server_diameter,
     server_hop_stats,
+)
+from repro.metrics.engine import (
+    get_default_workers,
+    resolve_workers,
+    set_default_workers,
+    sweep_distance_stats,
 )
 
 __all__ = [
@@ -77,7 +85,10 @@ __all__ = [
     "draw_failures",
     "exact_bisection_small",
     "expansion_capex",
+    "get_default_workers",
     "largest_component_fraction",
+    "legacy_link_hop_stats",
+    "legacy_server_hop_stats",
     "link_diameter",
     "link_hop_stats",
     "link_loads",
@@ -86,9 +97,12 @@ __all__ = [
     "partition_cut_width",
     "per_server_abt",
     "pod_split_fattree",
+    "resolve_workers",
     "sample_server_pairs",
     "server_diameter",
     "server_hop_stats",
     "server_pair_connectivity",
+    "set_default_workers",
     "spectral_split",
+    "sweep_distance_stats",
 ]

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 import networkx as nx
 
+from repro.topology.compiled import compile_graph
 from repro.topology.graph import Network
 
 
@@ -32,7 +33,10 @@ def partition_cut_width(net: Network, side_a: Iterable[str]) -> int:
     """Exact min link cut separating ``side_a`` servers from the rest.
 
     Servers are pinned to their side; switches are free.  Computed as a
-    max-flow between two contracted terminals (unit link capacities).
+    max-flow between two contracted terminals (unit link capacities) on
+    the contracted graph, built from the compiled edge arrays — the
+    compile is cached per network, so the portfolio search in
+    :func:`bisection_upper_bound` flattens the network only once.
     """
     side_a = set(side_a)
     servers = set(net.servers)
@@ -41,17 +45,24 @@ def partition_cut_width(net: Network, side_a: Iterable[str]) -> int:
     if not side_a <= servers:
         raise ValueError("side_a contains non-server nodes")
 
+    compiled = compile_graph(net)
+    side = {compiled.index[name] for name in side_a}
+    server_ids = set(int(i) for i in compiled.server_indices)
+    # Terminal (or own index) per node: contract servers into _A/_B.
+    terminal = [
+        "_A" if i in side else ("_B" if i in server_ids else i)
+        for i in range(compiled.num_nodes)
+    ]
     graph = nx.Graph()
-    for link in net.links():
-        u = "_A" if link.u in side_a else ("_B" if link.u in servers else link.u)
-        v = "_A" if link.v in side_a else ("_B" if link.v in servers else link.v)
-        if u == v:
+    for u, v in zip(compiled.edge_u, compiled.edge_v):
+        a, b = terminal[u], terminal[v]
+        if a == b:
             continue
         # Parallel links accumulate capacity.
-        if graph.has_edge(u, v):
-            graph[u][v]["capacity"] += 1
+        if graph.has_edge(a, b):
+            graph[a][b]["capacity"] += 1
         else:
-            graph.add_edge(u, v, capacity=1)
+            graph.add_edge(a, b, capacity=1)
     cut_value, _ = nx.minimum_cut(graph, "_A", "_B")
     return int(cut_value)
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.routing.base import Route
+from repro.topology.compiled import compile_graph
 from repro.topology.graph import Network
 from repro.topology.node import link_key
 
@@ -43,17 +44,28 @@ class LinkLoadStats:
 
 
 def link_loads(net: Network, routes: Iterable[Route]) -> Dict[Tuple[str, str], float]:
-    """Routes crossing each link, normalised by link capacity."""
-    loads: Dict[Tuple[str, str], float] = {}
-    count = 0
+    """Routes crossing each link, normalised by link capacity.
+
+    Accumulates over dense compiled edge ids (one cached compile per
+    network) instead of per-hop name-pair keys, so all-to-all route sets
+    pay one int lookup per hop.
+    """
+    compiled = compile_graph(net)
+    index = compiled.index
+    counts: Dict[int, float] = {}
     for route in routes:
-        count += 1
         for u, v in route.edges():
-            key = link_key(u, v)
-            loads[key] = loads.get(key, 0.0) + 1.0
-    for key in loads:
-        capacity = net.link(*key).capacity
-        loads[key] /= capacity
+            try:
+                edge = compiled.edge_id(index[u], index[v])
+            except KeyError:
+                net.link(u, v)  # raises NetworkError naming the bad hop
+                raise
+            counts[edge] = counts.get(edge, 0.0) + 1.0
+    names = compiled.names
+    loads: Dict[Tuple[str, str], float] = {}
+    for edge, load in counts.items():
+        key = link_key(names[compiled.edge_u[edge]], names[compiled.edge_v[edge]])
+        loads[key] = load / compiled.edge_capacity[edge]
     return loads
 
 

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
-from repro.routing.shortest import bfs_distances
+from repro.topology.compiled import compile_graph
 from repro.topology.graph import Network
 
 
@@ -144,48 +144,29 @@ def connection_ratio(
     if len(servers) < 2:
         return 0.0
     rng = random.Random(seed)
+    # Mutual reachability in an undirected graph is component membership,
+    # so one compiled component sweep answers every sampled pair.
+    graph = compile_graph(alive)
+    labels = graph.component_labels()
     connected = 0
     total = 0
-    # Group the sampled pairs by source so each BFS is reused.
-    by_source: Dict[str, List[str]] = {}
     for _ in range(sample_pairs):
         src, dst = rng.sample(servers, 2)
-        by_source.setdefault(src, []).append(dst)
-    for src, dsts in by_source.items():
-        dist = bfs_distances(alive, src, targets=set(dsts))
-        for dst in dsts:
-            total += 1
-            if dst in dist:
-                connected += 1
+        total += 1
+        if labels[graph.index[src]] == labels[graph.index[dst]]:
+            connected += 1
     return connected / total if total else 0.0
 
 
 def largest_component_fraction(net: Network, scenario: FailureScenario) -> float:
     """Alive servers in the largest connected component / alive servers."""
     alive = apply_failures(net, scenario)
-    servers = set(alive.servers)
-    if not servers:
+    if alive.num_servers == 0:
         return 0.0
-    remaining = set(servers)
-    best = 0
-    while remaining:
-        start = next(iter(remaining))
-        component = _component(alive, start)
-        members = len(component & servers)
-        best = max(best, members)
-        remaining -= component
-    return best / len(servers)
-
-
-def _component(net: Network, start: str) -> Set[str]:
-    seen = {start}
-    frontier = [start]
-    while frontier:
-        nxt = []
-        for u in frontier:
-            for v in net.neighbors(u):
-                if v not in seen:
-                    seen.add(v)
-                    nxt.append(v)
-        frontier = nxt
-    return seen
+    graph = compile_graph(alive)
+    labels = graph.component_labels()
+    members: Dict[int, int] = {}
+    for server in graph.server_indices:
+        label = int(labels[server])
+        members[label] = members.get(label, 0) + 1
+    return max(members.values()) / graph.num_servers

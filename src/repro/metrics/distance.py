@@ -6,6 +6,13 @@ logical *server hops* over the server-projected graph (two servers are
 logically adjacent when they share a switch or a direct cable).  The
 projection makes server-hop distances well-defined even for topologies
 mixing switched and direct links (DCell, FiConn).
+
+:func:`link_hop_stats` and :func:`server_hop_stats` route through the
+compiled CSR kernel and (optionally parallel) sweep engine
+(:mod:`repro.metrics.engine`); the original dict-BFS implementations are
+kept as ``legacy_*`` references — the parity tests assert both paths
+produce identical :class:`DistanceStats`, and the micro-benchmarks
+measure the speedup.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 import random
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.routing.shortest import bfs_distances
 from repro.topology.graph import Network
@@ -79,22 +86,24 @@ def _collect(
 ) -> DistanceStats:
     histogram: Counter = Counter()
     total = 0
-    pairs = 0
     diameter = 0
-    server_set = set(all_servers)
+    targets: FrozenSet[str] = frozenset(all_servers)
+    expected = len(targets) - 1
     for src in sources:
-        dist = dist_fn(src)
-        for dst in all_servers:
-            if dst == src:
+        reached = 0
+        for dst, hops in dist_fn(src).items():
+            if hops == 0 or dst not in targets:
                 continue
-            hops = dist.get(dst)
-            if hops is None:
-                raise ValueError(f"{dst!r} unreachable from {src!r}")
+            reached += 1
             histogram[hops] += 1
             total += hops
-            pairs += 1
             if hops > diameter:
                 diameter = hops
+        if reached != expected:
+            raise ValueError(
+                f"{expected - reached} servers unreachable from {src!r}"
+            )
+    pairs = len(sources) * expected
     return DistanceStats(
         diameter=diameter,
         mean=total / pairs if pairs else 0.0,
@@ -105,13 +114,46 @@ def _collect(
 
 
 def link_hop_stats(
-    net: Network, sample_sources: Optional[int] = None, seed: int = 0
+    net: Network,
+    sample_sources: Optional[int] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
 ) -> DistanceStats:
-    """Pairwise server distances in link hops.
+    """Pairwise server distances in link hops (compiled sweep engine).
 
     Exact (all sources) when ``sample_sources`` is None; otherwise one BFS
     per sampled source — diameter becomes a lower bound, means stay
-    unbiased.
+    unbiased.  ``workers`` fans the sweep out over processes (``None`` =
+    engine default, see :func:`repro.metrics.engine.resolve_workers`).
+    """
+    from repro.metrics.engine import sweep_distance_stats
+
+    return sweep_distance_stats(
+        net, hops="link", sample_sources=sample_sources, seed=seed, workers=workers
+    )
+
+
+def server_hop_stats(
+    net: Network,
+    sample_sources: Optional[int] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> DistanceStats:
+    """Pairwise server distances in logical server hops (compiled engine)."""
+    from repro.metrics.engine import sweep_distance_stats
+
+    return sweep_distance_stats(
+        net, hops="server", sample_sources=sample_sources, seed=seed, workers=workers
+    )
+
+
+def legacy_link_hop_stats(
+    net: Network, sample_sources: Optional[int] = None, seed: int = 0
+) -> DistanceStats:
+    """Reference implementation: dict-BFS over the ``Network`` adjacency.
+
+    Kept as the parity/benchmark baseline for the compiled engine; prefer
+    :func:`link_hop_stats`.
     """
     servers = net.servers
     sources = _pick_sources(servers, sample_sources, seed)
@@ -123,10 +165,10 @@ def link_hop_stats(
     )
 
 
-def server_hop_stats(
+def legacy_server_hop_stats(
     net: Network, sample_sources: Optional[int] = None, seed: int = 0
 ) -> DistanceStats:
-    """Pairwise server distances in logical server hops."""
+    """Reference implementation of :func:`server_hop_stats` (dict-BFS)."""
     adjacency = logical_server_adjacency(net)
     servers = net.servers
     sources = _pick_sources(servers, sample_sources, seed)

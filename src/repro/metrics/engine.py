@@ -1,0 +1,260 @@
+"""Parallel all-pairs sweep engine over compiled CSR graphs.
+
+Every distance experiment reduces to the same kernel: one BFS per source
+server, histogram the distances to all other servers, merge.  This
+module runs that kernel over the compiled views from
+:mod:`repro.topology.compiled` and fans the source set out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` in chunks — each worker
+receives the pickled CSR arrays **once** (pool initializer), not one
+network per task — then merges the per-chunk histograms, diameters and
+unreachable counts.
+
+The sequential path runs in-process when ``workers <= 1`` or the source
+set is too small for forking to pay off, and produces *identical*
+:class:`~repro.metrics.distance.DistanceStats` to the parallel path and
+to the legacy dict-BFS implementation (asserted by the parity tests in
+``tests/test_metrics_engine.py``).
+
+Worker-count resolution (``resolve_workers``): an explicit int wins; 0
+or a negative value means "all cores"; ``None`` falls back to the
+``REPRO_WORKERS`` environment variable, then the module default set by
+:func:`set_default_workers` (the experiment runner's ``--workers`` flag
+sets that default for a run).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.distance import DistanceStats
+from repro.topology.compiled import (
+    HAVE_NUMPY,
+    HAVE_SCIPY,
+    CompiledGraph,
+    compile_graph,
+    compile_server_projection,
+)
+from repro.topology.graph import Network
+
+#: below this many sources the fork/pickle overhead outweighs the fan-out.
+PARALLEL_THRESHOLD = 16
+
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: int) -> int:
+    """Set the module-default worker count; returns the previous value."""
+    global _DEFAULT_WORKERS
+    previous = _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = int(workers)
+    return previous
+
+
+def get_default_workers() -> int:
+    return _DEFAULT_WORKERS
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an effective worker count (see module docstring)."""
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(env) if env else _DEFAULT_WORKERS
+    workers = int(workers)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+# ----------------------------------------------------------------------
+# the kernel: multi-source sweep -> (histogram, unreachable count)
+# ----------------------------------------------------------------------
+def _sweep_sources(
+    graph: CompiledGraph, sources: Sequence[int]
+) -> Tuple[Dict[int, int], int]:
+    """Histogram of server->server distances from ``sources``.
+
+    Distance 0 entries (the source itself) are excluded; unreachable
+    (src, dst) pairs are counted, not raised — the caller decides.
+
+    Kernel selection, fastest available first: batched multi-source BFS
+    via sparse matmul (scipy), per-source vectorised frontier BFS
+    (numpy), flat-array BFS (stdlib only).  All three produce identical
+    histograms — distances are unique, only the traversal differs.
+    """
+    if HAVE_SCIPY:
+        return _sweep_batched(graph, sources)
+    targets = graph.server_indices
+    unreachable = 0
+    if HAVE_NUMPY:
+        import numpy as np
+
+        acc = np.zeros(1, dtype=np.int64)
+        for src in sources:
+            d = graph.bfs_distances(src)[targets]
+            unreachable += int((d < 0).sum())
+            counts = np.bincount(d[d > 0], minlength=acc.size)
+            if counts.size > acc.size:
+                counts[: acc.size] += acc
+                acc = counts
+            else:
+                acc += counts
+        return {int(h): int(c) for h, c in enumerate(acc) if c}, unreachable
+    histogram: Counter = Counter()
+    for src in sources:
+        dist = graph.bfs_distances(src)
+        for t in targets:
+            hops = dist[t]
+            if hops < 0:
+                unreachable += 1
+            elif hops > 0:
+                histogram[hops] += 1
+    return dict(histogram), unreachable
+
+
+def _sweep_batched(
+    graph: CompiledGraph, sources: Sequence[int]
+) -> Tuple[Dict[int, int], int]:
+    """Level-synchronous BFS over a *block* of sources at once.
+
+    The frontier of a whole source block is one dense (nodes x block)
+    matrix; expanding every frontier is a single sparse-matrix multiply,
+    so the per-level Python overhead is amortised over the block.  Block
+    size is capped to keep the working set a few megabytes regardless of
+    graph size.
+    """
+    import numpy as np
+
+    mat = graph.sparse_adjacency()
+    nodes = graph.num_nodes
+    targets = np.asarray(graph.server_indices)
+    source_arr = np.asarray(sources, dtype=np.int64)
+    block = int(min(max(8_000_000 // max(nodes, 1), 16), 1024))
+    acc = np.zeros(1, dtype=np.int64)
+    unreachable = 0
+    for lo in range(0, len(source_arr), block):
+        chunk = source_arr[lo : lo + block]
+        width = len(chunk)
+        cols = np.arange(width)
+        frontier = np.zeros((nodes, width), dtype=np.int32)
+        frontier[chunk, cols] = 1
+        visited = frontier > 0
+        dist = np.full((nodes, width), -1, dtype=np.int32)
+        dist[chunk, cols] = 0
+        level = 0
+        while True:
+            level += 1
+            fresh = (mat @ frontier) > 0
+            fresh &= ~visited
+            if not fresh.any():
+                break
+            dist[fresh] = level
+            visited |= fresh
+            frontier = fresh.astype(np.int32)
+        sub = dist[targets, :]
+        unreachable += int((sub < 0).sum())
+        counts = np.bincount(sub[sub > 0], minlength=acc.size)
+        if counts.size > acc.size:
+            counts[: acc.size] += acc
+            acc = counts
+        else:
+            acc += counts
+    return {int(h): int(c) for h, c in enumerate(acc) if c}, unreachable
+
+
+# Worker-process state: the compiled graph arrives once via the pool
+# initializer and is reused by every chunk the worker executes.
+_WORKER_GRAPH: Optional[CompiledGraph] = None
+
+
+def _worker_init(graph: CompiledGraph) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def _worker_sweep(sources: Sequence[int]) -> Tuple[Dict[int, int], int]:
+    assert _WORKER_GRAPH is not None, "worker pool not initialised"
+    return _sweep_sources(_WORKER_GRAPH, sources)
+
+
+def _chunk(sources: Sequence[int], workers: int) -> List[Sequence[int]]:
+    """Split sources into ~4 chunks per worker for load balancing."""
+    per = max(1, math.ceil(len(sources) / (workers * 4)))
+    return [sources[i : i + per] for i in range(0, len(sources), per)]
+
+
+def _parallel_sweep(
+    graph: CompiledGraph, sources: Sequence[int], workers: int
+) -> Tuple[Dict[int, int], int]:
+    merged: Counter = Counter()
+    unreachable = 0
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init, initargs=(graph,)
+        ) as pool:
+            for histogram, missed in pool.map(_worker_sweep, _chunk(sources, workers)):
+                merged.update(histogram)
+                unreachable += missed
+    except (OSError, PermissionError):  # no fork/semaphores: degrade gracefully
+        return _sweep_sources(graph, sources)
+    return dict(merged), unreachable
+
+
+# ----------------------------------------------------------------------
+# public entry point
+# ----------------------------------------------------------------------
+def sweep_distance_stats(
+    net: Network,
+    hops: str = "link",
+    sample_sources: Optional[int] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> DistanceStats:
+    """All-pairs (or sampled-source) server distance stats for ``net``.
+
+    ``hops`` selects the compiled view: ``"link"`` (physical link hops
+    over the full graph) or ``"server"`` (logical server hops over the
+    server projection).  Sampling semantics, seeding and the resulting
+    :class:`DistanceStats` match the legacy pure-Python sweep exactly.
+    """
+    if hops == "link":
+        graph = compile_graph(net)
+    elif hops == "server":
+        graph = compile_server_projection(net)
+    else:
+        raise ValueError(f"hops must be 'link' or 'server', got {hops!r}")
+
+    server_names = [graph.names[i] for i in graph.server_indices]
+    if len(server_names) < 2:
+        return DistanceStats(diameter=0, mean=0.0, histogram={}, pairs=0, exact=True)
+    exact = sample_sources is None or sample_sources >= len(server_names)
+    if exact:
+        source_names: Sequence[str] = server_names
+    else:
+        source_names = random.Random(seed).sample(list(server_names), sample_sources)
+    source_idx = [graph.index[name] for name in source_names]
+
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(source_idx) < max(PARALLEL_THRESHOLD, 2 * workers):
+        histogram, unreachable = _sweep_sources(graph, source_idx)
+    else:
+        histogram, unreachable = _parallel_sweep(graph, source_idx, workers)
+    if unreachable:
+        raise ValueError(
+            f"{unreachable} (src, dst) server pairs unreachable "
+            f"in {net.name!r} ({hops} hops)"
+        )
+
+    pairs = len(source_idx) * (len(server_names) - 1)
+    total = sum(h * c for h, c in histogram.items())
+    return DistanceStats(
+        diameter=max(histogram) if histogram else 0,
+        mean=total / pairs if pairs else 0.0,
+        histogram=dict(sorted(histogram.items())),
+        pairs=pairs,
+        exact=exact,
+    )

@@ -7,6 +7,11 @@ Public surface::
     from repro.topology import registry
 """
 
+from repro.topology.compiled import (
+    CompiledGraph,
+    compile_graph,
+    compile_server_projection,
+)
 from repro.topology.graph import Network, NetworkError
 from repro.topology.node import Link, Node, NodeKind, link_key
 from repro.topology.spec import TopologySpec
@@ -19,8 +24,11 @@ from repro.topology.validate import (
 )
 
 __all__ = [
+    "CompiledGraph",
     "Link",
     "LinkPolicy",
+    "compile_graph",
+    "compile_server_projection",
     "Network",
     "NetworkError",
     "Node",

@@ -1,0 +1,364 @@
+"""Compiled CSR view of a :class:`~repro.topology.graph.Network`.
+
+The dict-of-set adjacency in :class:`Network` is convenient for builders
+and failure injection but slow for the all-pairs sweeps that dominate
+every distance/resilience experiment: each BFS step pays a hash lookup
+per neighbor and allocates a dict entry per settled node.  This module
+flattens a network once into int-indexed CSR arrays (``offsets`` +
+``neighbors``) plus name/server lookup tables, and runs the BFS frontier
+loop over those flat arrays — vectorised with numpy when available,
+otherwise over :mod:`array`-backed flat lists.
+
+Two compiled views exist per network:
+
+* the **link graph** — every node, physical links; distances are *link
+  hops*;
+* the **server projection** — servers only, two servers adjacent when
+  they share a switch or a direct cable; distances are logical *server
+  hops* (see :func:`repro.metrics.distance.logical_server_adjacency`).
+
+Both are cached on the network (``net.meta["_compiled"]``) and keyed by
+:attr:`Network.version`, which every mutation bumps — so fault-injection
+loops recompile only after an actual ``remove_node``/``remove_link``,
+and :meth:`Network.copy`/``subgraph_without`` clones start with a cold
+cache (underscore meta keys are not copied).
+
+A :class:`CompiledGraph` is a plain picklable value object: the parallel
+sweep engine (:mod:`repro.metrics.engine`) ships it to worker processes
+once per pool, not once per BFS.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.topology.graph import Network
+
+try:  # numpy accelerates the frontier loop ~an order of magnitude
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image bakes numpy in
+    _np = None
+
+try:  # scipy unlocks the batched multi-source BFS (C-speed sparse matmul)
+    from scipy.sparse import csr_matrix as _scipy_csr
+except ImportError:  # pragma: no cover
+    _scipy_csr = None
+
+HAVE_NUMPY = _np is not None
+HAVE_SCIPY = _np is not None and _scipy_csr is not None
+
+
+def _int_array(values: Iterable[int]):
+    """A flat int sequence: numpy int64 when available, else array('q')."""
+    if HAVE_NUMPY:
+        return _np.fromiter(values, dtype=_np.int64)
+    return array("q", values)
+
+
+class CompiledGraph:
+    """Immutable CSR snapshot of a network (or of its server projection).
+
+    Attributes:
+        names: node name per index (compilation order).
+        index: name -> index (inverse of ``names``).
+        offsets: CSR row offsets, length ``num_nodes + 1``.
+        neighbors: concatenated adjacency lists, length ``2 * num_edges``.
+        server_indices: indices of server nodes, insertion order.
+        edge_u/edge_v: one entry per undirected edge (``u < v`` by index
+            is *not* guaranteed; pairs are stored as compiled).
+        edge_capacity: capacity per edge, aligned with ``edge_u/edge_v``.
+    """
+
+    __slots__ = (
+        "names",
+        "index",
+        "offsets",
+        "neighbors",
+        "server_indices",
+        "edge_u",
+        "edge_v",
+        "edge_capacity",
+        "_edge_lookup",
+        "_sparse",
+    )
+
+    def __init__(
+        self,
+        names: Tuple[str, ...],
+        offsets,
+        neighbors,
+        server_indices,
+        edge_u,
+        edge_v,
+        edge_capacity: Tuple[float, ...],
+    ) -> None:
+        self.names = names
+        self.index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.server_indices = server_indices
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.edge_capacity = edge_capacity
+        self._edge_lookup: Optional[Dict[Tuple[int, int], int]] = None
+        self._sparse = None
+
+    # ------------------------------------------------------------------
+    # pickling (slots classes need explicit state; workers receive these)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (
+            self.names,
+            self.offsets,
+            self.neighbors,
+            self.server_indices,
+            self.edge_u,
+            self.edge_v,
+            self.edge_capacity,
+        )
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(cls, net: Network) -> "CompiledGraph":
+        """Compile the full link graph (all nodes, physical links)."""
+        names = tuple(net.node_names())
+        index = {name: i for i, name in enumerate(names)}
+        adjacency = [sorted(index[v] for v in net.neighbors(u)) for u in names]
+        servers = _int_array(
+            i for i, name in enumerate(names) if net.node(name).is_server
+        )
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        capacities: List[float] = []
+        for link in net.links():
+            edge_u.append(index[link.u])
+            edge_v.append(index[link.v])
+            capacities.append(link.capacity)
+        return cls(
+            names,
+            *_csr_from_lists(adjacency),
+            server_indices=servers,
+            edge_u=_int_array(edge_u),
+            edge_v=_int_array(edge_v),
+            edge_capacity=tuple(capacities),
+        )
+
+    @classmethod
+    def from_server_projection(cls, net: Network) -> "CompiledGraph":
+        """Compile the logical server projection (server-hop distances)."""
+        names = tuple(net.servers)
+        index = {name: i for i, name in enumerate(names)}
+        pairs: Set[Tuple[int, int]] = set()
+        for node in net.nodes():
+            if not node.is_switch:
+                continue
+            members = [
+                index[v] for v in net.neighbors(node.name) if net.node(v).is_server
+            ]
+            for a, u in enumerate(members):
+                for v in members[a + 1 :]:
+                    pairs.add((u, v) if u < v else (v, u))
+        for link in net.links():
+            if link.u in index and link.v in index:
+                u, v = index[link.u], index[link.v]
+                pairs.add((u, v) if u < v else (v, u))
+        adjacency: List[List[int]] = [[] for _ in names]
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        for u, v in sorted(pairs):
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            edge_u.append(u)
+            edge_v.append(v)
+        for row in adjacency:
+            row.sort()
+        return cls(
+            names,
+            *_csr_from_lists(adjacency),
+            server_indices=_int_array(range(len(names))),
+            edge_u=_int_array(edge_u),
+            edge_v=_int_array(edge_v),
+            edge_capacity=tuple(1.0 for _ in edge_u),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_u)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.server_indices)
+
+    def degree(self, node: int) -> int:
+        return int(self.offsets[node + 1] - self.offsets[node])
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Dense edge index of the edge ``{u, v}``; raises ``KeyError``."""
+        if self._edge_lookup is None:
+            self._edge_lookup = {
+                (min(a, b), max(a, b)): e
+                for e, (a, b) in enumerate(zip(self.edge_u, self.edge_v))
+            }
+        return self._edge_lookup[(u, v) if u < v else (v, u)]
+
+    def sparse_adjacency(self):
+        """The scipy CSR adjacency matrix (0/1 entries), built lazily.
+
+        Returns ``None`` when scipy is unavailable; callers fall back to
+        the per-source frontier kernels.  Cached per compiled graph (and
+        therefore per worker process — the matrix itself is rebuilt from
+        the pickled offset/neighbor arrays, not shipped).
+        """
+        if not HAVE_SCIPY:
+            return None
+        if self._sparse is None:
+            indptr = _np.asarray(self.offsets, dtype=_np.int32)
+            indices = _np.asarray(self.neighbors, dtype=_np.int32)
+            data = _np.ones(len(indices), dtype=_np.int32)
+            self._sparse = _scipy_csr(
+                (data, indices, indptr), shape=(self.num_nodes, self.num_nodes)
+            )
+        return self._sparse
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def bfs_distances(self, src: int):
+        """Hop distances from ``src`` to every node (-1 = unreachable).
+
+        Returns a flat int sequence indexed by node id — a numpy int64
+        array when numpy is available, else an ``array('q')``.
+        """
+        if HAVE_NUMPY:
+            return self._bfs_numpy(src)
+        return self._bfs_flat(src)
+
+    def _bfs_numpy(self, src: int):
+        offsets, neighbors = self.offsets, self.neighbors
+        dist = _np.full(self.num_nodes, -1, dtype=_np.int64)
+        dist[src] = 0
+        frontier = _np.array([src], dtype=_np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            starts = offsets[frontier]
+            counts = offsets[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Gather the concatenated neighbor slices of the frontier.
+            ends = _np.cumsum(counts)
+            gather = _np.arange(total) + _np.repeat(starts - (ends - counts), counts)
+            fresh = neighbors[gather]
+            fresh = fresh[dist[fresh] < 0]
+            if fresh.size == 0:
+                break
+            dist[fresh] = level
+            frontier = _np.unique(fresh)
+        return dist
+
+    def _bfs_flat(self, src: int):
+        offsets, neighbors = self.offsets, self.neighbors
+        dist = [-1] * self.num_nodes
+        dist[src] = 0
+        frontier = [src]
+        level = 0
+        while frontier:
+            level += 1
+            nxt: List[int] = []
+            for u in frontier:
+                for j in range(offsets[u], offsets[u + 1]):
+                    v = neighbors[j]
+                    if dist[v] < 0:
+                        dist[v] = level
+                        nxt.append(v)
+            frontier = nxt
+        return array("q", dist)
+
+    def bfs_distances_by_name(self, source: str) -> Dict[str, int]:
+        """Compat helper: BFS distances as a name-keyed dict (reachable only)."""
+        dist = self.bfs_distances(self.index[source])
+        names = self.names
+        return {names[i]: int(d) for i, d in enumerate(dist) if d >= 0}
+
+    def component_labels(self):
+        """Connected-component label per node (labels are 0..k-1).
+
+        Returns a flat int sequence aligned with node indices.
+        """
+        labels = [-1] * self.num_nodes
+        offsets, neighbors = self.offsets, self.neighbors
+        current = 0
+        for start in range(self.num_nodes):
+            if labels[start] >= 0:
+                continue
+            labels[start] = current
+            frontier = [start]
+            while frontier:
+                nxt: List[int] = []
+                for u in frontier:
+                    for j in range(offsets[u], offsets[u + 1]):
+                        v = neighbors[j]
+                        if labels[v] < 0:
+                            labels[v] = current
+                            nxt.append(v)
+                frontier = nxt
+            current += 1
+        return _int_array(labels)
+
+
+def _csr_from_lists(adjacency: Sequence[Sequence[int]]):
+    """Pack per-node adjacency lists into ``(offsets, neighbors)``."""
+    offsets = [0]
+    flat: List[int] = []
+    for row in adjacency:
+        flat.extend(row)
+        offsets.append(len(flat))
+    return _int_array(offsets), _int_array(flat)
+
+
+# ----------------------------------------------------------------------
+# per-network compile cache
+# ----------------------------------------------------------------------
+_CACHE_KEY = "_compiled"
+
+
+def _cache_slot(net: Network) -> Dict[str, object]:
+    cache = net.meta.get(_CACHE_KEY)
+    if not isinstance(cache, dict) or cache.get("version") != net.version:
+        cache = {"version": net.version}
+        net.meta[_CACHE_KEY] = cache
+    return cache
+
+
+def compile_graph(net: Network) -> CompiledGraph:
+    """The cached compiled link graph of ``net`` (recompiled on mutation)."""
+    cache = _cache_slot(net)
+    compiled = cache.get("link")
+    if compiled is None:
+        compiled = CompiledGraph.from_network(net)
+        cache["link"] = compiled
+    return compiled
+
+
+def compile_server_projection(net: Network) -> CompiledGraph:
+    """The cached compiled server projection of ``net``."""
+    cache = _cache_slot(net)
+    compiled = cache.get("server")
+    if compiled is None:
+        compiled = CompiledGraph.from_server_projection(net)
+        cache["server"] = compiled
+    return compiled

@@ -39,6 +39,19 @@ class Network:
         self._links: Dict[Tuple[str, str], Link] = {}
         #: free-form metadata set by builders (parameters, analytic props).
         self.meta: Dict[str, Any] = {}
+        #: monotone mutation counter; caches key on it (see ``version``).
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped by every structural mutation (add/remove node/link).
+
+        Derived caches — notably the compiled CSR views in
+        :mod:`repro.topology.compiled` — key on this counter, so they are
+        invalidated exactly when the graph actually changes and reused
+        across repeated sweeps otherwise.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -49,6 +62,7 @@ class Network:
             raise NetworkError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
         self._adj[node.name] = set()
+        self._version += 1
         return node
 
     def add_server(self, name: str, ports: int, address: Any = None, role: str = "") -> Node:
@@ -82,6 +96,7 @@ class Network:
         self._links[key] = link
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._version += 1
         return link
 
     # ------------------------------------------------------------------
@@ -96,6 +111,7 @@ class Network:
             raise NetworkError(f"no link {u!r} - {v!r}") from None
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._version += 1
         return link
 
     def remove_node(self, name: str) -> Node:
@@ -107,6 +123,7 @@ class Network:
         for neighbor in list(self._adj[name]):
             self.remove_link(name, neighbor)
         del self._adj[name]
+        self._version += 1
         return node
 
     # ------------------------------------------------------------------

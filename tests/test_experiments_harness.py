@@ -37,8 +37,13 @@ class TestRunner:
         assert "expectation:" in out
         assert "finished in" in out
         written = sorted(os.listdir(tmp_path))
-        assert len(written) == len(tables)
-        assert all(name.startswith("f2") and name.endswith(".csv") for name in written)
+        # One CSV per table plus the cumulative runtime log.
+        assert len(written) == len(tables) + 1
+        assert "runtimes.csv" in written
+        tables_csvs = [name for name in written if name != "runtimes.csv"]
+        assert all(
+            name.startswith("f2") and name.endswith(".csv") for name in tables_csvs
+        )
 
     def test_quiet_mode(self, capsys, tmp_path):
         run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
@@ -51,6 +56,27 @@ class TestRunner:
     def test_single_table_filename_has_no_suffix(self, tmp_path):
         run_experiment("F5", quick=True, out_dir=str(tmp_path), verbose=False)
         assert (tmp_path / "f5.csv").exists()
+
+    def test_runtimes_csv_accumulates_rows(self, tmp_path):
+        import csv
+
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False, workers=2)
+        with open(tmp_path / "runtimes.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["experiment", "quick", "workers", "wall_time_s"]
+        assert len(rows) == 3  # header + one row per run
+        first, second = rows[1], rows[2]
+        assert first[:3] == ["F11", "1", "1"]
+        assert second[:3] == ["F11", "1", "2"]
+        assert all(float(row[3]) >= 0.0 for row in rows[1:])
+
+    def test_workers_default_restored_after_run(self, tmp_path):
+        from repro.metrics.engine import get_default_workers
+
+        before = get_default_workers()
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False, workers=3)
+        assert get_default_workers() == before
 
     def test_multi_table_filenames_numbered(self, tmp_path):
         run_experiment("T1", quick=True, out_dir=str(tmp_path), verbose=False)
