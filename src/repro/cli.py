@@ -14,8 +14,12 @@ Commands:
 * ``manifest KIND --params …`` — print the deployment manifest (rack
   BOMs + cable schedule).
 * ``experiments`` — list the evaluation suite.
-* ``run EXP_ID|all [--quick] [--out DIR] [--workers N]`` — regenerate
-  tables/figures; ``--workers`` fans all-pairs sweeps out over processes.
+* ``run EXP_ID|all [--quick] [--out DIR] [--workers N] [--resume]
+  [--timeout S]`` — regenerate tables/figures; ``--workers`` fans
+  sweeps out over processes, ``--resume`` replays the trial journal an
+  interrupted run left behind, ``--timeout`` bounds each experiment's
+  wall clock (the journal survives a timeout, so ``--resume`` finishes
+  the run).
 """
 
 from __future__ import annotations
@@ -207,10 +211,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import run_all, run_experiment
 
     if args.exp_id.lower() == "all":
-        run_all(quick=args.quick, out_dir=args.out, workers=args.workers)
+        run_all(
+            quick=args.quick,
+            out_dir=args.out,
+            workers=args.workers,
+            resume=args.resume,
+            timeout=args.timeout,
+        )
     else:
         run_experiment(
-            args.exp_id, quick=args.quick, out_dir=args.out, workers=args.workers
+            args.exp_id,
+            quick=args.quick,
+            out_dir=args.out,
+            workers=args.workers,
+            resume=args.resume,
+            timeout=args.timeout,
         )
     return 0
 
@@ -285,6 +300,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="processes for all-pairs sweeps (0 = all cores; default 1)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the trial journal an interrupted run left in --out",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock limit (journal survives, resumable)",
     )
     run.set_defaults(fn=_cmd_run)
     return parser

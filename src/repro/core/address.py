@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 
@@ -159,6 +160,7 @@ class AbcccParams:
         return f"ABCCC(n={self.n}, k={self.k}, s={self.s})"
 
 
+@lru_cache(maxsize=65536)
 def _digits_msb_first(digits: Tuple[int, ...]) -> str:
     return ".".join(str(d) for d in reversed(digits))
 
@@ -181,21 +183,20 @@ class ServerAddress:
     def digit(self, level: int) -> int:
         return self.digits[level]
 
-    @property
+    @cached_property
     def name(self) -> str:
-        """Canonical graph-node name, e.g. ``s2.0.1/0`` (MSB first)."""
+        """Canonical graph-node name, e.g. ``s2.0.1/0`` (MSB first).
+
+        Cached per instance (``cached_property`` writes to ``__dict__``,
+        which frozen dataclasses still have) — the fault-routing walk
+        re-reads the names of the same few addresses constantly.
+        """
         return f"s{_digits_msb_first(self.digits)}/{self.index}"
 
     @classmethod
     def parse(cls, name: str) -> "ServerAddress":
-        if not name.startswith("s") or "/" not in name:
-            raise AddressError(f"not a server name: {name!r}")
-        body, _, idx = name[1:].rpartition("/")
-        try:
-            index = int(idx)
-        except ValueError:
-            raise AddressError(f"bad server index in {name!r}") from None
-        return cls(_parse_digits_msb_first(body), index)
+        """Parse a canonical server name (cached — instances are frozen)."""
+        return _parse_server(name)
 
     def rank(self, params: AbcccParams) -> int:
         """Dense id in ``[0, N)``: crossbars-major, index-minor."""
@@ -213,13 +214,25 @@ class ServerAddress:
         return self.name
 
 
+@lru_cache(maxsize=65536)
+def _parse_server(name: str) -> "ServerAddress":
+    if not name.startswith("s") or "/" not in name:
+        raise AddressError(f"not a server name: {name!r}")
+    body, _, idx = name[1:].rpartition("/")
+    try:
+        index = int(idx)
+    except ValueError:
+        raise AddressError(f"bad server index in {name!r}") from None
+    return ServerAddress(_parse_digits_msb_first(body), index)
+
+
 @dataclass(frozen=True, order=True)
 class CrossbarSwitchAddress:
     """The local switch of one crossbar."""
 
     digits: Tuple[int, ...]
 
-    @property
+    @cached_property
     def name(self) -> str:
         """Canonical graph-node name, e.g. ``c2.0.1`` (MSB first)."""
         return f"c{_digits_msb_first(self.digits)}"
@@ -246,7 +259,7 @@ class LevelSwitchAddress:
     level: int
     rest: Tuple[int, ...]
 
-    @property
+    @cached_property
     def name(self) -> str:
         """Canonical graph-node name, e.g. ``l1:2.*.1`` — the ``*`` marks
         the varying digit position (MSB first)."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.address import (
@@ -51,15 +52,31 @@ class FaultRouteResult:
         return self.route.link_hops
 
 
-def _segment_alive(net: Network, hops: Sequence[Tuple[str, str]]) -> bool:
-    """All listed links (and implicitly their endpoints) are alive."""
-    return all(u in net and v in net and net.has_link(u, v) for u, v in hops)
+def _segment_alive(net: Network, start: str, nodes: Sequence[str]) -> bool:
+    """The chain ``start -> nodes[0] -> … -> nodes[-1]`` is fully alive."""
+    adj = net.adjacency()
+    neighbors = adj.get(start)
+    if neighbors is None:
+        return False
+    for node in nodes:
+        # membership in the previous hop's neighbor set answers node
+        # liveness and link liveness in one lookup
+        if node not in neighbors:
+            return False
+        neighbors = adj[node]
+    return True
 
 
+@lru_cache(maxsize=65536)
 def _correction_segment(
     params: AbcccParams, at: ServerAddress, level: int, value: int
-) -> Tuple[List[str], ServerAddress]:
-    """Node sequence (beyond ``at``) that sets ``level`` to ``value``."""
+) -> Tuple[Tuple[str, ...], ServerAddress]:
+    """Node sequence (beyond ``at``) that sets ``level`` to ``value``.
+
+    Pure in its (hashable) arguments and called for the same few moves
+    thousands of times per experiment, so the name-building work is
+    cached; the returned segment tuple must not be mutated.
+    """
     owner = params.owner_of(level)
     nodes: List[str] = []
     if at.index != owner:
@@ -70,12 +87,7 @@ def _correction_segment(
     landing = ServerAddress(new_digits, owner)
     nodes.append(switch.name)
     nodes.append(landing.name)
-    return nodes, landing
-
-
-def _hops_of(start: str, nodes: Sequence[str]) -> List[Tuple[str, str]]:
-    chain = [start, *nodes]
-    return list(zip(chain, chain[1:]))
+    return tuple(nodes), landing
 
 
 def fault_tolerant_route(
@@ -97,7 +109,7 @@ def fault_tolerant_route(
         raise RoutingError(f"source {src!r} is failed or unknown")
     if dst not in net:
         raise RoutingError(f"destination {dst!r} is failed or unknown")
-    rng = random.Random(seed)
+    rng: Optional[random.Random] = None  # built on first detour only
     source = ServerAddress.parse(src)
     target = ServerAddress.parse(dst)
     budget = (
@@ -116,7 +128,7 @@ def fault_tolerant_route(
             if at.index == target.index:
                 return FaultRouteResult(Route.of(nodes), detours, False)
             transfer = [CrossbarSwitchAddress(at.digits).name, dst]
-            if _segment_alive(net, _hops_of(at.name, transfer)):
+            if _segment_alive(net, at.name, transfer):
                 nodes.extend(transfer)
                 return FaultRouteResult(Route.of(nodes), detours, False)
             # The local crossbar switch (or destination link) is dead; a
@@ -131,7 +143,7 @@ def fault_tolerant_route(
             )
             if (landing.digits, landing.index) in visited:
                 continue
-            if _segment_alive(net, _hops_of(at.name, segment)):
+            if _segment_alive(net, at.name, segment):
                 nodes.extend(segment)
                 at = landing
                 visited.add((at.digits, at.index))
@@ -147,12 +159,26 @@ def fault_tolerant_route(
             for value in range(params.n)
             if value != at.digits[level]
         ]
-        rng.shuffle(detour_moves)
-        for level, value in detour_moves:
+        if rng is None:
+            rng = random.Random(seed)
+        uniform = rng.random
+        # Lazy Fisher-Yates: draw a uniform random untried move, swap it
+        # to the tail, and stop at the first one that works — the tried
+        # prefix has exactly the distribution of a full-shuffle prefix,
+        # without paying for draws that would never be inspected.
+        remaining = len(detour_moves)
+        while remaining:
+            pick = int(uniform() * remaining)
+            remaining -= 1
+            detour_moves[pick], detour_moves[remaining] = (
+                detour_moves[remaining],
+                detour_moves[pick],
+            )
+            level, value = detour_moves[remaining]
             segment, landing = _correction_segment(params, at, level, value)
             if (landing.digits, landing.index) in visited:
                 continue
-            if _segment_alive(net, _hops_of(at.name, segment)):
+            if _segment_alive(net, at.name, segment):
                 nodes.extend(segment)
                 at = landing
                 visited.add((at.digits, at.index))

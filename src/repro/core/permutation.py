@@ -21,7 +21,8 @@ Connected Crossbars" (Li & Yang, ICC 2015), generalised from BCCC to ABCCC:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.address import AbcccParams, ServerAddress
 
@@ -73,14 +74,24 @@ def locality_order(
     the destination server's group (saving the final transfer), whenever
     those groups occur among the differing levels and are distinct.
     """
+    return list(_locality_sequence(params, src.index, dst.index, tuple(levels)))
+
+
+@lru_cache(maxsize=65536)
+def _locality_sequence(
+    params: AbcccParams, src_index: int, dst_index: int, levels: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """Cached body of :func:`locality_order` — it depends only on the
+    in-crossbar indexes, so the fault-routing walk (which asks for the
+    same few orders thousands of times) hits the cache."""
     groups = _owner_groups(params, levels)
-    first = src.index if src.index in groups else None
-    last = dst.index if dst.index in groups and dst.index != first else None
+    first = src_index if src_index in groups else None
+    last = dst_index if dst_index in groups and dst_index != first else None
     middle = sorted(g for g in groups if g not in (first, last))
     sequence = ([first] if first is not None else []) + middle
     if last is not None:
         sequence.append(last)
-    return [level for group in sequence for level in groups[group]]
+    return tuple(level for group in sequence for level in groups[group])
 
 
 def balanced_order(

@@ -10,16 +10,20 @@ Usage::
 
 from repro.experiments.harness import (
     Experiment,
+    ExperimentTimeout,
     all_experiments,
     get_experiment,
+    journal_path,
     run_all,
     run_experiment,
 )
 
 __all__ = [
     "Experiment",
+    "ExperimentTimeout",
     "all_experiments",
     "get_experiment",
+    "journal_path",
     "run_all",
     "run_experiment",
 ]

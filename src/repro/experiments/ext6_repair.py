@@ -15,10 +15,11 @@ from typing import List
 
 from repro.core import AbcccSpec, fault_tolerant_route
 from repro.experiments.harness import register
-from repro.metrics.connectivity import draw_failures
+from repro.faults import random_failures
+from repro.metrics.engine import pairwise_distances
 from repro.routing.base import RoutingError
-from repro.routing.shortest import bfs_distances
 from repro.sim.results import ResultTable
+from repro.topology.compiled import compile_graph
 
 
 @register(
@@ -51,19 +52,28 @@ def run(quick: bool = False) -> List[ResultTable]:
     for s in s_values:
         spec = AbcccSpec(n, k, s)
         net = spec.build()
-        scenario = draw_failures(
+        plan = random_failures(
             net, server_fraction=fraction, switch_fraction=fraction, seed=17
         )
         alive = net.subgraph_without(
-            dead_nodes=list(scenario.dead_servers) + list(scenario.dead_switches)
+            dead_nodes=list(plan.scenario.dead_servers)
+            + list(plan.scenario.dead_switches)
         )
+        # Reachability baselines on the compiled alive graph: draw the
+        # attempt pairs up front (same RNG stream as the loop would use)
+        # and batch the distinct sources through one block BFS.
+        graph = compile_graph(alive)
+        index = graph.index
         rng = random.Random(23)
+        servers = alive.servers
+        attempt_pairs = [tuple(rng.sample(servers, 2)) for _ in range(attempts)]
+        shortests = pairwise_distances(
+            graph, [(index[src], index[dst]) for src, dst in attempt_pairs]
+        )
         reachable = greedy_ok = fallback = 0
         stretches: List[float] = []
-        for _ in range(attempts):
-            src, dst = rng.sample(alive.servers, 2)
-            shortest = bfs_distances(alive, src, targets={dst}).get(dst)
-            if shortest is None:
+        for (src, dst), shortest in zip(attempt_pairs, shortests):
+            if shortest < 0:
                 continue
             reachable += 1
             try:

@@ -8,22 +8,20 @@ The rack-locality that made ABCCC's cabling cheap (E4) cuts the other
 way here: a dead rack takes whole crossbars with it, but the remaining
 crossbars lose nothing — whereas a fat-tree rack hosting aggregation
 switches degrades pairs *between surviving racks*.
+
+Runs through :func:`repro.faults.degradation_sweep` with the rack fault
+model (masked-CSR trials, journaled for ``--resume``), which also
+supplies the 95% confidence interval reported per row.
 """
 
 from __future__ import annotations
 
-import statistics
 from typing import List
 
 from repro.baselines import BcubeSpec, FatTreeSpec
 from repro.core import AbcccSpec
 from repro.experiments.harness import register
-from repro.metrics.connectivity import (
-    apply_failures,
-    connection_ratio,
-    draw_rack_failures,
-    largest_component_fraction,
-)
+from repro.faults import FaultModel, degradation_sweep, rack_assignment
 from repro.sim.results import ResultTable
 
 
@@ -48,6 +46,7 @@ def run(quick: bool = False) -> List[ResultTable]:
             "failed_racks",
             "alive_servers",
             "connection_ratio",
+            "ratio_ci95",
             "largest_component",
         ],
     )
@@ -60,44 +59,30 @@ def run(quick: bool = False) -> List[ResultTable]:
     failed_counts = (1,) if quick else (1, 2, 3)
     trials = 2 if quick else 4
     pairs = 80 if quick else 200
+    model = FaultModel("rack", rack_capacity=rack_capacity)
     for spec in specs:
         net = spec.build()
-        from repro.metrics.layout import LayoutConfig, assign_racks
-
-        total_racks = len(
-            set(assign_racks(net, LayoutConfig(rack_capacity=rack_capacity)).values())
+        total_racks = len(set(rack_assignment(net, rack_capacity).values()))
+        levels = [failed for failed in failed_counts if failed < total_racks]
+        if not levels:
+            continue
+        curve = degradation_sweep(
+            net, model, levels, trials=trials, sample_pairs=pairs, seed=300
         )
-        for failed in failed_counts:
-            if failed >= total_racks:
-                continue
-            ratios = []
-            components = []
-            alive_counts = []
-            for trial in range(trials):
-                scenario = draw_rack_failures(
-                    net, failed, rack_capacity=rack_capacity, seed=300 + trial
-                )
-                alive = apply_failures(net, scenario)
-                alive_counts.append(alive.num_servers)
-                if alive.num_servers < 2:
-                    ratios.append(0.0)
-                    components.append(0.0)
-                    continue
-                ratios.append(
-                    connection_ratio(net, scenario, sample_pairs=pairs, seed=trial)
-                )
-                components.append(largest_component_fraction(net, scenario))
+        for stats in curve.points:
             table.add_row(
                 topology=spec.label,
                 servers=net.num_servers,
                 racks=total_racks,
-                failed_racks=failed,
-                alive_servers=statistics.fmean(alive_counts),
-                connection_ratio=statistics.fmean(ratios),
-                largest_component=statistics.fmean(components),
+                failed_racks=int(stats.level),
+                alive_servers=stats.mean_alive_servers,
+                connection_ratio=stats.mean_ratio,
+                ratio_ci95=stats.ci95_ratio,
+                largest_component=stats.mean_largest,
             )
     table.add_note(
         "rack assignment: address order at the stated capacity; a failed "
-        "rack removes its servers AND the switches placed in it."
+        "rack removes its servers AND the switches placed in it; ci95 is "
+        "the 95% half-width over trials."
     )
     return [table]

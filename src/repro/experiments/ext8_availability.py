@@ -16,6 +16,7 @@ from typing import List
 from repro.baselines import BcubeSpec, FatTreeSpec
 from repro.core import AbcccSpec
 from repro.experiments.harness import register
+from repro.faults import child_seed
 from repro.sim.churn import ChurnConfig, simulate_churn
 from repro.sim.results import ResultTable
 
@@ -60,8 +61,14 @@ def run(quick: bool = False) -> List[ResultTable]:
     )
     for spec in specs:
         net = spec.build()
+        # Per-topology child seed: one experiment seed, independent
+        # process-stable streams per instance.
         result = simulate_churn(
-            net, duration=duration, config=config, num_pairs=pairs, seed=71
+            net,
+            duration=duration,
+            config=config,
+            num_pairs=pairs,
+            seed=child_seed(71, spec.label),
         )
         table.add_row(
             topology=spec.label,

@@ -5,6 +5,11 @@ the connection ratio (pairs still reachable — a property of the topology)
 and, for ABCCC, the behaviour of the *local* fault-tolerant routing
 algorithm: how often greedy detouring succeeds without global repair, and
 the hop stretch it pays.
+
+F8a runs through :func:`repro.faults.degradation_sweep`: every trial is
+a mask over one compiled CSR graph instead of a subgraph copy plus a
+cold recompile, and trials journal to the harness's active journal so
+``repro run F8 --resume`` picks up an interrupted sweep.
 """
 
 from __future__ import annotations
@@ -16,10 +21,11 @@ from typing import List
 from repro.baselines import BcubeSpec, FatTreeSpec
 from repro.core import AbcccSpec, fault_tolerant_route
 from repro.experiments.harness import register
-from repro.metrics.connectivity import connection_ratio, draw_failures
+from repro.faults import FaultModel, degradation_sweep, random_failures
+from repro.metrics.engine import pairwise_distances
 from repro.routing.base import RoutingError
-from repro.routing.shortest import bfs_distances
 from repro.sim.results import ResultTable
+from repro.topology.compiled import compile_graph
 
 
 def _connection_table(quick: bool) -> ResultTable:
@@ -46,22 +52,18 @@ def _connection_table(quick: bool) -> ResultTable:
         fractions = (0.0, 0.05, 0.10, 0.15, 0.20)
         trials, pairs = 4, 200
     nets = {name: spec.build() for name, spec in specs.items()}
+    curves = {
+        (kind, name): degradation_sweep(
+            net, FaultModel(kind), fractions, trials=trials, sample_pairs=pairs, seed=7
+        )
+        for kind in ("server", "switch")
+        for name, net in nets.items()
+    }
     for kind in ("server", "switch"):
         for fraction in fractions:
             row = {"failure_kind": kind, "fraction": fraction}
-            for name, net in nets.items():
-                ratios = []
-                for trial in range(trials):
-                    scenario = draw_failures(
-                        net,
-                        server_fraction=fraction if kind == "server" else 0.0,
-                        switch_fraction=fraction if kind == "switch" else 0.0,
-                        seed=100 * trial + 7,
-                    )
-                    ratios.append(
-                        connection_ratio(net, scenario, sample_pairs=pairs, seed=trial)
-                    )
-                row[name] = statistics.fmean(ratios)
+            for name in nets:
+                row[name] = curves[kind, name].point(fraction).mean_ratio
             table.add_row(**row)
     table.add_note(
         "connection ratio over alive pairs; fat-tree's single-NIC servers "
@@ -89,20 +91,28 @@ def _ft_routing_table(quick: bool) -> ResultTable:
     fractions = (0.05,) if quick else (0.02, 0.05, 0.10, 0.15, 0.20)
     attempts = 60 if quick else 250
     for fraction in fractions:
-        scenario = draw_failures(
+        plan = random_failures(
             net, server_fraction=fraction, switch_fraction=fraction, seed=13
         )
         alive = net.subgraph_without(
-            dead_nodes=list(scenario.dead_servers) + list(scenario.dead_switches)
+            dead_nodes=list(plan.scenario.dead_servers)
+            + list(plan.scenario.dead_switches)
         )
+        # Reachability baselines on the compiled alive graph: draw the
+        # attempt pairs up front (same RNG stream as the loop would use)
+        # and batch the distinct sources through one block BFS.
+        graph = compile_graph(alive)
+        index = graph.index
         rng = random.Random(5)
         servers = alive.servers
+        attempt_pairs = [tuple(rng.sample(servers, 2)) for _ in range(attempts)]
+        baselines = pairwise_distances(
+            graph, [(index[src], index[dst]) for src, dst in attempt_pairs]
+        )
         reachable = greedy_ok = fallback = 0
         stretches = []
-        for _ in range(attempts):
-            src, dst = rng.sample(servers, 2)
-            baseline = bfs_distances(alive, src, targets={dst}).get(dst)
-            if baseline is None:
+        for (src, dst), baseline in zip(attempt_pairs, baselines):
+            if baseline < 0:
                 continue
             reachable += 1
             try:

@@ -8,15 +8,28 @@ and a ``run(quick)`` callable returning :class:`ResultTable` objects.
 ``quick=True`` shrinks instance sizes/samples so the same code path runs
 inside pytest-benchmark targets; full runs regenerate the numbers recorded
 in EXPERIMENTS.md.
+
+Robustness: when an output directory is set, each run opens a trial
+journal at ``<out_dir>/<exp_id>.journal.jsonl`` and installs it as the
+active journal for the fault sweeps (:mod:`repro.faults`) — every
+completed failure trial is flushed to disk, so a killed run (crash,
+SIGKILL, :class:`ExperimentTimeout`) can be re-run with ``resume=True``
+and only the missing trials are recomputed.  The journal is deleted on
+success; one on disk always means an interrupted run.  ``timeout``
+bounds an experiment's wall clock via ``SIGALRM`` (POSIX main thread
+only; a no-op elsewhere).
 """
 
 from __future__ import annotations
 
 import csv
 import os
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.sim.results import ResultTable
 
@@ -108,12 +121,56 @@ def get_experiment(exp_id: str) -> Experiment:
         raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
 
 
+class ExperimentTimeout(RuntimeError):
+    """An experiment exceeded its wall-clock timeout."""
+
+
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float], exp_id: str) -> Iterator[None]:
+    """Raise :class:`ExperimentTimeout` after ``seconds`` of wall clock.
+
+    Implemented with ``SIGALRM``/``setitimer``, so it only arms on a
+    POSIX main thread; anywhere else (Windows, worker threads) it is a
+    no-op rather than a crash.  The previous handler and any pending
+    itimer are restored on exit.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise ExperimentTimeout(
+            f"experiment {exp_id} exceeded its {seconds:g}s wall-clock timeout"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+
+def journal_path(out_dir: str, exp_id: str) -> str:
+    """Where ``run_experiment`` journals an experiment's fault trials."""
+    return os.path.join(out_dir, f"{exp_id.lower()}.journal.jsonl")
+
+
 def run_experiment(
     exp_id: str,
     quick: bool = False,
     out_dir: Optional[str] = "results",
     verbose: bool = True,
     workers: Optional[int] = None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
 ) -> List[ResultTable]:
     """Run one experiment; print its tables and write CSVs under out_dir.
 
@@ -121,15 +178,46 @@ def run_experiment(
     duration of the run (see :mod:`repro.metrics.engine`); every run
     appends its wall time and effective worker count to
     ``out_dir/runtimes.csv``.
+
+    ``resume=True`` replays the trial journal a previous interrupted run
+    left in ``out_dir`` (completed fault-sweep trials are not recomputed);
+    without it, a stale journal is discarded and the run starts fresh.
+    ``timeout`` (seconds) bounds the experiment's wall clock and raises
+    :class:`ExperimentTimeout` — the journal survives, so the run is
+    resumable.
     """
+    from repro.faults.journal import TrialJournal, set_active_journal
     from repro.metrics import engine
 
     experiment = get_experiment(exp_id)
     previous = engine.set_default_workers(workers) if workers is not None else None
+    journal = None
+    previous_journal = None
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = journal_path(out_dir, experiment.exp_id)
+        if not resume and os.path.exists(path):
+            os.unlink(path)
+        journal = TrialJournal(path)
+        previous_journal = set_active_journal(journal)
+        if resume and verbose and len(journal):
+            print(
+                f"[{experiment.exp_id}: resuming — {len(journal)} journaled "
+                f"trials will be replayed]"
+            )
     started = time.perf_counter()
     try:
-        tables = experiment.execute(quick=quick)
+        with _wall_clock_limit(timeout, experiment.exp_id):
+            tables = experiment.execute(quick=quick)
+    except BaseException:
+        # Keep the journal on disk: completed trials are not lost and
+        # the run is resumable with resume=True.
+        if journal is not None:
+            journal.close()
+        raise
     finally:
+        if journal is not None:
+            set_active_journal(previous_journal)
         if previous is not None:
             engine.set_default_workers(previous)
     elapsed = time.perf_counter() - started
@@ -146,6 +234,8 @@ def run_experiment(
             name = f"{experiment.exp_id.lower()}{suffix}.csv"
             table.to_csv(os.path.join(out_dir, name))
         _append_runtime(out_dir, experiment.exp_id, quick, effective_workers, elapsed)
+    if journal is not None:
+        journal.delete()
     return tables
 
 
@@ -169,11 +259,19 @@ def run_all(
     out_dir: Optional[str] = "results",
     verbose: bool = True,
     workers: Optional[int] = None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
 ) -> Dict[str, List[ResultTable]]:
-    """Run the full evaluation suite."""
+    """Run the full evaluation suite (``timeout`` applies per experiment)."""
     return {
         exp.exp_id: run_experiment(
-            exp.exp_id, quick=quick, out_dir=out_dir, verbose=verbose, workers=workers
+            exp.exp_id,
+            quick=quick,
+            out_dir=out_dir,
+            verbose=verbose,
+            workers=workers,
+            resume=resume,
+            timeout=timeout,
         )
         for exp in all_experiments()
     }

@@ -1,0 +1,203 @@
+"""Apply failure scenarios as masks over a compiled CSR graph.
+
+The historic failure path materialises every trial:
+``subgraph_without`` copies the dict graph, ``compile_graph`` rebuilds
+the CSR arrays, and only then does the connectivity question get
+answered.  A :class:`MaskedGraph` skips both copies — it keeps the
+original :class:`~repro.topology.compiled.CompiledGraph` and overlays a
+node-alive bitmap plus a dead-entry set, so a degradation sweep reuses
+one compiled kernel across all its trials.
+
+Parity: :func:`masked_connection_ratio` and
+:func:`masked_largest_component_fraction` reproduce the legacy
+``connection_ratio`` / ``largest_component_fraction`` results *exactly*
+(same sampling RNG, same alive-server ordering); the tests in
+``tests/test_faults_mask.py`` assert identity on randomised scenarios
+across topology families.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.faults.plan import FailureScenario, FaultPlan
+from repro.topology.compiled import HAVE_NUMPY, CompiledGraph, compile_graph
+from repro.topology.graph import Network
+
+if HAVE_NUMPY:
+    import numpy as _np
+
+
+def _scenario_of(scenario) -> FailureScenario:
+    return scenario.scenario if isinstance(scenario, FaultPlan) else scenario
+
+
+class MaskedGraph:
+    """A compiled graph with one failure scenario overlaid as masks."""
+
+    __slots__ = ("graph", "node_alive", "dead_entries", "_labels")
+
+    def __init__(self, graph: CompiledGraph, scenario) -> None:
+        scenario = _scenario_of(scenario)
+        self.graph = graph
+        index = graph.index
+        dead_nodes = [
+            i
+            for name in scenario.dead_servers + scenario.dead_switches
+            for i in (index.get(name),)
+            if i is not None
+        ]
+        if HAVE_NUMPY:
+            alive = _np.ones(graph.num_nodes, dtype=bool)
+            alive[dead_nodes] = False
+            self.node_alive = alive
+        else:
+            self.node_alive = [True] * graph.num_nodes
+            for i in dead_nodes:
+                self.node_alive[i] = False
+        dead_entries: Set[int] = set()
+        for u_name, v_name in scenario.dead_links:
+            u, v = index.get(u_name), index.get(v_name)
+            if u is None or v is None:
+                continue
+            try:
+                dead_entries.add(graph.entry_index(u, v))
+                dead_entries.add(graph.entry_index(v, u))
+            except KeyError:
+                continue  # legacy subgraph_without ignores missing links too
+        self.dead_entries: Optional[Set[int]] = dead_entries or None
+        self._labels = None
+
+    # ------------------------------------------------------------------
+    def component_labels(self):
+        """Masked component labels (``-1`` for dead nodes), cached."""
+        if self._labels is None:
+            self._labels = self.graph.component_labels_masked(
+                self.node_alive, self.dead_entries
+            )
+        return self._labels
+
+    def alive_servers(self) -> List[str]:
+        """Names of alive servers, in the network's insertion order.
+
+        Matches ``subgraph_without(...).servers`` because both the
+        compile order and ``Network.copy`` preserve insertion order.
+        """
+        names, alive = self.graph.names, self.node_alive
+        return [names[i] for i in self.graph.server_indices if alive[i]]
+
+    def num_alive_servers(self) -> int:
+        alive = self.node_alive
+        if HAVE_NUMPY:
+            return int(_np.asarray(alive, dtype=bool)[self.graph.server_indices].sum())
+        return sum(1 for i in self.graph.server_indices if alive[i])
+
+    def connected(self, src: str, dst: str) -> bool:
+        """Are two alive nodes in the same alive component?"""
+        index = self.graph.index
+        u, v = index[src], index[dst]
+        if not (self.node_alive[u] and self.node_alive[v]):
+            return False
+        labels = self.component_labels()
+        return labels[u] == labels[v]
+
+    def largest_component_fraction(self) -> float:
+        """Alive servers in the largest component / alive servers.
+
+        Dead servers carry label ``-1``, so the alive-server count and
+        the component membership histogram both fall out of the label
+        array directly (vectorised when numpy is present).
+        """
+        labels = self.component_labels()
+        if HAVE_NUMPY:
+            server_labels = _np.asarray(labels)[self.graph.server_indices]
+            server_labels = server_labels[server_labels >= 0]
+            if server_labels.size == 0:
+                return 0.0
+            return int(_np.bincount(server_labels).max()) / int(server_labels.size)
+        alive_total = self.num_alive_servers()
+        if alive_total == 0:
+            return 0.0
+        members: Dict[int, int] = {}
+        for server in self.graph.server_indices:
+            label = int(labels[server])
+            if label < 0:
+                continue
+            members[label] = members.get(label, 0) + 1
+        return max(members.values()) / alive_total
+
+    def connection_ratio(self, sample_pairs: int = 200, seed: int = 0) -> float:
+        """Fraction of sampled alive server pairs still mutually reachable.
+
+        Replicates the legacy ``connection_ratio`` protocol bit for bit:
+        one ``random.Random(seed)``, ``sample_pairs`` draws of
+        ``rng.sample(alive_servers, 2)`` over the insertion-ordered
+        alive-server list.
+        """
+        servers = self.alive_servers()
+        if len(servers) < 2:
+            return 0.0
+        rng = random.Random(seed)
+        labels = self.component_labels()
+        index = self.graph.index
+        connected = 0
+        total = 0
+        for _ in range(sample_pairs):
+            src, dst = rng.sample(servers, 2)
+            total += 1
+            if labels[index[src]] == labels[index[dst]]:
+                connected += 1
+        return connected / total if total else 0.0
+
+    def panel_ratio(self, panel: Sequence[Sequence[int]]) -> float:
+        """Connection ratio over a fixed panel of server *index* pairs.
+
+        Pairs with a dead endpoint are excluded (the ratio is over alive
+        pairs, like the sampled protocol); returns 0.0 when no panel
+        pair survives.  This is the degradation-sweep fast path: the
+        panel is drawn once per sweep, so a trial costs two list
+        lookups per pair instead of an RNG draw.
+        """
+        labels = self.component_labels()
+        alive = self.node_alive
+        if HAVE_NUMPY:
+            arr = _np.asarray(panel)
+            pu, pv = arr[:, 0], arr[:, 1]
+            alive_arr = _np.asarray(alive, dtype=bool)
+            ok = alive_arr[pu] & alive_arr[pv]
+            total = int(ok.sum())
+            if not total:
+                return 0.0
+            lab = _np.asarray(labels)
+            connected = int((ok & (lab[pu] == lab[pv])).sum())
+            return connected / total
+        connected = 0
+        total = 0
+        for u, v in panel:
+            if not (alive[u] and alive[v]):
+                continue
+            total += 1
+            if labels[u] == labels[v]:
+                connected += 1
+        return connected / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# drop-in masked equivalents of the legacy metric entry points
+# ----------------------------------------------------------------------
+def masked_connection_ratio(
+    net: Network, scenario, sample_pairs: int = 200, seed: int = 0
+) -> float:
+    """``connection_ratio`` without the subgraph copy + recompile.
+
+    Produces exactly the legacy value for the same arguments.
+    """
+    return MaskedGraph(compile_graph(net), scenario).connection_ratio(
+        sample_pairs=sample_pairs, seed=seed
+    )
+
+
+def masked_largest_component_fraction(net: Network, scenario) -> float:
+    """``largest_component_fraction`` without copy + recompile."""
+    return MaskedGraph(compile_graph(net), scenario).largest_component_fraction()

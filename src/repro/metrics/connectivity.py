@@ -9,11 +9,11 @@ fraction of server pairs that remain mutually reachable).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.faults.plan import FailureScenario, rack_failures, random_failures
 from repro.topology.compiled import compile_graph
 from repro.topology.graph import Network
 
@@ -47,17 +47,12 @@ def sample_server_pairs(
     return sorted(pairs)
 
 
-@dataclass(frozen=True)
-class FailureScenario:
-    """One random failure draw."""
-
-    dead_servers: Tuple[str, ...]
-    dead_switches: Tuple[str, ...]
-    dead_links: Tuple[Tuple[str, str], ...]
-
-    @property
-    def is_empty(self) -> bool:
-        return not (self.dead_servers or self.dead_switches or self.dead_links)
+# FailureScenario now lives in :mod:`repro.faults.plan` (re-exported
+# here for backward compatibility); the draw_* helpers below delegate to
+# the unified generators and return bare scenarios as they always did.
+# Use :func:`repro.faults.random_failures` / :func:`repro.faults.
+# rack_failures` directly when the provenance-carrying FaultPlan is
+# wanted.
 
 
 def draw_failures(
@@ -67,25 +62,19 @@ def draw_failures(
     link_fraction: float = 0.0,
     seed: int = 0,
 ) -> FailureScenario:
-    """Fail a uniform random fraction of each component class."""
-    for name, fraction in (
-        ("server", server_fraction),
-        ("switch", switch_fraction),
-        ("link", link_fraction),
-    ):
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(f"{name}_fraction must be in [0, 1], got {fraction}")
-    rng = random.Random(seed)
-    servers = sorted(net.servers)
-    switches = sorted(net.switches)
-    links = sorted(link.key for link in net.links())
-    return FailureScenario(
-        dead_servers=tuple(rng.sample(servers, round(server_fraction * len(servers)))),
-        dead_switches=tuple(
-            rng.sample(switches, round(switch_fraction * len(switches)))
-        ),
-        dead_links=tuple(rng.sample(links, round(link_fraction * len(links)))),
-    )
+    """Fail a uniform random fraction of each component class.
+
+    Nonzero fractions that would round to zero dead components on a
+    small instance floor at one and emit a
+    :class:`~repro.faults.plan.FaultRoundingWarning`.
+    """
+    return random_failures(
+        net,
+        server_fraction=server_fraction,
+        switch_fraction=switch_fraction,
+        link_fraction=link_fraction,
+        seed=seed,
+    ).scenario
 
 
 def draw_rack_failures(
@@ -103,25 +92,9 @@ def draw_rack_failures(
     dies with its rack, leaving the rest intact) from fabrics whose
     aggregation layers concentrate in a few racks.
     """
-    from repro.metrics.layout import LayoutConfig, assign_racks
-
-    racks = assign_racks(net, LayoutConfig(rack_capacity=rack_capacity))
-    all_racks = sorted(set(racks.values()))
-    if not 0 <= num_racks <= len(all_racks):
-        raise ValueError(
-            f"num_racks must be in [0, {len(all_racks)}], got {num_racks}"
-        )
-    rng = random.Random(seed)
-    dead_racks = set(rng.sample(all_racks, num_racks))
-    dead_servers = tuple(
-        sorted(name for name in net.servers if racks[name] in dead_racks)
-    )
-    dead_switches = tuple(
-        sorted(name for name in net.switches if racks[name] in dead_racks)
-    )
-    return FailureScenario(
-        dead_servers=dead_servers, dead_switches=dead_switches, dead_links=()
-    )
+    return rack_failures(
+        net, num_racks, rack_capacity=rack_capacity, seed=seed
+    ).scenario
 
 
 def apply_failures(net: Network, scenario: FailureScenario) -> Network:

@@ -26,10 +26,14 @@ from __future__ import annotations
 
 import math
 import os
+import pickle
 import random
+import time
+import warnings
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.distance import DistanceStats
 from repro.topology.compiled import (
@@ -44,7 +48,81 @@ from repro.topology.graph import Network
 #: below this many sources the fork/pickle overhead outweighs the fan-out.
 PARALLEL_THRESHOLD = 16
 
+#: seconds to back off before the single pool-recovery retry.
+POOL_RETRY_BACKOFF_S = 0.25
+
+#: exception classes that mean "the worker pool is unusable", not "the
+#: computation is wrong": a crashed/OOM-killed worker, an unpicklable
+#: payload, or a platform without fork/semaphores.  AttributeError and
+#: TypeError are what CPython's pickle actually raises for local
+#: functions and unpicklable objects (not PicklingError); catching them
+#: here is safe because the sequential fallback re-runs the computation
+#: and reproduces any genuine error in the task function itself.
+POOL_FAILURES = (
+    BrokenProcessPool,
+    OSError,
+    PermissionError,
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+)
+
 _DEFAULT_WORKERS = 1
+
+
+class DegradedModeWarning(UserWarning):
+    """A parallel stage lost its worker pool and ran sequentially.
+
+    Structured: carries the stage ``context``, the requested ``workers``
+    and the final ``error`` so harnesses and tests can filter on them
+    rather than parse the message.
+    """
+
+    def __init__(self, context: str, workers: int, error: BaseException) -> None:
+        self.context = context
+        self.workers = workers
+        self.error = error
+        super().__init__(
+            f"{context}: worker pool (workers={workers}) failed twice "
+            f"({type(error).__name__}: {error}); degraded to sequential "
+            f"execution — results are complete but slower"
+        )
+
+
+def map_with_pool_recovery(
+    fn: Callable,
+    tasks: Sequence,
+    *,
+    workers: int,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
+    sequential: Callable[[Sequence], List],
+    context: str,
+) -> List:
+    """``pool.map(fn, tasks)`` with crash recovery, preserving order.
+
+    A mid-run worker crash (``BrokenProcessPool``), a pickling failure
+    or a missing-fork platform no longer kills the caller: the pool is
+    retried once after a short backoff, and if it fails again the whole
+    task list is recomputed by ``sequential(tasks)`` — loudly, via a
+    :class:`DegradedModeWarning` (never silently).
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in (1, 2):
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=initializer, initargs=initargs
+            ) as pool:
+                return list(pool.map(fn, tasks))
+        except POOL_FAILURES as error:
+            last_error = error
+            if attempt == 1:
+                time.sleep(POOL_RETRY_BACKOFF_S)
+    assert last_error is not None
+    warnings.warn(
+        DegradedModeWarning(context, workers, last_error), stacklevel=2
+    )
+    return sequential(tasks)
 
 
 def set_default_workers(workers: int) -> int:
@@ -166,6 +244,52 @@ def _sweep_batched(
     return {int(h): int(c) for h, c in enumerate(acc) if c}, unreachable
 
 
+def pairwise_distances(
+    graph: CompiledGraph, pairs: Sequence[Tuple[int, int]]
+) -> List[int]:
+    """Hop distance for each ``(src, dst)`` node-index pair (-1 = unreachable).
+
+    Sources are deduplicated; with scipy present the distinct sources run
+    through the same block BFS as the all-pairs sweep — a panel of
+    hundreds of pairs costs a handful of sparse matmuls instead of one
+    full BFS per distinct source.  Used by the fault-routing experiments
+    for their shortest-path baselines.
+    """
+    sources = sorted({u for u, _ in pairs})
+    dist: Dict[int, Sequence[int]] = {}
+    if HAVE_SCIPY and len(sources) >= 4:
+        import numpy as np
+
+        mat = graph.sparse_adjacency()
+        nodes = graph.num_nodes
+        block = int(min(max(8_000_000 // max(nodes, 1), 16), 1024))
+        for lo in range(0, len(sources), block):
+            chunk = np.asarray(sources[lo : lo + block], dtype=np.int64)
+            width = len(chunk)
+            cols = np.arange(width)
+            frontier = np.zeros((nodes, width), dtype=np.int32)
+            frontier[chunk, cols] = 1
+            visited = frontier > 0
+            d = np.full((nodes, width), -1, dtype=np.int32)
+            d[chunk, cols] = 0
+            level = 0
+            while True:
+                level += 1
+                fresh = (mat @ frontier) > 0
+                fresh &= ~visited
+                if not fresh.any():
+                    break
+                d[fresh] = level
+                visited |= fresh
+                frontier = fresh.astype(np.int32)
+            for j, src in enumerate(sources[lo : lo + block]):
+                dist[src] = d[:, j]
+    else:
+        for src in sources:
+            dist[src] = graph.bfs_distances(src)
+    return [int(dist[u][v]) for u, v in pairs]
+
+
 # Worker-process state: the compiled graph arrives once via the pool
 # initializer and is reused by every chunk the worker executes.
 _WORKER_GRAPH: Optional[CompiledGraph] = None
@@ -190,17 +314,20 @@ def _chunk(sources: Sequence[int], workers: int) -> List[Sequence[int]]:
 def _parallel_sweep(
     graph: CompiledGraph, sources: Sequence[int], workers: int
 ) -> Tuple[Dict[int, int], int]:
+    results = map_with_pool_recovery(
+        _worker_sweep,
+        _chunk(sources, workers),
+        workers=workers,
+        initializer=_worker_init,
+        initargs=(graph,),
+        sequential=lambda chunks: [_sweep_sources(graph, c) for c in chunks],
+        context="all-pairs distance sweep",
+    )
     merged: Counter = Counter()
     unreachable = 0
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init, initargs=(graph,)
-        ) as pool:
-            for histogram, missed in pool.map(_worker_sweep, _chunk(sources, workers)):
-                merged.update(histogram)
-                unreachable += missed
-    except (OSError, PermissionError):  # no fork/semaphores: degrade gracefully
-        return _sweep_sources(graph, sources)
+    for histogram, missed in results:
+        merged.update(histogram)
+        unreachable += missed
     return dict(merged), unreachable
 
 

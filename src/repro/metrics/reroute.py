@@ -12,9 +12,10 @@ scenario with the topology's own router.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
-from repro.metrics.connectivity import FailureScenario, apply_failures
+from repro.faults.plan import FailureScenario, FaultPlan
+from repro.metrics.connectivity import apply_failures
 from repro.routing.base import Route, RoutingError
 from repro.sim.flow import max_min_allocation
 from repro.sim.traffic import Flow
@@ -61,9 +62,13 @@ def reroute_impact(
     net: Network,
     flows: Sequence[Flow],
     router: Callable[[Network, str, str], Route],
-    scenario: FailureScenario,
+    scenario: Union[FailureScenario, FaultPlan],
 ) -> RerouteImpact:
     """Route ``flows`` before and after ``scenario`` and diff the outcome.
+
+    ``scenario`` may be a bare :class:`FailureScenario` or a
+    provenance-carrying :class:`~repro.faults.plan.FaultPlan` from the
+    unified generators.
 
     ``router`` is called as ``router(network, src, dst)`` against the
     *relevant* network (original, then alive subgraph), so both
@@ -73,6 +78,8 @@ def reroute_impact(
     valid alternative is found by the same router — otherwise the flow is
     disconnected from its point of view.
     """
+    if isinstance(scenario, FaultPlan):
+        scenario = scenario.scenario
     before_routes: Dict[str, Route] = {}
     for flow in flows:
         before_routes[flow.flow_id] = router(net, flow.src, flow.dst)

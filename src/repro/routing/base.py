@@ -68,18 +68,22 @@ class Route:
 
     def is_valid(self, net: Network) -> bool:
         """True iff every node exists and every consecutive pair is a link."""
-        if any(n not in net for n in self.nodes):
+        try:
+            self.validate(net)
+        except RoutingError:
             return False
-        return all(net.has_link(u, v) for u, v in self.edges())
+        return True
 
     def validate(self, net: Network) -> None:
         """Raise :class:`RoutingError` with a precise message if invalid."""
+        adj = net.adjacency()
+        prev = None
         for n in self.nodes:
-            if n not in net:
+            if n not in adj:
                 raise RoutingError(f"route visits unknown node {n!r}")
-        for u, v in self.edges():
-            if not net.has_link(u, v):
-                raise RoutingError(f"route uses non-existent link {u!r} - {v!r}")
+            if prev is not None and n not in adj[prev]:
+                raise RoutingError(f"route uses non-existent link {prev!r} - {n!r}")
+            prev = n
 
     def concat(self, other: "Route") -> "Route":
         """Join two walks; ``other`` must start where this one ends."""

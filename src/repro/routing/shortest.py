@@ -71,7 +71,11 @@ def bfs_path(
     queue = deque([source])
     while queue:
         u = queue.popleft()
-        for v in net.neighbors(u):
+        # Sorted expansion: neighbor sets iterate in hash order, which
+        # varies per process under hash randomisation, and the parent
+        # choice (unlike plain distances) is order-sensitive.  Sorting
+        # pins the tie-break so equal-length routes are reproducible.
+        for v in sorted(net.neighbors(u)):
             if v in parent or v in blocked:
                 continue
             parent[v] = u

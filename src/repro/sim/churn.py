@@ -2,12 +2,18 @@
 
 F8/E7 measure static failure snapshots; operators live in a *process*:
 components fail at some rate and take time to repair.  This module runs
-that process on the discrete-event engine:
+that process:
 
 * every server and switch independently alternates UP -> (fail) -> DOWN
-  -> (repair) -> UP with exponential lifetimes/repair times;
+  -> (repair) -> UP with exponential lifetimes/repair times — the
+  realisation comes from :func:`repro.faults.plan.churn_events`, which
+  gives each component its own seed-streamed RNG (independent of dict
+  ordering and stable across processes);
 * at a fixed sampling cadence the simulator checks a panel of server
-  pairs for connectivity on the currently-alive subgraph;
+  pairs for connectivity — as a mask over the *one* compiled CSR graph
+  (:meth:`~repro.topology.compiled.CompiledGraph.
+  component_labels_masked`), not a subgraph copy plus recompile per
+  sample;
 * the output is the *pair availability* (fraction of sampled checks
   where the pair was connected and both endpoints alive) plus component
   uptime accounting — the SLO-shaped number a topology comparison should
@@ -19,11 +25,11 @@ Deterministic for a given seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.routing.shortest import bfs_distances
-from repro.sim.events import Simulator
+from repro.faults.plan import child_seed, churn_events
+from repro.topology.compiled import compile_graph
 from repro.topology.graph import Network
 
 
@@ -88,56 +94,51 @@ def simulate_churn(
             raise ValueError("need at least two servers to monitor")
         monitored_pairs = [tuple(rng.sample(servers, 2)) for _ in range(num_pairs)]
 
-    sim = Simulator()
-    down: Set[str] = set()
-    alive_fraction_samples: List[float] = []
-    stats = {"samples": 0, "checks": 0, "connected": 0, "endpoint_down": 0}
+    lifetimes: Dict[str, Tuple[float, float]] = {}
+    for name in net.node_names():
+        if net.node(name).is_server:
+            lifetimes[name] = (config.server_mtbf, config.server_mttr)
+        else:
+            lifetimes[name] = (config.switch_mtbf, config.switch_mttr)
+    events = churn_events(lifetimes, duration, seed=child_seed(seed, "churn-process"))
+
+    graph = compile_graph(net)
+    index = graph.index
+    pair_indices = [(index[src], index[dst]) for src, dst in monitored_pairs]
+    node_alive = [True] * graph.num_nodes
+    down_count = 0
     total_components = len(net)
 
-    def mtbf_mttr(name: str) -> Tuple[float, float]:
-        if net.node(name).is_server:
-            return config.server_mtbf, config.server_mttr
-        return config.switch_mtbf, config.switch_mttr
-
-    def schedule_failure(name: str) -> None:
-        mtbf, _ = mtbf_mttr(name)
-        sim.schedule(rng.expovariate(1.0 / mtbf), lambda: fail(name))
-
-    def fail(name: str) -> None:
-        down.add(name)
-        _, mttr = mtbf_mttr(name)
-        sim.schedule(rng.expovariate(1.0 / mttr), lambda: repair(name))
-
-    def repair(name: str) -> None:
-        down.discard(name)
-        schedule_failure(name)
-
-    for name in net.node_names():
-        schedule_failure(name)
-
-    def sample() -> None:
-        stats["samples"] += 1
-        alive_fraction_samples.append(1.0 - len(down) / total_components)
-        alive = net.subgraph_without(dead_nodes=list(down)) if down else net
-        for src, dst in monitored_pairs:
-            stats["checks"] += 1
-            if src in down or dst in down:
-                stats["endpoint_down"] += 1
+    alive_fraction_samples: List[float] = []
+    samples = checks = connected = endpoint_down = 0
+    event_i = 0
+    now = config.sample_interval
+    while now <= duration:
+        while event_i < len(events) and events[event_i].time <= now:
+            event = events[event_i]
+            event_i += 1
+            i = index[event.component]
+            if node_alive[i] != event.up:
+                node_alive[i] = event.up
+                down_count += -1 if event.up else 1
+        samples += 1
+        alive_fraction_samples.append(1.0 - down_count / total_components)
+        labels = graph.component_labels_masked(node_alive) if down_count else None
+        for u, v in pair_indices:
+            checks += 1
+            if not (node_alive[u] and node_alive[v]):
+                endpoint_down += 1
                 continue
-            if dst in bfs_distances(alive, src, targets={dst}):
-                stats["connected"] += 1
-        if sim.now + config.sample_interval <= duration:
-            sim.schedule(config.sample_interval, sample)
-
-    sim.schedule(config.sample_interval, sample)
-    sim.run(until=duration)
+            if labels is None or labels[u] == labels[v]:
+                connected += 1
+        now += config.sample_interval
 
     return ChurnResult(
         duration=duration,
-        samples=stats["samples"],
-        pair_checks=stats["checks"],
-        pair_connected=stats["connected"],
-        endpoint_down_checks=stats["endpoint_down"],
+        samples=samples,
+        pair_checks=checks,
+        pair_connected=connected,
+        endpoint_down_checks=endpoint_down,
         mean_alive_fraction=(
             sum(alive_fraction_samples) / len(alive_fraction_samples)
             if alive_fraction_samples

@@ -42,8 +42,10 @@ except ImportError:  # pragma: no cover - the test image bakes numpy in
 
 try:  # scipy unlocks the batched multi-source BFS (C-speed sparse matmul)
     from scipy.sparse import csr_matrix as _scipy_csr
+    from scipy.sparse.csgraph import connected_components as _scipy_components
 except ImportError:  # pragma: no cover
     _scipy_csr = None
+    _scipy_components = None
 
 HAVE_NUMPY = _np is not None
 HAVE_SCIPY = _np is not None and _scipy_csr is not None
@@ -81,6 +83,8 @@ class CompiledGraph:
         "edge_capacity",
         "_edge_lookup",
         "_sparse",
+        "_rows",
+        "_masked_template",
     )
 
     def __init__(
@@ -103,6 +107,8 @@ class CompiledGraph:
         self.edge_capacity = edge_capacity
         self._edge_lookup: Optional[Dict[Tuple[int, int], int]] = None
         self._sparse = None
+        self._rows = None
+        self._masked_template = None
 
     # ------------------------------------------------------------------
     # pickling (slots classes need explicit state; workers receive these)
@@ -318,6 +324,118 @@ class CompiledGraph:
                 frontier = nxt
             current += 1
         return _int_array(labels)
+
+    def entry_index(self, u: int, v: int) -> int:
+        """Position of neighbor ``v`` inside ``u``'s CSR row.
+
+        Rows are sorted at compile time, so this is a binary search;
+        raises ``KeyError`` when ``{u, v}`` is not an edge.  Entry
+        indices are how the fault-injection layer masks individual
+        links without recompiling (see :mod:`repro.faults.mask`).
+        """
+        from bisect import bisect_left
+
+        lo, hi = int(self.offsets[u]), int(self.offsets[u + 1])
+        j = bisect_left(self.neighbors, v, lo, hi)
+        if j >= hi or self.neighbors[j] != v:
+            raise KeyError(f"no edge between node {u} and node {v}")
+        return j
+
+    def component_labels_masked(self, node_alive, dead_entries=None):
+        """Component labels with failures applied as masks over the CSR.
+
+        ``node_alive`` is a boolean sequence aligned with node indices;
+        ``dead_entries`` an optional set of CSR entry positions to skip
+        (both directions of a dead link — see :meth:`entry_index`).
+        Dead nodes are labeled ``-1``.  Alive nodes get the same
+        partition that compiling the failure-injected subgraph would
+        produce, at the cost of one flat BFS — no ``subgraph_without``
+        copy, no recompile.  Label *values* identify the partition only
+        (equal label == same component); callers must not depend on the
+        numbering, which differs between the Python BFS and the scipy
+        fast path used for larger graphs.
+        """
+        if HAVE_SCIPY and self.num_nodes >= _SCIPY_MASK_THRESHOLD:
+            return self._component_labels_masked_scipy(node_alive, dead_entries)
+        labels = [-1] * self.num_nodes
+        offsets, neighbors = self.offsets, self.neighbors
+        current = 0
+        for start in range(self.num_nodes):
+            if labels[start] >= 0 or not node_alive[start]:
+                continue
+            labels[start] = current
+            frontier = [start]
+            while frontier:
+                nxt: List[int] = []
+                for u in frontier:
+                    for j in range(offsets[u], offsets[u + 1]):
+                        if dead_entries is not None and j in dead_entries:
+                            continue
+                        v = neighbors[j]
+                        if labels[v] < 0 and node_alive[v]:
+                            labels[v] = current
+                            nxt.append(v)
+                frontier = nxt
+            current += 1
+        return _int_array(labels)
+
+    def _component_labels_masked_scipy(self, node_alive, dead_entries):
+        """Masked labels via ``scipy.sparse.csgraph.connected_components``.
+
+        The CSR entry order matches ``neighbors``, so the mask is one
+        boolean filter over the flat entry arrays: keep an entry when
+        both endpoints are alive and it is not a dead link, rebuild the
+        (indptr, indices) pair with ``bincount``/``cumsum``, and label
+        the whole matrix in C.  Dead nodes survive as isolated rows with
+        throwaway unique labels, overwritten with ``-1`` afterwards —
+        the alive partition is unaffected.
+        """
+        mat = self.sparse_adjacency()  # ensures the entry-row cache below
+        num_nodes = self.num_nodes
+        alive = _np.asarray(node_alive, dtype=bool)
+        indices = mat.indices
+        rows = self._entry_rows()
+        keep = alive[rows] & alive[indices]
+        if dead_entries:
+            keep[list(dead_entries)] = False
+        kept_indices = indices[keep]
+        counts = _np.bincount(rows[keep], minlength=num_nodes)
+        indptr = _np.zeros(num_nodes + 1, dtype=_np.int32)
+        _np.cumsum(counts, out=indptr[1:])
+        # float64 data: csgraph would otherwise astype-copy int weights.
+        # The csr_matrix object itself is built once and reused — its
+        # constructor re-validates index dtypes on every call, which is
+        # measurable at one matrix per trial; swapping the arrays on a
+        # template skips that while staying a perfectly formed CSR.
+        data = _np.ones(len(kept_indices), dtype=_np.float64)
+        masked = self._masked_template
+        if masked is None:
+            masked = _scipy_csr(
+                (data, kept_indices, indptr), shape=(num_nodes, num_nodes)
+            )
+            self._masked_template = masked
+        else:
+            masked.data = data
+            masked.indices = kept_indices
+            masked.indptr = indptr
+        _, labels = _scipy_components(masked, directed=False)
+        labels = labels.astype(_np.int64)
+        labels[~alive] = -1
+        return labels
+
+    def _entry_rows(self):
+        """Row (source-node) index of every CSR entry, cached (numpy)."""
+        if self._rows is None:
+            self._rows = _np.repeat(
+                _np.arange(self.num_nodes, dtype=_np.int32),
+                _np.diff(_np.asarray(self.offsets)),
+            )
+        return self._rows
+
+
+#: below this node count the pure-Python masked BFS beats the scipy
+#: slice-and-label round trip (measured on the quick-mode instances).
+_SCIPY_MASK_THRESHOLD = 192
 
 
 def _csr_from_lists(adjacency: Sequence[Sequence[int]]):

@@ -157,6 +157,15 @@ class Network:
         except KeyError:
             raise NetworkError(f"no node {name!r}") from None
 
+    def adjacency(self) -> Dict[str, Set[str]]:
+        """The full name -> neighbor-set map — read-only, do not mutate.
+
+        One dict lookup answers both "is ``v`` alive" and "is ``u - v``
+        a live link" (``v in adjacency()[u]``), which is what the
+        fault-routing inner loop needs thousands of times per route.
+        """
+        return self._adj
+
     def degree(self, name: str) -> int:
         return len(self.neighbors(name))
 

@@ -1,12 +1,58 @@
-"""Shared fixtures: small built instances reused across test modules."""
+"""Shared fixtures plus a per-test hang guard for the tier-1 suite.
+
+No tier-1 test should run anywhere near :data:`SOFT_TIMEOUT_S`; the
+guard exists so a regression that deadlocks (a stuck worker pool, an
+unbounded resume loop) fails the test instead of hanging CI.  When
+``pytest-timeout`` is installed (dev extra) it does the job with its
+own option handling; otherwise a plain ``SIGALRM`` fallback covers
+POSIX main-thread runs and stays out of the way everywhere else.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
 from repro.baselines import BcubeSpec, FatTreeSpec
 from repro.core import AbcccSpec
 from repro.topology.graph import Network
+
+SOFT_TIMEOUT_S = 300
+
+
+def pytest_configure(config) -> None:
+    if config.pluginmanager.hasplugin("timeout"):
+        # pytest-timeout is present: give it a default without
+        # overriding an explicit --timeout from the command line.
+        if not getattr(config.option, "timeout", None):
+            config.option.timeout = SOFT_TIMEOUT_S
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    usable = (
+        not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {SOFT_TIMEOUT_S}s soft timeout (hang guard)"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, SOFT_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+        signal.signal(signal.SIGALRM, previous_handler)
 
 
 @pytest.fixture(scope="session")

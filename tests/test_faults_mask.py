@@ -1,0 +1,121 @@
+"""Masked-CSR trial parity: identical results to the legacy copy path.
+
+The acceptance bar for the masking fast path is *identity*, not
+closeness: the same scenario must produce the same connection ratio and
+largest-component fraction whether it is applied as a mask over the
+compiled graph or via ``subgraph_without`` + a cold recompile.  The
+scenarios here are randomised across ABCCC and two baseline families
+and include dead links, which exercise the entry-mask path.
+"""
+
+import pytest
+
+from repro.faults.mask import (
+    MaskedGraph,
+    masked_connection_ratio,
+    masked_largest_component_fraction,
+)
+from repro.faults.plan import FaultModel, random_failures
+from repro.faults.sweep import degradation_sweep
+from repro.metrics.connectivity import (
+    connection_ratio,
+    largest_component_fraction,
+)
+from repro.topology.compiled import compile_graph
+
+FAMILIES = ["abccc_medium", "abccc_s3", "bcube_small", "fattree_small"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", range(4))
+class TestMetricParity:
+    def _scenario(self, net, seed):
+        return random_failures(
+            net,
+            server_fraction=0.15,
+            switch_fraction=0.10,
+            link_fraction=0.05,
+            seed=seed,
+        ).scenario
+
+    def test_connection_ratio_identical(self, family, seed, request):
+        _, net = request.getfixturevalue(family)
+        scenario = self._scenario(net, seed)
+        assert masked_connection_ratio(
+            net, scenario, sample_pairs=120, seed=seed
+        ) == connection_ratio(net, scenario, sample_pairs=120, seed=seed)
+
+    def test_largest_component_identical(self, family, seed, request):
+        _, net = request.getfixturevalue(family)
+        scenario = self._scenario(net, seed)
+        assert masked_largest_component_fraction(
+            net, scenario
+        ) == largest_component_fraction(net, scenario)
+
+
+class TestMaskedGraph:
+    def test_alive_servers_match_subgraph_order(self, abccc_medium):
+        _, net = abccc_medium
+        scenario = random_failures(net, server_fraction=0.3, seed=2).scenario
+        masked = MaskedGraph(compile_graph(net), scenario)
+        sub = net.subgraph_without(dead_nodes=scenario.dead_servers)
+        assert masked.alive_servers() == sub.servers
+        assert masked.num_alive_servers() == sub.num_servers
+
+    def test_connected_respects_dead_links(self, tiny_net):
+        from repro.faults.plan import explicit_failures
+
+        plan = explicit_failures(dead_links=(("a", "sw"),))
+        masked = MaskedGraph(compile_graph(tiny_net), plan)
+        assert not masked.connected("a", "b")
+        assert masked.connected("b", "sw")
+
+    def test_dead_endpoint_disconnects(self, tiny_net):
+        from repro.faults.plan import explicit_failures
+
+        plan = explicit_failures(dead_servers=("a",))
+        masked = MaskedGraph(compile_graph(tiny_net), plan)
+        assert not masked.connected("a", "b")
+        assert masked.component_labels()[compile_graph(tiny_net).index["a"]] == -1
+
+    def test_unknown_failures_ignored_like_legacy(self, tiny_net):
+        from repro.faults.plan import explicit_failures
+
+        plan = explicit_failures(
+            dead_servers=("ghost",), dead_links=(("ghost", "sw"),)
+        )
+        masked = MaskedGraph(compile_graph(tiny_net), plan)
+        assert masked.connection_ratio(sample_pairs=10, seed=0) == 1.0
+
+
+class TestSweepPathParity:
+    @pytest.mark.parametrize("family", ["abccc_medium", "bcube_small"])
+    def test_masked_and_legacy_sweeps_identical(self, family, request):
+        _, net = request.getfixturevalue(family)
+        kwargs = dict(
+            levels=[0.0, 0.1, 0.25],
+            trials=3,
+            sample_pairs=50,
+            seed=11,
+            workers=1,
+        )
+        masked = degradation_sweep(net, FaultModel("server+switch"), **kwargs)
+        legacy = degradation_sweep(
+            net, FaultModel("server+switch"), use_masking=False, **kwargs
+        )
+        assert masked.outcomes == legacy.outcomes
+        assert masked.points == legacy.points
+
+    def test_unfailed_level_is_perfect(self, abccc_medium):
+        _, net = abccc_medium
+        curve = degradation_sweep(
+            net,
+            FaultModel("server"),
+            levels=[0.0],
+            trials=2,
+            sample_pairs=40,
+            seed=0,
+            workers=1,
+        )
+        assert curve.point(0.0).mean_ratio == 1.0
+        assert curve.point(0.0).mean_largest == 1.0

@@ -159,3 +159,84 @@ if HAVE_HYPOTHESIS:
         got = link_hop_stats(net, sample_sources=sample, seed=seed)
         want = legacy_link_hop_stats(net, sample_sources=sample, seed=seed)
         assert_identical(got, want)
+
+
+class TestPoolRecovery:
+    """A crashed or unbuildable worker pool must never kill the caller,
+    and degrading to sequential must be loud, not silent."""
+
+    @staticmethod
+    def _call(**overrides):
+        from repro.metrics.engine import map_with_pool_recovery
+
+        kwargs = dict(
+            workers=2,
+            sequential=lambda tasks: [t * 10 for t in tasks],
+            context="unit test",
+        )
+        kwargs.update(overrides)
+        return map_with_pool_recovery(_times_ten, [1, 2, 3], **kwargs)
+
+    def test_healthy_pool_no_warning(self, recwarn):
+        assert self._call() == [10, 20, 30]
+        from repro.metrics.engine import DegradedModeWarning
+
+        assert not [w for w in recwarn.list if w.category is DegradedModeWarning]
+
+    def test_always_broken_pool_degrades_loudly(self, monkeypatch):
+        from repro.metrics import engine
+
+        class AlwaysBroken:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no fork for you")
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", AlwaysBroken)
+        monkeypatch.setattr(engine, "POOL_RETRY_BACKOFF_S", 0.0)
+        with pytest.warns(engine.DegradedModeWarning, match="unit test"):
+            assert self._call() == [10, 20, 30]
+
+    def test_fails_once_then_recovers_without_warning(self, monkeypatch, recwarn):
+        from repro.metrics import engine
+
+        real_pool = engine.ProcessPoolExecutor
+        attempts = []
+
+        class FlakyPool:
+            def __init__(self, *args, **kwargs):
+                attempts.append(1)
+                if len(attempts) == 1:
+                    raise OSError("transient fork failure")
+                self._pool = real_pool(*args, **kwargs)
+
+            def __enter__(self):
+                return self._pool.__enter__()
+
+            def __exit__(self, *exc):
+                return self._pool.__exit__(*exc)
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", FlakyPool)
+        monkeypatch.setattr(engine, "POOL_RETRY_BACKOFF_S", 0.0)
+        assert self._call() == [10, 20, 30]
+        assert len(attempts) == 2  # first crashed, retry succeeded
+        assert not [
+            w for w in recwarn.list if w.category is engine.DegradedModeWarning
+        ]
+
+    def test_unpicklable_task_degrades_loudly(self, monkeypatch):
+        from repro.metrics import engine
+
+        monkeypatch.setattr(engine, "POOL_RETRY_BACKOFF_S", 0.0)
+        unpicklable = lambda x: x + 1  # noqa: E731 — lambdas cannot pickle
+        with pytest.warns(engine.DegradedModeWarning):
+            result = engine.map_with_pool_recovery(
+                unpicklable,
+                [1, 2],
+                workers=2,
+                sequential=lambda tasks: [unpicklable(t) for t in tasks],
+                context="pickle test",
+            )
+        assert result == [2, 3]
+
+
+def _times_ten(x):
+    return x * 10
