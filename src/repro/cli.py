@@ -15,11 +15,16 @@ Commands:
   BOMs + cable schedule).
 * ``experiments`` — list the evaluation suite.
 * ``run EXP_ID|all [--quick] [--out DIR] [--workers N] [--resume]
-  [--timeout S]`` — regenerate tables/figures; ``--workers`` fans
-  sweeps out over processes, ``--resume`` replays the trial journal an
-  interrupted run left behind, ``--timeout`` bounds each experiment's
-  wall clock (the journal survives a timeout, so ``--resume`` finishes
-  the run).
+  [--timeout S] [--trace [PATH]] [--profile]`` — regenerate
+  tables/figures; ``--workers`` fans sweeps out over processes,
+  ``--resume`` replays the trial journal an interrupted run left
+  behind, ``--timeout`` bounds each experiment's wall clock (the
+  journal survives a timeout, so ``--resume`` finishes the run),
+  ``--trace`` writes a JSONL span trace (``repro.obs``) and
+  ``--profile`` dumps a cProfile per experiment.
+* ``obs report TRACE… [--slowest N]`` — per-phase wall-time breakdown,
+  slowest spans, worker utilization, cache hit rates and peak RSS of
+  one or more trace files (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -217,6 +222,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             resume=args.resume,
             timeout=args.timeout,
+            trace=args.trace,
+            profile=args.profile or None,
         )
     else:
         run_experiment(
@@ -226,7 +233,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             resume=args.resume,
             timeout=args.timeout,
+            trace=args.trace,
+            profile=args.profile or None,
         )
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.report import report_files
+
+    missing = [path for path in args.trace if not os.path.exists(path)]
+    if missing:
+        print(f"no such trace file: {', '.join(missing)}")
+        return 1
+    print(report_files(args.trace, slowest=args.slowest))
     return 0
 
 
@@ -313,7 +335,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-experiment wall-clock limit (journal survives, resumable)",
     )
+    run.add_argument(
+        "--trace",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span trace (default <out>/<exp_id>.trace.jsonl; "
+        "for 'run all', PATH names a directory)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="dump a cProfile per experiment to <out>/<exp_id>.prof",
+    )
     run.set_defaults(fn=_cmd_run)
+
+    obs = sub.add_parser("obs", help="observability: trace reports")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="per-phase breakdown / utilization report of trace files"
+    )
+    obs_report.add_argument("trace", nargs="+", help="trace JSONL file(s)")
+    obs_report.add_argument(
+        "--slowest", type=int, default=10, metavar="N", help="slowest spans to list"
+    )
+    obs_report.set_defaults(fn=_cmd_obs_report)
     return parser
 
 

@@ -18,6 +18,13 @@ and only the missing trials are recomputed.  The journal is deleted on
 success; one on disk always means an interrupted run.  ``timeout``
 bounds an experiment's wall clock via ``SIGALRM`` (POSIX main thread
 only; a no-op elsewhere).
+
+Observability: every experiment runs under a :mod:`repro.obs` tracer —
+metrics-only by default (phase totals and peak RSS land in
+``runtimes.csv``), streaming a JSONL trace when ``trace=`` / ``--trace``
+/ ``REPRO_TRACE`` opt in (summarise with ``repro obs report``).
+Progress messages go to stderr through the ``repro`` logger, with a
+periodic heartbeat on long runs; result tables stay on stdout.
 """
 
 from __future__ import annotations
@@ -29,13 +36,41 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.sim.results import ResultTable
 
 #: per-run timing log written next to the experiment CSVs; one row per
-#: ``run_experiment`` call so quick-vs-full runs and perf PRs compare.
+#: (experiment, quick, workers) key — re-runs replace their row, so the
+#: file is a table of current timings, not an append-only history.
 RUNTIMES_FILENAME = "runtimes.csv"
+
+#: runtimes.csv schema: identity key, wall clock, per-phase attribution
+#: (tracer span totals, parent process) and the process peak RSS.
+RUNTIMES_COLUMNS = (
+    "experiment",
+    "quick",
+    "workers",
+    "wall_time_s",
+    "compile_s",
+    "sweep_s",
+    "plan_s",
+    "mask_s",
+    "trials_s",
+    "journal_s",
+    "peak_rss_mb",
+)
+
+#: span name feeding each phase column of runtimes.csv.
+_PHASE_COLUMNS = {
+    "compile_s": "topology.compile",
+    "sweep_s": "engine.sweep",
+    "plan_s": "faults.plan",
+    "mask_s": "faults.mask",
+    "trials_s": "faults.trials",
+    "journal_s": "faults.journal",
+}
 
 
 @dataclass(frozen=True)
@@ -163,6 +198,25 @@ def journal_path(out_dir: str, exp_id: str) -> str:
     return os.path.join(out_dir, f"{exp_id.lower()}.journal.jsonl")
 
 
+def trace_path(out_dir: Optional[str], exp_id: str) -> str:
+    """Default per-run trace file for an experiment."""
+    return os.path.join(out_dir or ".", f"{exp_id.lower()}.trace.jsonl")
+
+
+def _resolve_trace(
+    trace: Union[bool, str, None], out_dir: Optional[str], exp_id: str
+) -> Optional[str]:
+    """Turn the ``--trace`` argument / ``REPRO_TRACE`` env into a path."""
+    default = trace_path(out_dir, exp_id)
+    if trace is None:
+        return obs.trace_path_from_env(default)
+    if trace is True:
+        return default
+    if not trace:
+        return None
+    return str(trace)
+
+
 def run_experiment(
     exp_id: str,
     quick: bool = False,
@@ -171,13 +225,15 @@ def run_experiment(
     workers: Optional[int] = None,
     resume: bool = False,
     timeout: Optional[float] = None,
+    trace: Union[bool, str, None] = None,
+    profile: Optional[bool] = None,
 ) -> List[ResultTable]:
     """Run one experiment; print its tables and write CSVs under out_dir.
 
     ``workers`` sets the sweep engine's default worker count for the
     duration of the run (see :mod:`repro.metrics.engine`); every run
-    appends its wall time and effective worker count to
-    ``out_dir/runtimes.csv``.
+    upserts its wall time, per-phase breakdown and peak RSS into
+    ``out_dir/runtimes.csv`` (keyed by experiment/quick/workers).
 
     ``resume=True`` replays the trial journal a previous interrupted run
     left in ``out_dir`` (completed fault-sweep trials are not recomputed);
@@ -185,11 +241,19 @@ def run_experiment(
     ``timeout`` (seconds) bounds the experiment's wall clock and raises
     :class:`ExperimentTimeout` — the journal survives, so the run is
     resumable.
+
+    Observability: result tables go to **stdout**; progress (start,
+    heartbeat, resume notices, finish) goes to **stderr** through the
+    :mod:`repro.obs` logger.  ``trace`` enables the JSONL span trace
+    (``True`` = default path ``<out_dir>/<exp_id>.trace.jsonl``; a
+    string = explicit path; ``None`` consults ``REPRO_TRACE``), and
+    ``profile`` the cProfile hook (``None`` consults ``REPRO_PROFILE``).
     """
     from repro.faults.journal import TrialJournal, set_active_journal
     from repro.metrics import engine
 
     experiment = get_experiment(exp_id)
+    logger = obs.get_logger("repro.harness")
     previous = engine.set_default_workers(workers) if workers is not None else None
     journal = None
     previous_journal = None
@@ -201,56 +265,157 @@ def run_experiment(
         journal = TrialJournal(path)
         previous_journal = set_active_journal(journal)
         if resume and verbose and len(journal):
-            print(
-                f"[{experiment.exp_id}: resuming — {len(journal)} journaled "
-                f"trials will be replayed]"
+            logger.info(
+                "%s: resuming — %d journaled trials will be replayed",
+                experiment.exp_id,
+                len(journal),
             )
+
+    effective_workers = engine.resolve_workers(workers)
+    tracer = obs.Tracer(
+        path=_resolve_trace(trace, out_dir, experiment.exp_id),
+        run_tags={
+            "experiment": experiment.exp_id,
+            "quick": int(quick),
+            "workers": effective_workers,
+        },
+    )
+    previous_tracer = obs.set_tracer(tracer)
     started = time.perf_counter()
+
+    def _beat() -> None:
+        counters = tracer.counters()
+        trials = int(
+            counters.get("faults.trials", 0)
+            + counters.get("faults.trials_replayed", 0)
+        )
+        logger.info(
+            "%s running — %.0fs elapsed, %d fault trials",
+            experiment.exp_id,
+            time.perf_counter() - started,
+            trials,
+        )
+
+    heartbeat = obs.Heartbeat(obs.heartbeat_interval() if verbose else 0.0, _beat)
     try:
-        with _wall_clock_limit(timeout, experiment.exp_id):
-            tables = experiment.execute(quick=quick)
+        with tracer.span(
+            "experiment",
+            exp=experiment.exp_id,
+            quick=int(quick),
+            workers=effective_workers,
+        ):
+            with _wall_clock_limit(timeout, experiment.exp_id):
+                with obs.maybe_profile(
+                    obs.profile_enabled(profile), out_dir, experiment.exp_id
+                ):
+                    tables = experiment.execute(quick=quick)
     except BaseException:
         # Keep the journal on disk: completed trials are not lost and
-        # the run is resumable with resume=True.
+        # the run is resumable with resume=True.  The tracer is closed
+        # (shards merged) so a killed run's trace is still reportable.
         if journal is not None:
             journal.close()
+        tracer.close()
         raise
     finally:
+        heartbeat.stop()
+        obs.set_tracer(previous_tracer)
         if journal is not None:
             set_active_journal(previous_journal)
         if previous is not None:
             engine.set_default_workers(previous)
     elapsed = time.perf_counter() - started
-    effective_workers = engine.resolve_workers(workers)
     if verbose:
         print(f"### {experiment.exp_id} — {experiment.title}")
         print(f"expectation: {experiment.expectation}")
         for table in tables:
             table.print()
-        print(f"[{experiment.exp_id} finished in {elapsed:.1f}s]\n")
+        logger.info("%s finished in %.1fs", experiment.exp_id, elapsed)
     if out_dir:
         for i, table in enumerate(tables):
             suffix = "" if len(tables) == 1 else f"_{i}"
             name = f"{experiment.exp_id.lower()}{suffix}.csv"
             table.to_csv(os.path.join(out_dir, name))
-        _append_runtime(out_dir, experiment.exp_id, quick, effective_workers, elapsed)
+        _append_runtime(
+            out_dir,
+            experiment.exp_id,
+            quick,
+            effective_workers,
+            elapsed,
+            phases=tracer.phase_seconds(),
+            peak_rss_mb=obs.peak_rss_mb(),
+        )
+    tracer.close()
+    if tracer.path and verbose:
+        logger.info("%s trace written to %s", experiment.exp_id, tracer.path)
     if journal is not None:
         journal.delete()
     return tables
 
 
 def _append_runtime(
-    out_dir: str, exp_id: str, quick: bool, workers: int, elapsed: float
+    out_dir: str,
+    exp_id: str,
+    quick: bool,
+    workers: int,
+    elapsed: float,
+    phases: Optional[Dict[str, float]] = None,
+    peak_rss_mb: Optional[float] = None,
 ) -> str:
-    """Append one timing row to ``out_dir/runtimes.csv`` (header on create)."""
+    """Upsert one timing row in ``out_dir/runtimes.csv``.
+
+    Rows are keyed by ``(experiment, quick, workers)``: re-running an
+    experiment replaces its row instead of appending a duplicate, so
+    the file stays a current-timings table.  Pre-existing files with
+    the old 4-column header are upgraded in place (missing phase cells
+    become empty).  Phase columns hold the parent-process span totals
+    from the run's tracer; in parallel runs the mask/trial work happens
+    in workers, so those cells attribute the parent's share only.
+    """
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, RUNTIMES_FILENAME)
-    write_header = not os.path.exists(path)
-    with open(path, "a", newline="") as handle:
-        writer = csv.writer(handle)
-        if write_header:
-            writer.writerow(["experiment", "quick", "workers", "wall_time_s"])
-        writer.writerow([exp_id, int(quick), workers, f"{elapsed:.3f}"])
+    phases = phases or {}
+    row = {
+        "experiment": exp_id,
+        "quick": str(int(quick)),
+        "workers": str(workers),
+        "wall_time_s": f"{elapsed:.3f}",
+        "peak_rss_mb": "" if peak_rss_mb is None else f"{peak_rss_mb:.1f}",
+    }
+    for column, span_name in _PHASE_COLUMNS.items():
+        row[column] = f"{phases.get(span_name, 0.0):.3f}"
+
+    rows: List[Dict[str, str]] = []
+    if os.path.exists(path):
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                header = []
+            for old in reader:
+                if not old:
+                    continue
+                entry = {
+                    name: (old[i] if i < len(old) else "")
+                    for i, name in enumerate(header)
+                }
+                rows.append(
+                    {name: entry.get(name, "") for name in RUNTIMES_COLUMNS}
+                )
+
+    key = (row["experiment"], row["quick"], row["workers"])
+    for i, existing in enumerate(rows):
+        if (existing["experiment"], existing["quick"], existing["workers"]) == key:
+            rows[i] = row
+            break
+    else:
+        rows.append(row)
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(RUNTIMES_COLUMNS))
+        writer.writeheader()
+        writer.writerows(rows)
     return path
 
 
@@ -261,10 +426,20 @@ def run_all(
     workers: Optional[int] = None,
     resume: bool = False,
     timeout: Optional[float] = None,
+    trace: Union[bool, str, None] = None,
+    profile: Optional[bool] = None,
 ) -> Dict[str, List[ResultTable]]:
-    """Run the full evaluation suite (``timeout`` applies per experiment)."""
-    return {
-        exp.exp_id: run_experiment(
+    """Run the full evaluation suite (``timeout`` applies per experiment).
+
+    ``trace=True`` writes one trace per experiment under ``out_dir``; a
+    string is treated as a *directory* for the per-experiment traces.
+    """
+    results: Dict[str, List[ResultTable]] = {}
+    for exp in all_experiments():
+        exp_trace: Union[bool, str, None] = trace
+        if isinstance(trace, str):
+            exp_trace = os.path.join(trace, f"{exp.exp_id.lower()}.trace.jsonl")
+        results[exp.exp_id] = run_experiment(
             exp.exp_id,
             quick=quick,
             out_dir=out_dir,
@@ -272,6 +447,7 @@ def run_all(
             workers=workers,
             resume=resume,
             timeout=timeout,
+            trace=exp_trace,
+            profile=profile,
         )
-        for exp in all_experiments()
-    }
+    return results

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Any, Dict, Iterator, Optional
 
 
@@ -56,6 +57,9 @@ class TrialJournal:
 
     def record(self, key: str, value: Any) -> None:
         """Persist one completed trial (appended and flushed immediately)."""
+        from repro.obs import trace as _obs
+
+        started = time.perf_counter()
         if self._handle is None:
             directory = os.path.dirname(self.path)
             if directory:
@@ -64,6 +68,8 @@ class TrialJournal:
         self._handle.write(json.dumps({"key": key, "value": value}) + "\n")
         self._handle.flush()
         self._completed[key] = value
+        _obs.counter("journal.flushes")
+        _obs.counter("journal.flush_s", time.perf_counter() - started)
 
     def close(self) -> None:
         if self._handle is not None:

@@ -44,6 +44,7 @@ from repro.faults.journal import TrialJournal, get_active_journal
 from repro.faults.mask import MaskedGraph
 from repro.faults.plan import FailureScenario, FaultModel, FaultPlan, child_seed, seed_stream
 from repro.metrics.engine import map_with_pool_recovery, resolve_workers
+from repro.obs import trace as _obs
 from repro.topology.compiled import CompiledGraph, compile_graph
 from repro.topology.graph import Network
 
@@ -136,12 +137,15 @@ def _evaluate_masked(
     graph: CompiledGraph, panel: Sequence[Tuple[int, int]], scenario: FailureScenario
 ) -> Tuple[float, float, int]:
     """``(connection_ratio, largest_component, alive_servers)`` via masks."""
-    masked = MaskedGraph(graph, scenario)
-    return (
-        masked.panel_ratio(panel),
-        masked.largest_component_fraction(),
-        masked.num_alive_servers(),
-    )
+    with _obs.span("faults.mask"):
+        masked = MaskedGraph(graph, scenario)
+    with _obs.span("faults.trial"):
+        _obs.counter("faults.trials")
+        return (
+            masked.panel_ratio(panel),
+            masked.largest_component_fraction(),
+            masked.num_alive_servers(),
+        )
 
 
 def _evaluate_legacy(
@@ -182,6 +186,7 @@ _WORKER_STATE: Optional[Tuple[CompiledGraph, Tuple[Tuple[int, int], ...]]] = Non
 def _sweep_worker_init(graph: CompiledGraph, panel: Tuple[Tuple[int, int], ...]) -> None:
     global _WORKER_STATE
     _WORKER_STATE = (graph, panel)
+    _obs.maybe_init_worker()
 
 
 def _sweep_worker_trial(scenario: FailureScenario) -> Tuple[float, float, int]:
@@ -256,15 +261,19 @@ def degradation_sweep(
     plans: Dict[str, FaultPlan] = {}
     trial_meta: Dict[str, Tuple[float, int, int]] = {}
     pending: List[str] = []
-    for level in levels:
-        for trial in range(trials):
-            key = key_of(level, trial)
-            trial_seed = child_seed(seed, tag, level, trial)
-            trial_meta[key] = (level, trial, trial_seed)
-            if journal is not None and key in journal:
-                continue
-            plans[key] = model.draw(net, level, trial_seed)
-            pending.append(key)
+    with _obs.span(
+        "faults.plan", net=net.name, model=tag, levels=len(levels), trials=trials
+    ):
+        for level in levels:
+            for trial in range(trials):
+                key = key_of(level, trial)
+                trial_seed = child_seed(seed, tag, level, trial)
+                trial_meta[key] = (level, trial, trial_seed)
+                if journal is not None and key in journal:
+                    _obs.counter("faults.trials_replayed")
+                    continue
+                plans[key] = model.draw(net, level, trial_seed)
+                pending.append(key)
 
     computed: Dict[str, Tuple[float, float, int]] = {}
     # Trials with identical scenarios (every trial of the 0.0 level draws
@@ -272,46 +281,53 @@ def degradation_sweep(
     # result — scenarios are frozen/hashable, so this is parity-exact.
     by_scenario: Dict[FailureScenario, Tuple[float, float, int]] = {}
     workers = resolve_workers(workers)
-    if (
-        use_masking
-        and workers > 1
-        and len(pending) >= max(SWEEP_PARALLEL_THRESHOLD, 2 * workers)
-    ):
-        scenarios = [plans[key].scenario for key in pending]
-        unique = list(dict.fromkeys(scenarios))
-        unique_results = map_with_pool_recovery(
-            _sweep_worker_trial,
-            unique,
-            workers=workers,
-            initializer=_sweep_worker_init,
-            initargs=(graph, panel),
-            sequential=lambda tasks: [
-                _evaluate_masked(graph, panel, scenario) for scenario in tasks
-            ],
-            context=f"degradation sweep {net.name}/{tag}",
-        )
-        by_scenario.update(zip(unique, unique_results))
-        results = [by_scenario[scenario] for scenario in scenarios]
-        for key, result in zip(pending, results):
-            computed[key] = result
-            _trace_computed(key)
-            if journal is not None:
-                _record(journal, key, plans[key], result)
-    else:
-        for key in pending:
-            scenario = plans[key].scenario
-            result = by_scenario.get(scenario)
-            if result is None:
-                if use_masking:
-                    result = _evaluate_masked(graph, panel, scenario)
+    trials_span = _obs.span(
+        "faults.trials", net=net.name, model=tag, pending=len(pending), workers=workers
+    )
+    with trials_span:
+        if (
+            use_masking
+            and workers > 1
+            and len(pending) >= max(SWEEP_PARALLEL_THRESHOLD, 2 * workers)
+        ):
+            scenarios = [plans[key].scenario for key in pending]
+            unique = list(dict.fromkeys(scenarios))
+            _obs.counter("faults.scenario_dedup", len(scenarios) - len(unique))
+            unique_results = map_with_pool_recovery(
+                _sweep_worker_trial,
+                unique,
+                workers=workers,
+                initializer=_sweep_worker_init,
+                initargs=(graph, panel),
+                sequential=lambda tasks: [
+                    _evaluate_masked(graph, panel, scenario) for scenario in tasks
+                ],
+                context=f"degradation sweep {net.name}/{tag}",
+            )
+            by_scenario.update(zip(unique, unique_results))
+            results = [by_scenario[scenario] for scenario in scenarios]
+            for key, result in zip(pending, results):
+                computed[key] = result
+                _trace_computed(key)
+                if journal is not None:
+                    _record(journal, key, plans[key], result)
+        else:
+            for key in pending:
+                scenario = plans[key].scenario
+                result = by_scenario.get(scenario)
+                if result is None:
+                    if use_masking:
+                        result = _evaluate_masked(graph, panel, scenario)
+                    else:
+                        result = _evaluate_legacy(net, panel_names, scenario)
+                    by_scenario[scenario] = result
                 else:
-                    result = _evaluate_legacy(net, panel_names, scenario)
-                by_scenario[scenario] = result
-            computed[key] = result
-            _trace_computed(key)
-            _trial_sleep()
-            if journal is not None:
-                _record(journal, key, plans[key], computed[key])
+                    _obs.counter("faults.scenario_dedup")
+                computed[key] = result
+                _trace_computed(key)
+                _trial_sleep()
+                if journal is not None:
+                    _record(journal, key, plans[key], computed[key])
 
     # Assemble outcomes from journal replays + fresh computations.
     outcomes: List[TrialOutcome] = []
@@ -377,12 +393,13 @@ def _record(
     result: Tuple[float, float, int],
 ) -> None:
     ratio, largest, alive = result
-    journal.record(
-        key,
-        {
-            "ratio": ratio,
-            "largest": largest,
-            "alive_servers": alive,
-            "dead": dict(plan.effective),
-        },
-    )
+    with _obs.span("faults.journal"):
+        journal.record(
+            key,
+            {
+                "ratio": ratio,
+                "largest": largest,
+                "alive_servers": alive,
+                "dead": dict(plan.effective),
+            },
+        )

@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.distance import DistanceStats
+from repro.obs import trace as _obs
 from repro.topology.compiled import (
     HAVE_NUMPY,
     HAVE_SCIPY,
@@ -108,21 +109,41 @@ def map_with_pool_recovery(
     :class:`DegradedModeWarning` (never silently).
     """
     last_error: Optional[BaseException] = None
-    for attempt in (1, 2):
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers, initializer=initializer, initargs=initargs
-            ) as pool:
-                return list(pool.map(fn, tasks))
-        except POOL_FAILURES as error:
-            last_error = error
-            if attempt == 1:
-                time.sleep(POOL_RETRY_BACKOFF_S)
-    assert last_error is not None
-    warnings.warn(
-        DegradedModeWarning(context, workers, last_error), stacklevel=2
-    )
-    return sequential(tasks)
+    with _obs.span("pool", context=context, workers=workers, tasks=len(tasks)) as pool_span:
+        for attempt in (1, 2):
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=initializer, initargs=initargs
+                ) as pool:
+                    results = list(pool.map(fn, tasks))
+                    pool_span.tag(attempts=attempt)
+                    return results
+            except POOL_FAILURES as error:
+                last_error = error
+                if attempt == 1:
+                    _obs.event(
+                        "pool-retry",
+                        f"{context}: worker pool failed, retrying once",
+                        context=context,
+                        workers=workers,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    _obs.counter("pool.retries")
+                    time.sleep(POOL_RETRY_BACKOFF_S)
+        assert last_error is not None
+        _obs.event(
+            "degraded-mode",
+            f"{context}: worker pool failed twice; degraded to sequential",
+            context=context,
+            workers=workers,
+            error=f"{type(last_error).__name__}: {last_error}",
+        )
+        _obs.counter("pool.degraded")
+        pool_span.tag(degraded=True)
+        warnings.warn(
+            DegradedModeWarning(context, workers, last_error), stacklevel=2
+        )
+        return sequential(tasks)
 
 
 def set_default_workers(workers: int) -> int:
@@ -298,11 +319,15 @@ _WORKER_GRAPH: Optional[CompiledGraph] = None
 def _worker_init(graph: CompiledGraph) -> None:
     global _WORKER_GRAPH
     _WORKER_GRAPH = graph
+    _obs.maybe_init_worker()
 
 
 def _worker_sweep(sources: Sequence[int]) -> Tuple[Dict[int, int], int]:
     assert _WORKER_GRAPH is not None, "worker pool not initialised"
-    return _sweep_sources(_WORKER_GRAPH, sources)
+    with _obs.span("engine.batch", sources=len(sources)):
+        _obs.counter("engine.batches")
+        _obs.counter("engine.sources", len(sources))
+        return _sweep_sources(_WORKER_GRAPH, sources)
 
 
 def _chunk(sources: Sequence[int], workers: int) -> List[Sequence[int]]:
@@ -366,10 +391,14 @@ def sweep_distance_stats(
     source_idx = [graph.index[name] for name in source_names]
 
     workers = resolve_workers(workers)
-    if workers <= 1 or len(source_idx) < max(PARALLEL_THRESHOLD, 2 * workers):
-        histogram, unreachable = _sweep_sources(graph, source_idx)
-    else:
-        histogram, unreachable = _parallel_sweep(graph, source_idx, workers)
+    with _obs.span(
+        "engine.sweep", hops=hops, sources=len(source_idx), workers=workers
+    ):
+        if workers <= 1 or len(source_idx) < max(PARALLEL_THRESHOLD, 2 * workers):
+            _obs.counter("engine.sources", len(source_idx))
+            histogram, unreachable = _sweep_sources(graph, source_idx)
+        else:
+            histogram, unreachable = _parallel_sweep(graph, source_idx, workers)
     if unreachable:
         raise ValueError(
             f"{unreachable} (src, dst) server pairs unreachable "

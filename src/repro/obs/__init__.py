@@ -1,0 +1,87 @@
+"""Observability: structured tracing, metrics, logging, run reports.
+
+The package behind ``repro run --trace`` and ``repro obs report``:
+
+* :mod:`repro.obs.trace` — span tracer emitting JSONL events, plus
+  counters and worker-shard handling;
+* :mod:`repro.obs.memory` — RSS/peak-memory sampling;
+* :mod:`repro.obs.log` — the stderr progress logger and heartbeat;
+* :mod:`repro.obs.profile` — opt-in cProfile hook;
+* :mod:`repro.obs.report` — trace loading, validation and the
+  per-phase/utilization/peak-RSS report.
+
+Instrumented code imports the module-level proxies (:func:`span`,
+:func:`counter`, :func:`event`): they forward to the active tracer and
+are no-ops when tracing is disabled, so hot paths stay unconditional.
+See docs/OBSERVABILITY.md for the trace schema and environment
+variables.
+"""
+
+from repro.obs.log import Heartbeat, get_logger, heartbeat_interval
+from repro.obs.memory import MemorySampler, memory_sample, peak_rss_mb
+from repro.obs.profile import maybe_profile, profile_enabled
+from repro.obs.report import (
+    PhaseStats,
+    PoolStats,
+    TraceSummary,
+    cache_hit_lines,
+    load_trace,
+    render_report,
+    report_files,
+    summarize,
+    validate_trace,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    PROFILE_ENV,
+    SCHEMA_VERSION,
+    SHARD_ENV,
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    Tracer,
+    counter,
+    event,
+    get_tracer,
+    maybe_init_worker,
+    merge_shards,
+    set_tracer,
+    span,
+    trace_path_from_env,
+)
+
+__all__ = [
+    "Heartbeat",
+    "MemorySampler",
+    "NULL_TRACER",
+    "NullTracer",
+    "PROFILE_ENV",
+    "PhaseStats",
+    "PoolStats",
+    "SCHEMA_VERSION",
+    "SHARD_ENV",
+    "Span",
+    "TRACE_ENV",
+    "TraceSummary",
+    "Tracer",
+    "cache_hit_lines",
+    "counter",
+    "event",
+    "get_logger",
+    "get_tracer",
+    "heartbeat_interval",
+    "load_trace",
+    "maybe_init_worker",
+    "maybe_profile",
+    "memory_sample",
+    "merge_shards",
+    "peak_rss_mb",
+    "profile_enabled",
+    "render_report",
+    "report_files",
+    "set_tracer",
+    "span",
+    "summarize",
+    "trace_path_from_env",
+    "validate_trace",
+]

@@ -1,0 +1,85 @@
+"""Process-memory sampling for traces and runtime logs.
+
+Two sources, best available first:
+
+* ``/proc/self/status`` (Linux): current ``VmRSS`` and lifetime
+  ``VmHWM`` (high-water mark), both exact;
+* ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` (other POSIX): peak
+  only — current RSS is reported as the peak, which is conservative.
+
+Everything degrades to "no sample" rather than raising; observability
+must never break the run it observes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+_PROC_STATUS = "/proc/self/status"
+
+
+def _proc_status_mb() -> Optional[Dict[str, float]]:
+    try:
+        with open(_PROC_STATUS, "r", encoding="ascii") as handle:
+            rss = peak = None
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    rss = float(line.split()[1]) / 1024.0  # kB -> MB
+                elif line.startswith("VmHWM:"):
+                    peak = float(line.split()[1]) / 1024.0
+            if rss is None:
+                return None
+            return {"rss_mb": round(rss, 2), "peak_mb": round(peak or rss, 2)}
+    except OSError:
+        return None
+
+
+def peak_rss_mb() -> Optional[float]:
+    """Lifetime peak RSS of this process in MB (None when unknown)."""
+    sample = _proc_status_mb()
+    if sample is not None:
+        return sample["peak_mb"]
+    if _resource is not None:
+        peak_kb = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kB, macOS bytes; this branch only runs off-Linux.
+        divisor = 1024.0 if peak_kb < 1 << 32 else 1024.0 * 1024.0
+        return round(peak_kb / divisor, 2)
+    return None
+
+
+def memory_sample() -> Optional[Dict[str, float]]:
+    """``{"rss_mb": ..., "peak_mb": ...}`` for the current process."""
+    sample = _proc_status_mb()
+    if sample is not None:
+        return sample
+    peak = peak_rss_mb()
+    if peak is None:
+        return None
+    return {"rss_mb": peak, "peak_mb": peak}
+
+
+class MemorySampler:
+    """Daemon thread emitting periodic ``rss`` events on a tracer."""
+
+    def __init__(self, tracer, interval_s: float = 0.5) -> None:
+        self._tracer = tracer
+        self._interval = max(0.05, float(interval_s))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-memory", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._tracer.sample_memory()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)

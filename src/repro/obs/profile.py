@@ -1,0 +1,57 @@
+"""Opt-in cProfile hook for experiment runs.
+
+Enabled with ``repro run … --profile`` or ``REPRO_PROFILE=1``; the
+harness wraps each experiment's ``execute`` in :func:`maybe_profile`.
+With an output directory the profile is dumped to
+``<out_dir>/<exp_id>.prof`` (load with ``python -m pstats`` or
+snakeviz); without one, the top entries are printed to stderr so the
+data is never silently lost.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.trace import PROFILE_ENV
+
+
+def profile_enabled(explicit: Optional[bool] = None) -> bool:
+    """``--profile`` flag if given, else the ``REPRO_PROFILE`` env var."""
+    if explicit is not None:
+        return explicit
+    value = os.environ.get(PROFILE_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+@contextmanager
+def maybe_profile(
+    enabled: bool, out_dir: Optional[str], exp_id: str, top: int = 25
+) -> Iterator[None]:
+    """Profile the block when ``enabled``; otherwise do nothing."""
+    if not enabled:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+            path = os.path.join(out_dir, f"{exp_id.lower()}.prof")
+            profiler.dump_stats(path)
+            from repro.obs.log import get_logger
+
+            get_logger().info("%s: cProfile dump written to %s", exp_id, path)
+        else:
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(top)
+            print(buffer.getvalue(), file=sys.stderr)

@@ -1,0 +1,487 @@
+"""Span-based tracing: JSONL events, counters, worker shards.
+
+One :class:`Tracer` is active per process (installed with
+:func:`set_tracer`); instrumented code talks to it through the
+module-level proxies :func:`span`, :func:`counter` and :func:`event`,
+which forward to the active tracer.  When nothing is installed the
+active tracer is :data:`NULL_TRACER` — its ``span()`` returns a shared
+no-op context manager and every other call is a single attribute lookup
+plus a ``pass``, so instrumentation sites cost effectively nothing in
+untraced runs.
+
+A real :class:`Tracer` always aggregates per-span-name totals and
+counters in memory (the experiment harness reads those aggregates into
+``runtimes.csv`` phase columns).  When constructed with a ``path`` it
+additionally streams one JSON object per line to that file:
+
+* ``meta`` — trace header: schema version, pid, free-form run tags;
+* ``span`` — emitted when a span closes: monotonic start ``t``,
+  duration ``dur``, per-process span id ``sid``, ``parent`` sid (or
+  ``None`` for top-level spans), ``name`` and ``tags``;
+* ``counters`` — cumulative counter values: emitted on close, and by
+  worker shards whenever their span stack drains (fork-started pool
+  workers exit via ``os._exit``, which skips ``atexit`` — a shard's
+  last stack-drain snapshot is the one that survives).  Per pid the
+  latest event supersedes earlier ones;
+* ``rss`` — periodic memory samples (see :mod:`repro.obs.memory`);
+* ``warning`` — structured degradation/retry events.
+
+Every event carries ``t`` (``time.perf_counter()``), ``pid`` and a
+per-emitter ``seq``; the merged trace is sorted by ``(t, pid, seq)``,
+which makes merging deterministic.  On Linux ``perf_counter`` is
+``CLOCK_MONOTONIC`` and therefore comparable across the processes of
+one boot; on platforms where it is per-process, cross-process ordering
+is approximate but per-process durations stay exact.
+
+Worker processes: a file-backed tracer exports its path via the
+``REPRO_TRACE_SHARD_BASE`` environment variable.  Fork-started workers
+inherit the tracer object itself — the first emit in a child notices
+the pid change and reopens onto a private ``<path>.shard-<pid>`` file.
+Spawn-started workers call :func:`maybe_init_worker` from the pool
+initializer and get a fresh shard tracer from the environment variable.
+Either way the parent's :meth:`Tracer.close` merges all shards into the
+main file (sorted, then deleted), so a finished trace is always a
+single self-contained JSONL file.
+"""
+
+from __future__ import annotations
+
+import atexit
+import glob
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: bump when the event schema changes incompatibly (documented in
+#: docs/OBSERVABILITY.md).
+SCHEMA_VERSION = 1
+
+#: environment variable carrying the main trace path to worker processes.
+SHARD_ENV = "REPRO_TRACE_SHARD_BASE"
+
+#: environment variable enabling tracing without the ``--trace`` flag
+#: ("1"/"true" = default per-run path; anything else = explicit path).
+TRACE_ENV = "REPRO_TRACE"
+
+#: environment variable enabling the cProfile hook (see repro.obs.profile).
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+class _NullSpan:
+    """The shared do-nothing span (returned by the disabled tracer)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    A singleton (:data:`NULL_TRACER`) is installed by default, so
+    instrumented code never needs an ``if tracing:`` guard.
+    """
+
+    __slots__ = ()
+    enabled = False
+    path: Optional[str] = None
+
+    def span(self, name: str, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, inc: float = 1) -> None:
+        return None
+
+    def event(self, kind: str, message: str = "", **data: Any) -> None:
+        return None
+
+    def phase_seconds(self) -> Dict[str, float]:
+        return {}
+
+    def counters(self) -> Dict[str, float]:
+        return {}
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One timed region; use via ``with tracer.span(name, **tags):``."""
+
+    __slots__ = ("_tracer", "name", "tags", "sid", "parent", "t0")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach tags after entry (e.g. results known only at the end)."""
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        # sid/parent bookkeeping only matters for emitted events; the
+        # metrics-only tracer (no handle) skips it so per-trial spans in
+        # hot sweep loops stay cheap.
+        if tracer._handle is not None:
+            stack = tracer._stack()
+            self.parent = stack[-1].sid if stack else None
+            self.sid = tracer._next_sid()
+            stack.append(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        t1 = time.perf_counter()
+        tracer = self._tracer
+        if tracer._handle is not None:
+            stack = tracer._stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+        tracer._finish_span(self, t1 - self.t0)
+
+
+class Tracer:
+    """Collecting tracer: in-memory aggregates, optional JSONL stream.
+
+    ``path=None`` gives a metrics-only tracer (phase totals + counters,
+    nothing on disk) — what the harness runs with when ``--trace`` is
+    off.  ``run_tags`` lands in the ``meta`` header event.  ``shard``
+    marks a worker-side tracer: it neither exports :data:`SHARD_ENV`
+    nor merges shards on close.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        run_tags: Optional[Dict[str, Any]] = None,
+        shard: bool = False,
+    ) -> None:
+        self.enabled = True
+        self.path = path
+        self._shard = shard
+        self._pid = os.getpid()
+        self._sid = 0
+        self._seq = 0
+        self._agg: Dict[str, List[float]] = {}  # name -> [count, total_s]
+        self._counters: Dict[str, float] = {}
+        self._counters_emitted: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._handle = None
+        self._sampler = None
+        self._closed = False
+        if path:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "w", encoding="utf-8")
+            self._emit(
+                {
+                    "ev": "meta",
+                    "t": time.perf_counter(),
+                    "schema": SCHEMA_VERSION,
+                    "tags": dict(run_tags or {}),
+                }
+            )
+            if not shard:
+                os.environ[SHARD_ENV] = path
+                interval = os.environ.get("REPRO_TRACE_MEM_INTERVAL", "0.5").strip()
+                if interval and float(interval) > 0:
+                    from repro.obs.memory import MemorySampler
+
+                    self._sampler = MemorySampler(self, float(interval))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        # Keyed by pid: a fork-started worker inherits this tracer with
+        # the parent's open spans on the stack — its own spans must not
+        # parent onto sids emitted by another process.
+        local = self._local
+        pid = os.getpid()
+        stack = getattr(local, "stack", None)
+        if stack is None or getattr(local, "pid", None) != pid:
+            stack = []
+            local.stack = stack
+            local.pid = pid
+        return stack
+
+    def _next_sid(self) -> int:
+        with self._lock:
+            self._sid += 1
+            return self._sid
+
+    def _emit(self, obj: Dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        if os.getpid() != self._pid:
+            self._become_shard()
+        with self._lock:
+            obj["pid"] = os.getpid()
+            obj["seq"] = self._seq
+            self._seq += 1
+            self._handle.write(json.dumps(obj) + "\n")
+            self._handle.flush()
+
+    def _become_shard(self) -> None:
+        """First emit after a fork: redirect this copy to a shard file.
+
+        Fork-started pool workers inherit the parent tracer object (and
+        its open handle); writing through it would interleave bytes with
+        the parent.  Instead the child reopens onto its own
+        ``<path>.shard-<pid>`` file, which the parent merges on close.
+        """
+        pid = os.getpid()
+        self._pid = pid
+        self._seq = 0
+        self._sid = int(pid) * 1_000_000  # keep sids unique across shards
+        self._agg = {}  # inherited parent aggregates are not this pid's work
+        self._counters = {}
+        self._counters_emitted = {}
+        self._local = threading.local()
+        self._shard = True
+        self._sampler = None
+        self.path = f"{self.path}.shard-{pid}"
+        self._handle = open(self.path, "w", encoding="utf-8")
+        atexit.register(self.close)
+
+    def _finish_span(self, span: Span, dur: float) -> None:
+        with self._lock:
+            slot = self._agg.get(span.name)
+            if slot is None:
+                self._agg[span.name] = [1, dur]
+            else:
+                slot[0] += 1
+                slot[1] += dur
+        if self._handle is not None:
+            self._emit(
+                {
+                    "ev": "span",
+                    "t": span.t0,
+                    "dur": dur,
+                    "name": span.name,
+                    "sid": span.sid,
+                    "parent": span.parent,
+                    "tags": span.tags,
+                }
+            )
+            # Fork-started pool workers exit via os._exit, skipping
+            # atexit — snapshot counters whenever a shard's stack
+            # drains so the last snapshot survives the worker.
+            if self._shard and not self._stack():
+                self.flush_counters()
+
+    # ------------------------------------------------------------------
+    # public API (mirrors NullTracer)
+    # ------------------------------------------------------------------
+    def span(self, name: str, **tags: Any) -> Span:
+        return Span(self, name, tags)
+
+    def counter(self, name: str, inc: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + inc
+
+    def event(self, kind: str, message: str = "", **data: Any) -> None:
+        self._emit(
+            {
+                "ev": "warning" if kind in ("degraded-mode", "pool-retry") else kind,
+                "t": time.perf_counter(),
+                "kind": kind,
+                "message": message,
+                "data": data,
+            }
+        )
+
+    def flush_counters(self) -> None:
+        """Emit a counters snapshot if values changed since the last one."""
+        if self._handle is None:
+            return
+        with self._lock:
+            values = dict(self._counters)
+        if values and values != self._counters_emitted:
+            self._counters_emitted = values
+            self._emit({"ev": "counters", "t": time.perf_counter(), "values": values})
+
+    def sample_memory(self) -> None:
+        """Emit one ``rss`` event (no-op for metrics-only tracers)."""
+        if self._handle is None:
+            return
+        from repro.obs.memory import memory_sample
+
+        sample = memory_sample()
+        if sample:
+            self._emit({"ev": "rss", "t": time.perf_counter(), **sample})
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Total seconds per span name, aggregated in this process."""
+        with self._lock:
+            return {name: slot[1] for name, slot in self._agg.items()}
+
+    def phase_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: int(slot[0]) for name, slot in self._agg.items()}
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def close(self) -> None:
+        """Flush counters, stop sampling, merge worker shards.
+
+        Idempotent; shard tracers also run it from ``atexit`` so worker
+        counters survive pool shutdown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
+        if self._handle is not None:
+            self.sample_memory()
+            self.flush_counters()
+            self._handle.close()
+            self._handle = None
+            if not self._shard:
+                merge_shards(self.path)
+                if os.environ.get(SHARD_ENV) == self.path:
+                    del os.environ[SHARD_ENV]
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# shard merging
+# ----------------------------------------------------------------------
+def _iter_events(path: str) -> Iterator[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # truncated tail from a killed writer
+            if isinstance(event, dict):
+                yield event
+
+
+def merge_shards(path: str) -> int:
+    """Fold ``<path>.shard-*`` files into ``path``, deterministically.
+
+    Events are sorted by ``(t, pid, seq)`` — a total order, since
+    ``seq`` is unique per pid — so merging the same shard set twice
+    produces byte-identical output.  Returns the number of shard files
+    merged (0 when there were none; the main file is then untouched).
+    """
+    shards = sorted(glob.glob(glob.escape(path) + ".shard-*"))
+    if not shards:
+        return 0
+    events = list(_iter_events(path))
+    for shard in shards:
+        events.extend(_iter_events(shard))
+    events.sort(key=lambda e: (e.get("t", 0.0), e.get("pid", 0), e.get("seq", 0)))
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    os.replace(tmp, path)
+    for shard in shards:
+        try:
+            os.unlink(shard)
+        except FileNotFoundError:
+            pass
+    return len(shards)
+
+
+# ----------------------------------------------------------------------
+# the active tracer
+# ----------------------------------------------------------------------
+_ACTIVE: Any = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide active tracer (:data:`NULL_TRACER` by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer) -> Any:
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def span(name: str, **tags: Any):
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    return _ACTIVE.span(name, **tags)
+
+
+def counter(name: str, inc: float = 1) -> None:
+    """Bump a cumulative counter on the active tracer."""
+    _ACTIVE.counter(name, inc)
+
+
+def event(kind: str, message: str = "", **data: Any) -> None:
+    """Record a structured event (warnings, retries) on the active tracer."""
+    _ACTIVE.event(kind, message, **data)
+
+
+def maybe_init_worker() -> None:
+    """Adopt a shard tracer in a worker process, if the parent traces.
+
+    Called from pool initializers.  Fork-started workers share the
+    parent's tracer: sharding it here, before the first task, keeps
+    counters bumped ahead of the first emit out of the parent's numbers
+    (lazy self-sharding on first emit remains the fallback).  Spawn
+    workers get a fresh shard tracer from :data:`SHARD_ENV`.
+    """
+    if _ACTIVE.enabled:
+        if (
+            isinstance(_ACTIVE, Tracer)
+            and os.getpid() != _ACTIVE._pid
+            and _ACTIVE._handle is not None
+        ):
+            _ACTIVE._become_shard()
+        return
+    base = os.environ.get(SHARD_ENV, "").strip()
+    if not base:
+        return
+    shard = Tracer(path=f"{base}.shard-{os.getpid()}", shard=True)
+    set_tracer(shard)
+    atexit.register(shard.close)
+
+
+def trace_path_from_env(default_path: str) -> Optional[str]:
+    """Resolve :data:`TRACE_ENV` into a trace path (None = tracing off)."""
+    value = os.environ.get(TRACE_ENV, "").strip()
+    if not value or value == "0":
+        return None
+    if value.lower() in ("1", "true", "yes", "on"):
+        return default_path
+    return value

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.plan import child_seed, churn_events
+from repro.obs import trace as _obs
 from repro.topology.compiled import compile_graph
 from repro.topology.graph import Network
 
@@ -113,25 +114,32 @@ def simulate_churn(
     samples = checks = connected = endpoint_down = 0
     event_i = 0
     now = config.sample_interval
-    while now <= duration:
-        while event_i < len(events) and events[event_i].time <= now:
-            event = events[event_i]
-            event_i += 1
-            i = index[event.component]
-            if node_alive[i] != event.up:
-                node_alive[i] = event.up
-                down_count += -1 if event.up else 1
-        samples += 1
-        alive_fraction_samples.append(1.0 - down_count / total_components)
-        labels = graph.component_labels_masked(node_alive) if down_count else None
-        for u, v in pair_indices:
-            checks += 1
-            if not (node_alive[u] and node_alive[v]):
-                endpoint_down += 1
-                continue
-            if labels is None or labels[u] == labels[v]:
-                connected += 1
-        now += config.sample_interval
+    with _obs.span(
+        "sim.churn", net=net.name, duration=duration, pairs=len(pair_indices)
+    ) as churn_span:
+        while now <= duration:
+            while event_i < len(events) and events[event_i].time <= now:
+                event = events[event_i]
+                event_i += 1
+                i = index[event.component]
+                if node_alive[i] != event.up:
+                    node_alive[i] = event.up
+                    down_count += -1 if event.up else 1
+            samples += 1
+            alive_fraction_samples.append(1.0 - down_count / total_components)
+            labels = graph.component_labels_masked(node_alive) if down_count else None
+            for u, v in pair_indices:
+                checks += 1
+                if not (node_alive[u] and node_alive[v]):
+                    endpoint_down += 1
+                    continue
+                if labels is None or labels[u] == labels[v]:
+                    connected += 1
+            now += config.sample_interval
+        churn_span.tag(samples=samples, checks=checks)
+        _obs.counter("churn.samples", samples)
+        _obs.counter("churn.checks", checks)
+        _obs.counter("churn.events", len(events))
 
     return ChurnResult(
         duration=duration,

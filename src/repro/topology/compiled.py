@@ -33,6 +33,7 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import trace as _obs
 from repro.topology.graph import Network
 
 try:  # numpy accelerates the frontier loop ~an order of magnitude
@@ -467,8 +468,12 @@ def compile_graph(net: Network) -> CompiledGraph:
     cache = _cache_slot(net)
     compiled = cache.get("link")
     if compiled is None:
-        compiled = CompiledGraph.from_network(net)
+        _obs.counter("compiled.link.cache_miss")
+        with _obs.span("topology.compile", view="link", net=net.name):
+            compiled = CompiledGraph.from_network(net)
         cache["link"] = compiled
+    else:
+        _obs.counter("compiled.link.cache_hit")
     return compiled
 
 
@@ -477,6 +482,10 @@ def compile_server_projection(net: Network) -> CompiledGraph:
     cache = _cache_slot(net)
     compiled = cache.get("server")
     if compiled is None:
-        compiled = CompiledGraph.from_server_projection(net)
+        _obs.counter("compiled.server.cache_miss")
+        with _obs.span("topology.compile", view="server", net=net.name):
+            compiled = CompiledGraph.from_server_projection(net)
         cache["server"] = compiled
+    else:
+        _obs.counter("compiled.server.cache_hit")
     return compiled

@@ -32,10 +32,11 @@ class TestRegistration:
 class TestRunner:
     def test_run_experiment_prints_and_writes(self, capsys, tmp_path):
         tables = run_experiment("F2", quick=True, out_dir=str(tmp_path))
-        out = capsys.readouterr().out
-        assert "### F2" in out
-        assert "expectation:" in out
-        assert "finished in" in out
+        captured = capsys.readouterr()
+        assert "### F2" in captured.out
+        assert "expectation:" in captured.out
+        # Progress lines ride the stderr logger; stdout stays table-clean.
+        assert "finished in" not in captured.out
         written = sorted(os.listdir(tmp_path))
         # One CSV per table plus the cumulative runtime log.
         assert len(written) == len(tables) + 1
@@ -57,19 +58,49 @@ class TestRunner:
         run_experiment("F5", quick=True, out_dir=str(tmp_path), verbose=False)
         assert (tmp_path / "f5.csv").exists()
 
-    def test_runtimes_csv_accumulates_rows(self, tmp_path):
+    def test_runtimes_csv_one_row_per_key(self, tmp_path):
         import csv
+
+        from repro.experiments.harness import RUNTIMES_COLUMNS
 
         run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
         run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False, workers=2)
         with open(tmp_path / "runtimes.csv", newline="") as handle:
             rows = list(csv.reader(handle))
-        assert rows[0] == ["experiment", "quick", "workers", "wall_time_s"]
-        assert len(rows) == 3  # header + one row per run
+        assert rows[0] == list(RUNTIMES_COLUMNS)
+        assert len(rows) == 3  # header + one row per distinct key
         first, second = rows[1], rows[2]
         assert first[:3] == ["F11", "1", "1"]
         assert second[:3] == ["F11", "1", "2"]
         assert all(float(row[3]) >= 0.0 for row in rows[1:])
+
+    def test_runtimes_csv_rerun_replaces_row(self, tmp_path):
+        import csv
+
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
+        with open(tmp_path / "runtimes.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 2  # header + the single deduped row
+
+    def test_runtimes_csv_upgrades_legacy_header(self, tmp_path):
+        import csv
+
+        legacy = tmp_path / "runtimes.csv"
+        legacy.write_text(
+            "experiment,quick,workers,wall_time_s\nF8,0,1,0.604\nF11,1,1,0.002\n"
+        )
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
+        with open(legacy, newline="") as handle:
+            rows = list(csv.reader(handle))
+        from repro.experiments.harness import RUNTIMES_COLUMNS
+
+        assert rows[0] == list(RUNTIMES_COLUMNS)
+        by_key = {(r[0], r[1], r[2]): r for r in rows[1:]}
+        # The legacy F8 row survives (padded), the F11 row was replaced.
+        assert by_key[("F8", "0", "1")][3] == "0.604"
+        assert float(by_key[("F11", "1", "1")][3]) >= 0.0
+        assert len(rows) == 3
 
     def test_workers_default_restored_after_run(self, tmp_path):
         from repro.metrics.engine import get_default_workers

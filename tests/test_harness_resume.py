@@ -142,7 +142,7 @@ class TestSigkillSmoke:
             timeout=120,
         )
         assert result.returncode == 0, result.stderr
-        assert "resuming" in result.stdout
+        assert "resuming" in result.stderr  # progress goes to the obs logger
         assert not os.path.exists(path), "journal is deleted after success"
         # No lost work: the resumed process replayed every journaled trial
         # rather than recomputing it.

@@ -1,0 +1,286 @@
+"""`repro obs report`: summarisation, rendering, CLI, end-to-end trace."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import (
+    cache_hit_lines,
+    load_trace,
+    render_report,
+    report_files,
+    summarize,
+    validate_trace,
+)
+
+MAIN_PID = 100
+WORKER_A = 201
+WORKER_B = 202
+
+
+def _fixture_events():
+    """A small hand-built trace with known numbers.
+
+    Timeline (seconds): meta at t=0; the experiment span covers
+    [0, 10]; a pool span covers [2, 8] with 2 workers and 4 tasks;
+    each worker contributes 2.4s of top-level busy time inside the
+    window (utilization = 4.8 / (2 x 6) = 40%).
+    """
+    events = [
+        {
+            "ev": "meta", "t": 0.0, "schema": 1,
+            "tags": {"experiment": "F8", "quick": 0, "workers": 2},
+            "pid": MAIN_PID, "seq": 0,
+        },
+        {
+            "ev": "span", "t": 0.0, "dur": 10.0, "name": "experiment",
+            "sid": 1, "parent": None, "tags": {"exp": "F8"},
+            "pid": MAIN_PID, "seq": 1,
+        },
+        {
+            "ev": "span", "t": 0.5, "dur": 1.0, "name": "faults.plan",
+            "sid": 2, "parent": 1, "tags": {"model": "server"},
+            "pid": MAIN_PID, "seq": 2,
+        },
+        {
+            "ev": "span", "t": 2.0, "dur": 6.0, "name": "pool",
+            "sid": 3, "parent": 1,
+            "tags": {"context": "degradation sweep X/server", "workers": 2,
+                     "tasks": 4},
+            "pid": MAIN_PID, "seq": 3,
+        },
+        {
+            "ev": "span", "t": 8.5, "dur": 0.5, "name": "faults.journal",
+            "sid": 4, "parent": 1, "tags": {},
+            "pid": MAIN_PID, "seq": 4,
+        },
+        {
+            "ev": "counters", "t": 9.9,
+            "values": {"compiled.link.cache_hit": 9,
+                       "compiled.link.cache_miss": 1,
+                       "faults.trials": 4},
+            "pid": MAIN_PID, "seq": 5,
+        },
+        {"ev": "rss", "t": 5.0, "rss_mb": 120.0, "peak_mb": 150.0,
+         "pid": MAIN_PID, "seq": 6},
+        {"ev": "rss", "t": 9.0, "rss_mb": 110.0, "peak_mb": 155.5,
+         "pid": MAIN_PID, "seq": 7},
+    ]
+    seq = 0
+    for pid, t0 in ((WORKER_A, 2.5), (WORKER_B, 3.0)):
+        for i in range(2):
+            events.append(
+                {
+                    "ev": "span", "t": t0 + 1.5 * i, "dur": 1.2,
+                    "name": "faults.trial", "sid": pid * 1_000_000 + i + 1,
+                    "parent": None, "tags": {"level": 0.1},
+                    "pid": pid, "seq": seq + i,
+                }
+            )
+        seq += 2
+    return events
+
+
+@pytest.fixture
+def fixture_trace(tmp_path):
+    path = tmp_path / "f8.trace.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in _fixture_events():
+            handle.write(json.dumps(event) + "\n")
+    return str(path)
+
+
+class TestSummarize:
+    def test_fixture_is_schema_valid(self, fixture_trace):
+        assert validate_trace(load_trace(fixture_trace)) == []
+
+    def test_wall_phases_and_peak(self, fixture_trace):
+        summary = summarize(load_trace(fixture_trace))
+        assert summary.main_pid == MAIN_PID
+        assert summary.worker_pids == [WORKER_A, WORKER_B]
+        assert summary.wall_s == pytest.approx(10.0)
+        assert summary.peak_rss_mb == pytest.approx(155.5)
+        assert summary.phases["experiment"].total_s == pytest.approx(10.0)
+        assert summary.phases["faults.trial"].count == 4
+        assert summary.phases["faults.trial"].total_s == pytest.approx(4.8)
+        assert summary.phases["faults.plan"].mean_ms == pytest.approx(1000.0)
+
+    def test_worker_utilization(self, fixture_trace):
+        summary = summarize(load_trace(fixture_trace))
+        (pool,) = summary.pools
+        assert pool.context == "degradation sweep X/server"
+        assert pool.workers == 2
+        assert pool.tasks == 4
+        assert pool.wall_s == pytest.approx(6.0)
+        assert pool.busy_s == pytest.approx(4.8)
+        assert pool.utilization == pytest.approx(0.4)
+
+    def test_slowest_ordering(self, fixture_trace):
+        summary = summarize(load_trace(fixture_trace))
+        top = summary.slowest(3)
+        assert [s["name"] for s in top] == ["experiment", "pool", "faults.trial"]
+
+    def test_counters_merged(self, fixture_trace):
+        summary = summarize(load_trace(fixture_trace))
+        assert summary.counters["faults.trials"] == 4
+        assert summary.counters["compiled.link.cache_hit"] == 9
+
+    def test_counters_cumulative_per_pid(self):
+        # Values are cumulative per emitting process: the latest event
+        # per pid supersedes earlier snapshots, distinct pids sum.
+        events = [
+            {"ev": "counters", "t": 1.0, "values": {"n": 2}, "pid": 200,
+             "seq": 0},
+            {"ev": "counters", "t": 2.0, "values": {"n": 5}, "pid": 200,
+             "seq": 1},
+            {"ev": "counters", "t": 3.0, "values": {"n": 3}, "pid": 100,
+             "seq": 0},
+        ]
+        assert summarize(events).counters["n"] == 8
+
+
+class TestRender:
+    def test_report_sections_golden(self, fixture_trace):
+        text = render_report(fixture_trace, summarize(load_trace(fixture_trace)))
+        assert "run: experiment=F8 quick=0 workers=2" in text
+        assert "wall 10.000s" in text
+        assert "peak RSS 155.5 MB" in text
+        assert "processes: main pid 100 + 2 workers" in text
+        assert "phase breakdown" in text
+        # experiment row: count 1, total 10.000, 100% of wall.
+        assert "experiment" in text and "100.0%" in text
+        assert "faults.trial" in text
+        assert "slowest spans" in text
+        assert "worker pools:" in text
+        assert "40.0%" in text  # utilization of the fixture pool
+        assert "compiled.link" in text and "(90% hit)" in text
+        assert "warnings: none" in text
+
+    def test_warnings_listed(self, tmp_path):
+        events = _fixture_events()
+        events.append(
+            {
+                "ev": "warning", "t": 7.0, "kind": "degraded-mode",
+                "message": "pool died", "data": {"workers": 2},
+                "pid": MAIN_PID, "seq": 99,
+            }
+        )
+        path = tmp_path / "warn.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+        text = render_report(str(path), summarize(load_trace(str(path))))
+        assert "warnings (1):" in text
+        assert "[degraded-mode] pool died" in text
+
+    def test_cache_hit_lines_math(self):
+        lines = cache_hit_lines(
+            {"x.cache_hit": 3, "x.cache_miss": 1, "unrelated": 5}
+        )
+        assert len(lines) == 1
+        assert "3 hit / 1 miss (75% hit)" in lines[0]
+        assert cache_hit_lines({"unrelated": 5}) == []
+
+
+class TestCli:
+    def test_obs_report_cli(self, fixture_trace, capsys):
+        assert main(["obs", "report", fixture_trace]) == 0
+        out = capsys.readouterr().out
+        assert f"=== trace: {fixture_trace} ===" in out
+        assert "phase breakdown" in out
+
+    def test_obs_report_multiple_files(self, fixture_trace, tmp_path, capsys):
+        import shutil
+
+        second = str(tmp_path / "second.jsonl")
+        shutil.copy(fixture_trace, second)
+        assert main(["obs", "report", fixture_trace, second]) == 0
+        out = capsys.readouterr().out
+        assert out.count("=== trace:") == 2
+
+    def test_obs_report_missing_file(self, capsys):
+        assert main(["obs", "report", "/nonexistent/trace.jsonl"]) == 1
+        assert "no such trace" in capsys.readouterr().out
+
+    def test_obs_report_reports_schema_problems(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev": "mystery", "t": 0.0, "pid": 1, "seq": 0}\n')
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "schema problems" in out
+
+    def test_run_trace_flag_produces_valid_trace(self, tmp_path, capsys):
+        out_dir = str(tmp_path)
+        trace_path = os.path.join(out_dir, "f8.trace.jsonl")
+        assert (
+            main(["run", "F8", "--quick", "--out", out_dir, "--trace"]) == 0
+        )
+        capsys.readouterr()
+        assert os.path.exists(trace_path)
+        events = load_trace(trace_path)
+        assert validate_trace(events) == []
+        names = {e.get("name") for e in events if e.get("ev") == "span"}
+        # The acceptance phases are all present in an F8 trace.
+        assert {"experiment", "faults.plan", "faults.mask", "faults.trial",
+                "faults.journal", "topology.compile"} <= names
+        assert main(["obs", "report", trace_path]) == 0
+        report = capsys.readouterr().out
+        for needle in ("faults.plan", "faults.mask", "faults.trial",
+                       "faults.journal", "peak RSS"):
+            assert needle in report
+
+
+class TestHarnessIntegration:
+    def test_run_experiment_trace_argument(self, tmp_path):
+        from repro.experiments import run_experiment
+
+        path = str(tmp_path / "custom-name.jsonl")
+        run_experiment(
+            "F11", quick=True, out_dir=str(tmp_path), verbose=False, trace=path
+        )
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        meta = events[0]
+        assert meta["tags"]["experiment"] == "F11"
+
+    def test_trace_env_variable(self, tmp_path, monkeypatch):
+        from repro.experiments import run_experiment
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
+        default_path = tmp_path / "f11.trace.jsonl"
+        assert default_path.exists()
+        assert validate_trace(load_trace(str(default_path))) == []
+
+    def test_no_trace_file_without_optin(self, tmp_path, monkeypatch):
+        from repro.experiments import run_experiment
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        run_experiment("F11", quick=True, out_dir=str(tmp_path), verbose=False)
+        assert not list(tmp_path.glob("*.trace.jsonl"))
+
+    def test_runtimes_csv_phase_columns_populated(self, tmp_path):
+        import csv
+
+        from repro.experiments import run_experiment
+
+        run_experiment("F8", quick=True, out_dir=str(tmp_path), verbose=False)
+        with open(tmp_path / "runtimes.csv", newline="") as handle:
+            (row,) = list(csv.DictReader(handle))
+        assert row["experiment"] == "F8"
+        # F8 runs fault sweeps: plan/trials/journal phases are non-zero
+        # in the parent, and the peak-RSS cell is filled on Linux/POSIX.
+        assert float(row["trials_s"]) > 0.0
+        assert float(row["wall_time_s"]) >= float(row["trials_s"])
+        if row["peak_rss_mb"]:
+            assert float(row["peak_rss_mb"]) > 0.0
+
+    def test_profile_flag_writes_prof(self, tmp_path):
+        from repro.experiments import run_experiment
+
+        run_experiment(
+            "F11", quick=True, out_dir=str(tmp_path), verbose=False, profile=True
+        )
+        assert (tmp_path / "f11.prof").exists()

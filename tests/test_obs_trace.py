@@ -1,0 +1,409 @@
+"""Tracer core: no-op mode, nesting, schema, shards, warning events."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.log import Heartbeat
+from repro.obs.report import load_trace, validate_trace
+from repro.obs.trace import (
+    NULL_TRACER,
+    SHARD_ENV,
+    Tracer,
+    get_tracer,
+    merge_shards,
+    set_tracer,
+    trace_path_from_env,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer(monkeypatch):
+    """Every test leaves the module-global tracer as it found it."""
+    monkeypatch.delenv(SHARD_ENV, raising=False)
+    monkeypatch.setenv("REPRO_TRACE_MEM_INTERVAL", "0")  # no sampler thread
+    previous = get_tracer()
+    yield
+    set_tracer(previous)
+
+
+class TestNullTracer:
+    def test_default_tracer_is_disabled(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_span_is_shared_noop_singleton(self):
+        a = NULL_TRACER.span("x", foo=1)
+        b = NULL_TRACER.span("y")
+        assert a is b  # no per-call allocation on the disabled path
+        with a as entered:
+            entered.tag(bar=2)  # tag() is accepted and ignored
+
+    def test_counters_and_events_are_noops(self):
+        NULL_TRACER.counter("c", 3)
+        NULL_TRACER.event("degraded-mode", "nope")
+        assert NULL_TRACER.phase_seconds() == {}
+        assert NULL_TRACER.counters() == {}
+        NULL_TRACER.close()  # idempotent no-op
+
+    def test_disabled_overhead_is_negligible(self):
+        span = obs_trace.span  # the module-level proxy used by hot paths
+        started = time.perf_counter()
+        for _ in range(20_000):
+            with span("hot"):
+                pass
+        elapsed = time.perf_counter() - started
+        # Generous bound: 20k disabled spans in well under a second.
+        assert elapsed < 1.0
+
+
+class TestSpans:
+    def test_nesting_and_parent_ids(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path=path) as tracer:
+            with tracer.span("outer", kind="a"):
+                with tracer.span("inner"):
+                    pass
+                with tracer.span("inner"):
+                    pass
+        events = load_trace(path)
+        spans = {(-e["t"], e["name"]): e for e in events if e["ev"] == "span"}
+        by_name = {}
+        for event in events:
+            if event["ev"] == "span":
+                by_name.setdefault(event["name"], []).append(event)
+        (outer,) = by_name["outer"]
+        inner = by_name["inner"]
+        assert outer["parent"] is None
+        assert len(inner) == 2
+        assert all(s["parent"] == outer["sid"] for s in inner)
+        assert len({s["sid"] for s in inner} | {outer["sid"]}) == 3
+        assert all(s["dur"] >= 0 for s in [outer] + inner)
+        assert spans  # silence linters
+
+    def test_sibling_spans_share_parent_not_each_other(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path=path) as tracer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = [e for e in load_trace(path) if e["ev"] == "span"]
+        assert all(s["parent"] is None for s in spans)
+
+    def test_tag_after_entry(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path=path) as tracer:
+            with tracer.span("work", fixed=1) as span:
+                span.tag(result=42)
+        (span_event,) = [e for e in load_trace(path) if e["ev"] == "span"]
+        assert span_event["tags"] == {"fixed": 1, "result": 42}
+
+    def test_phase_seconds_aggregates_without_file(self):
+        tracer = Tracer()  # metrics-only: nothing on disk
+        with tracer.span("phase.x"):
+            pass
+        with tracer.span("phase.x"):
+            pass
+        with tracer.span("phase.y"):
+            pass
+        assert tracer.phase_counts() == {"phase.x": 2, "phase.y": 1}
+        assert set(tracer.phase_seconds()) == {"phase.x", "phase.y"}
+        assert all(v >= 0 for v in tracer.phase_seconds().values())
+        assert tracer.path is None
+        tracer.close()
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.counter("hits")
+        tracer.counter("hits", 2)
+        tracer.counter("seconds", 0.5)
+        assert tracer.counters() == {"hits": 3, "seconds": 0.5}
+        tracer.close()
+
+
+class TestSchema:
+    def test_jsonl_roundtrip_validates(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path, run_tags={"experiment": "T1", "quick": 1})
+        with tracer.span("outer"):
+            with tracer.span("inner", depth=1):
+                tracer.counter("things", 2)
+        tracer.event("degraded-mode", "pool died", context="unit", workers=2)
+        tracer.sample_memory()
+        tracer.close()
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        kinds = {e["ev"] for e in events}
+        assert {"meta", "span", "counters", "warning"} <= kinds
+        meta = events[0]
+        assert meta["ev"] == "meta"
+        assert meta["schema"] == obs_trace.SCHEMA_VERSION
+        assert meta["tags"]["experiment"] == "T1"
+        # Counters survive the write-read cycle exactly.
+        (counters,) = [e for e in events if e["ev"] == "counters"]
+        assert counters["values"] == {"things": 2}
+
+    def test_validator_rejects_malformed_events(self):
+        bad = [
+            {"ev": "span", "t": 0.0, "pid": 1, "seq": 0},  # no name/dur/sid
+            {"ev": "mystery", "t": 0.0, "pid": 1, "seq": 1},
+            {"ev": "span", "t": 1.0, "pid": 1, "seq": 2, "name": "x",
+             "sid": 7, "parent": 99, "dur": 0.1, "tags": {}},  # dangling parent
+        ]
+        problems = validate_trace(bad)
+        assert any("name" in p for p in problems)
+        assert any("unknown event type" in p for p in problems)
+        assert any("parent 99" in p for p in problems)
+
+    def test_loader_skips_junk_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"ev": "meta", "t": 0.0, "pid": 1, "seq": 0, "schema": 1, "tags": {}}\n'
+            "not json at all\n"
+            '{"ev": "rss", "t": 1.0, "pid": 1, "seq": 1, "rss_mb": 5.0, "peak_mb": 6.0}\n'
+            '{"truncated": '
+        )
+        events = load_trace(str(path))
+        assert [e["ev"] for e in events] == ["meta", "rss"]
+        assert validate_trace(events) == []
+
+
+class TestShards:
+    @staticmethod
+    def _write_shard(path, pid, t0):
+        with open(path, "w", encoding="utf-8") as handle:
+            for seq, t in enumerate((t0, t0 + 0.5)):
+                handle.write(
+                    json.dumps(
+                        {
+                            "ev": "span",
+                            "t": t,
+                            "dur": 0.1,
+                            "name": f"worker-{pid}",
+                            "sid": pid * 1_000_000 + seq + 1,
+                            "parent": None,
+                            "tags": {},
+                            "pid": pid,
+                            "seq": seq,
+                        }
+                    )
+                    + "\n"
+                )
+
+    def test_merge_is_deterministic_and_sorted(self, tmp_path):
+        main_line = json.dumps(
+            {
+                "ev": "meta",
+                "t": 0.0,
+                "schema": 1,
+                "tags": {"run": "merge-test"},
+                "pid": 7,
+                "seq": 0,
+            }
+        )
+        outputs = []
+        for attempt in range(2):
+            path = str(tmp_path / f"trace-{attempt}.jsonl")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(main_line + "\n")
+            # Shards as two fork-workers would leave them, written in
+            # "wrong" (descending-pid) order to prove sorting.
+            self._write_shard(f"{path}.shard-999", 999, t0=2.0)
+            self._write_shard(f"{path}.shard-42", 42, t0=1.0)
+            assert merge_shards(path) == 2
+            assert not [
+                name for name in os.listdir(tmp_path) if ".shard-" in name
+            ], "shards must be consumed by the merge"
+            events = load_trace(path)
+            assert validate_trace(events) == []
+            keys = [(e["t"], e["pid"], e["seq"]) for e in events]
+            assert keys == sorted(keys)
+            outputs.append(open(path, "rb").read())
+        # Identical shard content => byte-identical merged trace.
+        assert outputs[0] == outputs[1]
+
+    def test_merge_without_shards_leaves_file_alone(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path)
+        with tracer.span("solo"):
+            pass
+        tracer.close()
+        before = open(path).read()
+        assert merge_shards(path) == 0
+        assert open(path).read() == before
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+    def test_fork_worker_redirects_to_shard(self, tmp_path):
+        import multiprocessing
+
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path)
+        previous = set_tracer(tracer)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            proc = ctx.Process(target=_emit_child_span)
+            proc.start()
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        finally:
+            set_tracer(previous)
+        with tracer.span("parent-span"):
+            pass
+        tracer.close()
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        pids = {e["pid"] for e in events if e["ev"] == "span"}
+        assert len(pids) == 2, "child span must arrive via its shard"
+        child_spans = [
+            e for e in events if e["ev"] == "span" and e["name"] == "child-work"
+        ]
+        assert len(child_spans) == 1
+        assert child_spans[0]["parent"] is None  # no cross-process parents
+
+    def test_maybe_init_worker_adopts_shard_from_env(self, tmp_path, monkeypatch):
+        base = str(tmp_path / "main.jsonl")
+        monkeypatch.setenv(SHARD_ENV, base)
+        set_tracer(NULL_TRACER)
+        obs_trace.maybe_init_worker()
+        adopted = get_tracer()
+        try:
+            assert adopted.enabled
+            assert adopted.path == f"{base}.shard-{os.getpid()}"
+            with adopted.span("adopted-work"):
+                pass
+        finally:
+            adopted.close()
+        assert os.path.exists(f"{base}.shard-{os.getpid()}")
+
+    def test_maybe_init_worker_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV, raising=False)
+        set_tracer(NULL_TRACER)
+        obs_trace.maybe_init_worker()
+        assert get_tracer() is NULL_TRACER
+
+
+def _emit_child_span():
+    with obs_trace.span("child-work"):
+        pass
+    get_tracer().close()
+
+
+class TestEnvResolution:
+    def test_trace_env_off(self, monkeypatch):
+        monkeypatch.delenv(obs_trace.TRACE_ENV, raising=False)
+        assert trace_path_from_env("default.jsonl") is None
+        monkeypatch.setenv(obs_trace.TRACE_ENV, "0")
+        assert trace_path_from_env("default.jsonl") is None
+
+    def test_trace_env_truthy_uses_default(self, monkeypatch):
+        monkeypatch.setenv(obs_trace.TRACE_ENV, "1")
+        assert trace_path_from_env("default.jsonl") == "default.jsonl"
+        monkeypatch.setenv(obs_trace.TRACE_ENV, "true")
+        assert trace_path_from_env("default.jsonl") == "default.jsonl"
+
+    def test_trace_env_path_wins(self, monkeypatch):
+        monkeypatch.setenv(obs_trace.TRACE_ENV, "/tmp/custom.jsonl")
+        assert trace_path_from_env("default.jsonl") == "/tmp/custom.jsonl"
+
+
+class TestDegradedModeEvents:
+    """Satellite: pool degradation must be visible in the trace."""
+
+    def test_degraded_pool_emits_warning_events(self, tmp_path, monkeypatch):
+        from repro.metrics import engine
+
+        class AlwaysBroken:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no fork for you")
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", AlwaysBroken)
+        monkeypatch.setattr(engine, "POOL_RETRY_BACKOFF_S", 0.0)
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path)
+        previous = set_tracer(tracer)
+        try:
+            with pytest.warns(engine.DegradedModeWarning):
+                result = engine.map_with_pool_recovery(
+                    _times_three,
+                    [1, 2],
+                    workers=2,
+                    sequential=lambda tasks: [t * 3 for t in tasks],
+                    context="obs unit test",
+                )
+        finally:
+            set_tracer(previous)
+            tracer.close()
+        assert result == [3, 6]
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        warnings = [e for e in events if e["ev"] == "warning"]
+        kinds = [w["kind"] for w in warnings]
+        assert kinds == ["pool-retry", "degraded-mode"]
+        degraded = warnings[-1]
+        assert degraded["data"]["context"] == "obs unit test"
+        assert degraded["data"]["workers"] == 2
+        assert "OSError" in degraded["data"]["error"]
+        # The pool span records the degradation and the counters count it.
+        (pool_span,) = [
+            e for e in events if e["ev"] == "span" and e["name"] == "pool"
+        ]
+        assert pool_span["tags"]["degraded"] is True
+        (counters,) = [e for e in events if e["ev"] == "counters"]
+        assert counters["values"]["pool.retries"] == 1
+        assert counters["values"]["pool.degraded"] == 1
+
+    def test_healthy_pool_emits_no_warnings(self, tmp_path):
+        from repro.metrics import engine
+
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path)
+        previous = set_tracer(tracer)
+        try:
+            result = engine.map_with_pool_recovery(
+                _times_three,
+                [1, 2, 3],
+                workers=2,
+                sequential=lambda tasks: [t * 3 for t in tasks],
+                context="healthy",
+            )
+        finally:
+            set_tracer(previous)
+            tracer.close()
+        assert result == [3, 6, 9]
+        events = load_trace(path)
+        assert [e for e in events if e["ev"] == "warning"] == []
+
+
+def _times_three(x):
+    return x * 3
+
+
+class TestHeartbeat:
+    def test_heartbeat_fires_until_stopped(self):
+        beats = []
+        hb = Heartbeat(0.02, lambda: beats.append(1))
+        time.sleep(0.15)
+        hb.stop()
+        count = len(beats)
+        assert count >= 2
+        time.sleep(0.06)
+        assert len(beats) == count  # stopped means stopped
+
+    def test_zero_interval_is_dormant(self):
+        beats = []
+        hb = Heartbeat(0.0, lambda: beats.append(1))
+        time.sleep(0.05)
+        hb.stop()
+        assert beats == []
+
+    def test_raising_callback_kills_heartbeat_not_test(self):
+        def boom():
+            raise RuntimeError("observability must never break the run")
+
+        hb = Heartbeat(0.01, boom)
+        time.sleep(0.05)
+        hb.stop()
