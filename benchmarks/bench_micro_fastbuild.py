@@ -1,0 +1,133 @@
+"""Micro-benchmarks: object-graph vs. direct-to-CSR topology compile.
+
+Two uses:
+
+* under pytest-benchmark (``pytest benchmarks/bench_micro_fastbuild.py``)
+  the individual timers guard the fast path against regressions and keep
+  the object oracle's cost on record;
+* as a script (``python benchmarks/bench_micro_fastbuild.py [--quick]``)
+  it sweeps ABCCC instances from the paper's running example up to
+  datacenter scale, records object vs. fast build+compile wall times and
+  the speedup into ``results/BENCH_fastbuild.json``, and upserts one
+  timing row per instance into ``results/runtimes.csv`` (same appender
+  the experiment harness uses).  Sizes past ~10^4 servers skip the
+  object path — that is the point of the fast one.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401  (script runs need src/ on the path)
+except ImportError:  # pragma: no cover - direct ``python benchmarks/...`` runs
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.core import AbcccSpec
+from repro.obs import peak_rss_mb
+from repro.topology.compiled import compile_graph
+from repro.topology.fastbuild import csr_nbytes, fast_compiled
+
+RESULTS_PATH = os.path.join("results", "BENCH_fastbuild.json")
+
+#: (spec, object path feasible in a benchmark run?)
+SWEEP = [
+    (AbcccSpec(4, 3, 2), True),  # 1,024 servers — the paper's example
+    (AbcccSpec(6, 3, 2), True),  # 5,184 servers
+    (AbcccSpec(8, 4, 2), True),  # 163,840 servers — CI scale-smoke size
+    (AbcccSpec(8, 5, 3), False),  # 786,432 servers — fast path only
+]
+
+
+def test_bench_fast_compile_abccc_1k(benchmark):
+    spec = AbcccSpec(4, 3, 2)
+    graph = benchmark(fast_compiled, spec)
+    assert graph.num_servers == 1024
+
+
+def test_bench_fast_compile_abccc_160k(benchmark):
+    spec = AbcccSpec(8, 4, 2)
+    graph = benchmark(fast_compiled, spec)
+    assert graph.num_servers == 163_840
+
+
+def test_bench_object_compile_abccc_1k(benchmark):
+    spec = AbcccSpec(4, 3, 2)
+
+    def build_and_compile():
+        return compile_graph(spec.build())  # fresh network: cold cache
+
+    graph = benchmark(build_and_compile)
+    assert graph.num_servers == 1024
+
+
+def _time(fn) -> tuple:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def run_sweep(quick: bool = False, out_dir: str = "results") -> dict:
+    """Measure the sweep, write the JSON report, upsert runtimes.csv."""
+    from repro.experiments.harness import _append_runtime
+
+    rows = []
+    for spec, object_feasible in SWEEP:
+        if quick and spec.num_servers > 10_000:
+            continue
+        fast_s, graph = _time(lambda spec=spec: fast_compiled(spec))
+        row = {
+            "spec": spec.label,
+            "servers": graph.num_servers,
+            "nodes": graph.num_nodes,
+            "links": graph.num_edges,
+            "fast_s": round(fast_s, 4),
+            "csr_mb": round(csr_nbytes(graph) / 1e6, 2),
+            "object_s": None,
+            "speedup": None,
+        }
+        if object_feasible and not quick:
+            object_s, _ = _time(lambda spec=spec: compile_graph(spec.build()))
+            row["object_s"] = round(object_s, 4)
+            row["speedup"] = round(object_s / fast_s, 1)
+        rows.append(row)
+        _append_runtime(
+            out_dir,
+            f"BENCH_fastbuild:{spec.label}",
+            quick,
+            1,
+            row["object_s"] if row["object_s"] is not None else fast_s,
+            phases={"topology.compile": fast_s},
+            peak_rss_mb=peak_rss_mb(),
+        )
+    report = {"benchmark": "fastbuild", "quick": quick, "rows": rows}
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, os.path.basename(RESULTS_PATH)), "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small instances only")
+    parser.add_argument("--out", default="results", help="output directory")
+    args = parser.parse_args(argv)
+    report = run_sweep(quick=args.quick, out_dir=args.out)
+    for row in report["rows"]:
+        object_s = "-" if row["object_s"] is None else f"{row['object_s']:.3f}s"
+        speedup = "-" if row["speedup"] is None else f"{row['speedup']:.0f}x"
+        print(
+            f"{row['spec']:<24} servers={row['servers']:<8} "
+            f"fast={row['fast_s']:.3f}s object={object_s} speedup={speedup} "
+            f"csr={row['csr_mb']}MB"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,15 @@ Public surface::
 
 from repro.topology.compiled import (
     CompiledGraph,
+    build_compiled,
     compile_graph,
     compile_server_projection,
+)
+from repro.topology.fastbuild import (
+    FastBuildError,
+    FastCompiledGraph,
+    FastLayout,
+    fast_compiled,
 )
 from repro.topology.graph import Network, NetworkError
 from repro.topology.node import Link, Node, NodeKind, link_key
@@ -25,10 +32,15 @@ from repro.topology.validate import (
 
 __all__ = [
     "CompiledGraph",
+    "FastBuildError",
+    "FastCompiledGraph",
+    "FastLayout",
     "Link",
     "LinkPolicy",
+    "build_compiled",
     "compile_graph",
     "compile_server_projection",
+    "fast_compiled",
     "Network",
     "NetworkError",
     "Node",

@@ -59,6 +59,21 @@ def _int_array(values: Iterable[int]):
     return array("q", values)
 
 
+def _index_array(values: Iterable[int]):
+    """A flat *node/entry index* sequence: numpy uint32 or array('q').
+
+    Indices are non-negative and bounded by the node/entry count, so
+    uint32 is always wide enough (compilation refuses larger graphs)
+    and halves the footprint of every CSR the engine ships to workers
+    and every masked-fault trial keeps resident.  Signed int64 stays
+    reserved for value arrays that need a ``-1`` sentinel (distances,
+    component labels).
+    """
+    if HAVE_NUMPY:
+        return _np.fromiter(values, dtype=_np.uint32)
+    return array("q", values)
+
+
 class CompiledGraph:
     """Immutable CSR snapshot of a network (or of its server projection).
 
@@ -137,7 +152,7 @@ class CompiledGraph:
         names = tuple(net.node_names())
         index = {name: i for i, name in enumerate(names)}
         adjacency = [sorted(index[v] for v in net.neighbors(u)) for u in names]
-        servers = _int_array(
+        servers = _index_array(
             i for i, name in enumerate(names) if net.node(name).is_server
         )
         edge_u: List[int] = []
@@ -151,8 +166,8 @@ class CompiledGraph:
             names,
             *_csr_from_lists(adjacency),
             server_indices=servers,
-            edge_u=_int_array(edge_u),
-            edge_v=_int_array(edge_v),
+            edge_u=_index_array(edge_u),
+            edge_v=_index_array(edge_v),
             edge_capacity=tuple(capacities),
         )
 
@@ -188,9 +203,9 @@ class CompiledGraph:
         return cls(
             names,
             *_csr_from_lists(adjacency),
-            server_indices=_int_array(range(len(names))),
-            edge_u=_int_array(edge_u),
-            edge_v=_int_array(edge_v),
+            server_indices=_index_array(range(len(names))),
+            edge_u=_index_array(edge_u),
+            edge_v=_index_array(edge_v),
             edge_capacity=tuple(1.0 for _ in edge_u),
         )
 
@@ -261,8 +276,10 @@ class CompiledGraph:
         level = 0
         while frontier.size:
             level += 1
-            starts = offsets[frontier]
-            counts = offsets[frontier + 1] - starts
+            # int64 copies keep the gather arithmetic signed — the CSR
+            # arrays themselves are uint32 (see ``_index_array``).
+            starts = offsets[frontier].astype(_np.int64)
+            counts = offsets[frontier + 1].astype(_np.int64) - starts
             total = int(counts.sum())
             if total == 0:
                 break
@@ -446,7 +463,7 @@ def _csr_from_lists(adjacency: Sequence[Sequence[int]]):
     for row in adjacency:
         flat.extend(row)
         offsets.append(len(flat))
-    return _int_array(offsets), _int_array(flat)
+    return _index_array(offsets), _index_array(flat)
 
 
 # ----------------------------------------------------------------------
@@ -475,6 +492,29 @@ def compile_graph(net: Network) -> CompiledGraph:
     else:
         _obs.counter("compiled.link.cache_hit")
     return compiled
+
+
+def build_compiled(spec, memmap_dir: Optional[str] = None, prefer_fast: bool = True):
+    """Compiled CSR link graph of a :class:`~repro.topology.spec.TopologySpec`.
+
+    The compile seam for code that needs the arrays, not the object
+    graph: when the spec's family has a vectorized direct-to-CSR
+    constructor (ABCCC / BCCC / BCube, numpy present — see
+    :mod:`repro.topology.fastbuild`), the returned graph is generated
+    straight from digit arithmetic without ever materialising ``Node``
+    objects, which is orders of magnitude faster and smaller at
+    datacenter scale.  Otherwise (or with ``prefer_fast=False``, the
+    parity-oracle path) it falls back to ``compile_graph(spec.build())``.
+
+    ``memmap_dir`` asks the fast path to back the large CSR arrays with
+    memory-mapped files in that directory; the object path ignores it.
+    """
+    if prefer_fast:
+        from repro.topology import fastbuild
+
+        if fastbuild.supports(spec):
+            return fastbuild.fast_compiled(spec, memmap_dir=memmap_dir)
+    return compile_graph(spec.build())
 
 
 def compile_server_projection(net: Network) -> CompiledGraph:

@@ -33,6 +33,37 @@ class TestBuild:
             main(["build", "zork"])
 
 
+class TestBuildFast:
+    ABCCC_ARGS = ["-p", "n=3", "-p", "k=1", "-p", "s=2"]
+
+    def test_fast_summary(self, capsys):
+        assert main(["build", "abccc", *self.ABCCC_ARGS, "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "18 servers" in out
+        assert "(fastbuild)" in out
+        assert "CSR" in out
+
+    def test_fast_falls_back_for_unsupported_family(self, capsys):
+        assert main(["build", "fattree", "-p", "p=4", "--fast"]) == 0
+        assert "(object graph)" in capsys.readouterr().out
+
+    def test_fast_memmap_writes_arrays(self, tmp_path, capsys):
+        mm = str(tmp_path / "arrays")
+        assert main(["build", "abccc", *self.ABCCC_ARGS, "--fast", "--memmap", mm]) == 0
+        assert "memory-mapped" in capsys.readouterr().out
+        files = [p.name for p in (tmp_path / "arrays").iterdir()]
+        assert any(name.endswith(".indptr.u32") for name in files)
+
+    def test_fast_trace_records_build_span(self, tmp_path, capsys):
+        from repro.obs.report import load_trace
+
+        trace = str(tmp_path / "build.trace.jsonl")
+        assert main(["build", "abccc", *self.ABCCC_ARGS, "--fast", "--trace", trace]) == 0
+        assert "trace written" in capsys.readouterr().out
+        names = {e["name"] for e in load_trace(trace) if e["ev"] == "span"}
+        assert "topology.fastbuild" in names
+
+
 class TestRoute:
     def test_route_by_index(self, capsys):
         code = main(

@@ -2,6 +2,8 @@
 
 import pickle
 
+import pytest
+
 from repro.core import AbcccSpec
 from repro.metrics.distance import logical_server_adjacency
 from repro.routing.shortest import bfs_distances
@@ -64,6 +66,34 @@ class TestStructure:
                 )
             }
             assert row == peers
+
+
+class TestDtypes:
+    def test_index_arrays_are_uint32(self, abccc_small):
+        """Compact dtypes: every node/entry index array is uint32.
+
+        Regression guard for the footprint halving — the engine ships
+        these arrays to every worker and each masked trial keeps them
+        resident, so a silent int64 revert doubles memory at scale.
+        """
+        numpy = pytest.importorskip("numpy")
+        _, net = abccc_small
+        graph = compile_graph(net)
+        for attr in ("offsets", "neighbors", "server_indices", "edge_u", "edge_v"):
+            assert getattr(graph, attr).dtype == numpy.uint32, attr
+        projection = compile_server_projection(net)
+        for attr in ("offsets", "neighbors", "server_indices", "edge_u", "edge_v"):
+            assert getattr(projection, attr).dtype == numpy.uint32, attr
+
+    def test_value_arrays_keep_signed_sentinels(self, abccc_small):
+        """Distances and labels stay int64: they need the -1 sentinel."""
+        numpy = pytest.importorskip("numpy")
+        _, net = abccc_small
+        graph = compile_graph(net)
+        dist = graph.bfs_distances(0)
+        assert numpy.asarray(dist).dtype == numpy.int64
+        labels = graph.component_labels()
+        assert numpy.asarray(labels).dtype == numpy.int64
 
 
 class TestKernels:
