@@ -14,6 +14,12 @@ Commands:
   built topology.
 * ``verify FILE [--params n=…,k=…,s=…]`` — load a JSON network and check
   ABCCC conformance (parameters inferred when omitted).
+* ``sweep KIND --params … [--sample N] [--kernel K] [--workers N]`` —
+  distance sweep straight on the compiled CSR graph
+  (:func:`repro.metrics.engine.sweep_graph_distance_stats`): no
+  ``Network`` object is ever built, so million-server instances fit.
+  ``--sample N`` sweeps N sources (mean carries a 95% CI; exact when
+  omitted and small), ``--kernel`` forces bitpack/dense/flat.
 * ``manifest KIND --params …`` — print the deployment manifest (rack
   BOMs + cable schedule).
 * ``experiments`` — list the evaluation suite.
@@ -121,6 +127,53 @@ def _build_fast(spec, args: argparse.Namespace) -> int:
         print(f"  peak RSS: {rss:.1f} MB")
     if args.memmap:
         print(f"  arrays memory-mapped under {args.memmap}")
+    if args.trace:
+        print(f"  trace written to {args.trace}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """``sweep``: graph-native distance stats, no ``Network`` built."""
+    import time
+
+    from repro.metrics.engine import sweep_graph_distance_stats
+    from repro.obs import peak_rss_mb
+    from repro.obs import trace as obs_trace
+
+    spec = create(args.kind, **_parse_params(args.param))
+    tracer = obs_trace.Tracer(path=args.trace) if args.trace else None
+    previous = obs_trace.set_tracer(tracer) if tracer else None
+    try:
+        started = time.perf_counter()
+        graph = spec.compiled(memmap_dir=args.memmap)
+        compiled_at = time.perf_counter()
+        stats = sweep_graph_distance_stats(
+            graph,
+            sample_sources=args.sample,
+            seed=args.seed,
+            workers=args.workers,
+            kernel=args.kernel,
+            label=spec.label,
+        )
+        swept_at = time.perf_counter()
+    finally:
+        if tracer is not None:
+            obs_trace.set_tracer(previous)
+            tracer.close()
+    switches = graph.num_nodes - graph.num_servers
+    print(f"{spec.label}: {graph.num_servers} servers, {switches} switches")
+    mean = f"{stats.mean:.4f}"
+    if not stats.exact and stats.mean_ci95:
+        mean += f" ± {stats.mean_ci95:.4f} (95% CI)"
+    mode = "exact" if stats.exact else "sampled"
+    bound = "diameter" if stats.exact else "diameter >="
+    print(f"  {bound} {stats.diameter} link hops, mean {mean} "
+          f"({mode}, {stats.pairs} pairs)")
+    print(f"  compile {compiled_at - started:.3f}s, "
+          f"sweep {swept_at - compiled_at:.3f}s")
+    rss = peak_rss_mb()
+    if rss is not None:
+        print(f"  peak RSS: {rss:.1f} MB")
     if args.trace:
         print(f"  trace written to {args.trace}")
     return 0
@@ -326,6 +379,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fast: write a JSONL span trace of the build",
     )
     build.set_defaults(fn=_cmd_build)
+
+    sweep = sub.add_parser(
+        "sweep", help="distance sweep on the compiled graph (no Network)"
+    )
+    sweep.add_argument("kind", choices=available())
+    sweep.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    sweep.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep N sampled sources (default: exact below the auto-sample "
+        "threshold, 1024 sources above)",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="source-sampling seed")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for the sweep (0 = all cores; default 1)",
+    )
+    sweep.add_argument(
+        "--kernel",
+        choices=("auto", "bitpack", "dense", "flat"),
+        default=None,
+        help="BFS kernel (default auto: bitpack on big graphs)",
+    )
+    sweep.add_argument(
+        "--memmap",
+        default=None,
+        metavar="DIR",
+        help="back the CSR arrays with memory-mapped files in DIR",
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span trace of compile + sweep",
+    )
+    sweep.set_defaults(fn=_cmd_sweep)
 
     route = sub.add_parser("route", help="route between two servers")
     route.add_argument("kind", choices=available())

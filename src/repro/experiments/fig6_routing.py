@@ -15,8 +15,9 @@ from typing import List
 
 from repro.core import AbcccSpec, ServerAddress, abccc_route
 from repro.experiments.harness import register
-from repro.routing.shortest import bfs_distances
+from repro.metrics.engine import pairwise_distances
 from repro.sim.results import ResultTable
+from repro.topology.compiled import compile_graph
 
 STRATEGIES = ("identity", "random", "locality")
 
@@ -46,10 +47,13 @@ def _routing_table(quick: bool) -> ResultTable:
         rng = random.Random(42)
         servers = net.servers
         pairs = [tuple(rng.sample(servers, 2)) for _ in range(pair_count)]
-        # One BFS per distinct source, shared across strategies.
-        shortest = {}
-        for src in {s for s, _ in pairs}:
-            shortest[src] = bfs_distances(net, src)
+        # Batched block BFS on the compiled graph: one kernel call covers
+        # every distinct source, shared across strategies.
+        graph = compile_graph(net)
+        index = graph.index
+        baselines = pairwise_distances(
+            graph, [(index[src], index[dst]) for src, dst in pairs]
+        )
         for strategy in STRATEGIES:
             stretches = []
             routed_lengths = []
@@ -64,7 +68,7 @@ def _routing_table(quick: bool) -> ResultTable:
                     seed=i,
                 )
                 route.validate(net)
-                base = shortest[src][dst]
+                base = baselines[i]
                 stretches.append(route.link_hops / base)
                 routed_lengths.append(route.link_hops)
                 bfs_lengths.append(base)

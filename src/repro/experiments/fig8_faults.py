@@ -21,7 +21,7 @@ from typing import List
 from repro.baselines import BcubeSpec, FatTreeSpec
 from repro.core import AbcccSpec, fault_tolerant_route
 from repro.experiments.harness import register
-from repro.faults import FaultModel, degradation_sweep, random_failures
+from repro.faults import FaultModel, MaskedGraph, degradation_sweep, random_failures
 from repro.metrics.engine import pairwise_distances
 from repro.routing.base import RoutingError
 from repro.sim.results import ResultTable
@@ -88,6 +88,8 @@ def _ft_routing_table(quick: bool) -> ResultTable:
     )
     spec = AbcccSpec(3, 1, 2) if quick else AbcccSpec(4, 2, 2)
     net = spec.build()
+    graph = compile_graph(net)
+    index = graph.index
     fractions = (0.05,) if quick else (0.02, 0.05, 0.10, 0.15, 0.20)
     attempts = 60 if quick else 250
     for fraction in fractions:
@@ -98,16 +100,15 @@ def _ft_routing_table(quick: bool) -> ResultTable:
             dead_nodes=list(plan.scenario.dead_servers)
             + list(plan.scenario.dead_switches)
         )
-        # Reachability baselines on the compiled alive graph: draw the
-        # attempt pairs up front (same RNG stream as the loop would use)
-        # and batch the distinct sources through one block BFS.
-        graph = compile_graph(alive)
-        index = graph.index
+        # Reachability baselines as a mask over the one parent compile:
+        # the sweep view keeps the parent's node ids, so the parent index
+        # resolves names and no per-fraction recompile is needed.
+        view = MaskedGraph(graph, plan.scenario).sweep_view()
         rng = random.Random(5)
         servers = alive.servers
         attempt_pairs = [tuple(rng.sample(servers, 2)) for _ in range(attempts)]
         baselines = pairwise_distances(
-            graph, [(index[src], index[dst]) for src, dst in attempt_pairs]
+            view, [(index[src], index[dst]) for src, dst in attempt_pairs]
         )
         reachable = greedy_ok = fallback = 0
         stretches = []

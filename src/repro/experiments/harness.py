@@ -55,6 +55,7 @@ RUNTIMES_COLUMNS = (
     "wall_time_s",
     "compile_s",
     "sweep_s",
+    "handoff_s",
     "plan_s",
     "mask_s",
     "trials_s",
@@ -66,6 +67,7 @@ RUNTIMES_COLUMNS = (
 _PHASE_COLUMNS = {
     "compile_s": "topology.compile",
     "sweep_s": "engine.sweep",
+    "handoff_s": "engine.handoff",
     "plan_s": "faults.plan",
     "mask_s": "faults.mask",
     "trials_s": "faults.trials",

@@ -19,10 +19,16 @@ across topology families.
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.faults.plan import FailureScenario, FaultPlan
-from repro.topology.compiled import HAVE_NUMPY, CompiledGraph, compile_graph
+from repro.topology.compiled import (
+    HAVE_NUMPY,
+    CompiledGraph,
+    CSRGraphView,
+    compile_graph,
+)
 from repro.topology.graph import Network
 
 if HAVE_NUMPY:
@@ -36,7 +42,7 @@ def _scenario_of(scenario) -> FailureScenario:
 class MaskedGraph:
     """A compiled graph with one failure scenario overlaid as masks."""
 
-    __slots__ = ("graph", "node_alive", "dead_entries", "_labels")
+    __slots__ = ("graph", "node_alive", "dead_entries", "_labels", "_sweep_view")
 
     def __init__(self, graph: CompiledGraph, scenario) -> None:
         scenario = _scenario_of(scenario)
@@ -68,6 +74,7 @@ class MaskedGraph:
                 continue  # legacy subgraph_without ignores missing links too
         self.dead_entries: Optional[Set[int]] = dead_entries or None
         self._labels = None
+        self._sweep_view: Optional[CSRGraphView] = None
 
     # ------------------------------------------------------------------
     def component_labels(self):
@@ -86,6 +93,66 @@ class MaskedGraph:
         """
         names, alive = self.graph.names, self.node_alive
         return [names[i] for i in self.graph.server_indices if alive[i]]
+
+    def sweep_view(self) -> CSRGraphView:
+        """Alive-only kernel view of the masked graph, cached.
+
+        Same node-id space as the parent graph: dead nodes keep their
+        ids but lose every CSR entry, dead links lose their two entries,
+        and ``server_indices`` shrinks to the alive servers — so the
+        sweep engine (:func:`repro.metrics.engine
+        .sweep_graph_distance_stats`, :func:`~repro.metrics.engine
+        .pairwise_distances`) runs on the degraded topology without a
+        ``subgraph_without`` copy or recompile.  Distances between alive
+        servers match compiling the failure-injected subgraph exactly.
+        """
+        if self._sweep_view is not None:
+            return self._sweep_view
+        graph = self.graph
+        num_nodes = graph.num_nodes
+        if HAVE_NUMPY:
+            neighbors = _np.asarray(graph.neighbors)
+            rows = graph._entry_rows()
+            alive = _np.asarray(self.node_alive, dtype=bool)
+            keep = alive[rows] & alive[neighbors.astype(_np.int64)]
+            if self.dead_entries:
+                keep[list(self.dead_entries)] = False
+            kept = _np.ascontiguousarray(neighbors[keep], dtype=_np.uint32)
+            counts = _np.bincount(rows[keep], minlength=num_nodes)
+            offsets = _np.zeros(num_nodes + 1, dtype=_np.int64)
+            _np.cumsum(counts, out=offsets[1:])
+            servers = _np.asarray(graph.server_indices)
+            alive_servers = _np.ascontiguousarray(
+                servers[alive[servers.astype(_np.int64)]], dtype=_np.uint32
+            )
+            view = CSRGraphView(
+                num_nodes, offsets.astype(_np.uint32), kept, alive_servers
+            )
+        else:
+            offsets, neighbors = graph.offsets, graph.neighbors
+            alive = self.node_alive
+            dead_entries = self.dead_entries or ()
+            new_offsets = [0]
+            kept_list: List[int] = []
+            for u in range(num_nodes):
+                if alive[u]:
+                    for j in range(offsets[u], offsets[u + 1]):
+                        v = neighbors[j]
+                        if j in dead_entries or not alive[v]:
+                            continue
+                        kept_list.append(int(v))
+                new_offsets.append(len(kept_list))
+            alive_servers_list = [
+                int(i) for i in graph.server_indices if alive[i]
+            ]
+            view = CSRGraphView(
+                num_nodes,
+                array("q", new_offsets),
+                array("q", kept_list),
+                array("q", alive_servers_list),
+            )
+        self._sweep_view = view
+        return view
 
     def num_alive_servers(self) -> int:
         alive = self.node_alive

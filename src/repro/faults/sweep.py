@@ -179,12 +179,16 @@ def _evaluate_legacy(
     return ratio, max(members.values()) / alive_servers, alive_servers
 
 
-# Worker-process state: compiled graph + panel arrive once per pool.
+# Worker-process state: compiled graph + panel arrive once per pool —
+# the graph as a shared-memory GraphHandle (attached zero-copy), or as
+# a pickled graph on the legacy/test path.
 _WORKER_STATE: Optional[Tuple[CompiledGraph, Tuple[Tuple[int, int], ...]]] = None
 
 
-def _sweep_worker_init(graph: CompiledGraph, panel: Tuple[Tuple[int, int], ...]) -> None:
+def _sweep_worker_init(graph, panel: Tuple[Tuple[int, int], ...]) -> None:
     global _WORKER_STATE
+    if hasattr(graph, "materialize"):  # a shm GraphHandle descriptor
+        graph = graph.materialize()
     _WORKER_STATE = (graph, panel)
     _obs.maybe_init_worker()
 
@@ -293,17 +297,23 @@ def degradation_sweep(
             scenarios = [plans[key].scenario for key in pending]
             unique = list(dict.fromkeys(scenarios))
             _obs.counter("faults.scenario_dedup", len(scenarios) - len(unique))
-            unique_results = map_with_pool_recovery(
-                _sweep_worker_trial,
-                unique,
-                workers=workers,
-                initializer=_sweep_worker_init,
-                initargs=(graph, panel),
-                sequential=lambda tasks: [
-                    _evaluate_masked(graph, panel, scenario) for scenario in tasks
-                ],
-                context=f"degradation sweep {net.name}/{tag}",
-            )
+            from repro.topology.shm import export_graph
+
+            handle = export_graph(graph)
+            try:
+                unique_results = map_with_pool_recovery(
+                    _sweep_worker_trial,
+                    unique,
+                    workers=workers,
+                    initializer=_sweep_worker_init,
+                    initargs=(handle, panel),
+                    sequential=lambda tasks: [
+                        _evaluate_masked(graph, panel, scenario) for scenario in tasks
+                    ],
+                    context=f"degradation sweep {net.name}/{tag}",
+                )
+            finally:
+                handle.release()
             by_scenario.update(zip(unique, unique_results))
             results = [by_scenario[scenario] for scenario in scenarios]
             for key, result in zip(pending, results):

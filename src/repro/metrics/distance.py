@@ -58,13 +58,19 @@ def _bfs_over(adjacency: Dict[str, Set[str]], source: str) -> Dict[str, int]:
 
 @dataclass(frozen=True)
 class DistanceStats:
-    """Summary of pairwise server distances under one hop convention."""
+    """Summary of pairwise server distances under one hop convention.
+
+    ``mean_ci95`` is the 95% confidence half-width of ``mean`` when the
+    sweep was sampled (``exact`` is False), computed from the spread of
+    per-source mean distances; exact sweeps carry 0.0.
+    """
 
     diameter: int
     mean: float
     histogram: Dict[int, int]
     pairs: int
     exact: bool
+    mean_ci95: float = 0.0
 
     @property
     def p99(self) -> int:

@@ -4,22 +4,45 @@ Every distance experiment reduces to the same kernel: one BFS per source
 server, histogram the distances to all other servers, merge.  This
 module runs that kernel over the compiled views from
 :mod:`repro.topology.compiled` and fans the source set out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` in chunks — each worker
-receives the pickled CSR arrays **once** (pool initializer), not one
-network per task — then merges the per-chunk histograms, diameters and
-unreachable counts.
+:class:`~concurrent.futures.ProcessPoolExecutor` in chunks.  Workers do
+not receive a pickled graph: the pool initializer gets a
+:class:`~repro.topology.shm.GraphHandle` — the CSR arrays live once in
+shared memory (or in their memmap files) and every worker attaches
+zero-copy, so pool spin-up is O(graph), not O(workers x graph).
 
-The sequential path runs in-process when ``workers <= 1`` or the source
-set is too small for forking to pay off, and produces *identical*
-:class:`~repro.metrics.distance.DistanceStats` to the parallel path and
-to the legacy dict-BFS implementation (asserted by the parity tests in
-``tests/test_metrics_engine.py``).
+Two public entries:
+
+* :func:`sweep_graph_distance_stats` — **graph-native**: takes any
+  :class:`~repro.topology.compiled.CompiledGraph` /
+  :class:`~repro.topology.fastbuild.FastCompiledGraph` (or a
+  :class:`~repro.faults.mask.MaskedGraph`, swept through its alive-only
+  view), so million-server fast-built graphs are swept without ever
+  constructing a ``Network``.  Above ``AUTO_SAMPLE_THRESHOLD`` servers
+  it defaults to sampled-source estimation and reports a 95% confidence
+  interval on the mean (``DistanceStats.mean_ci95``).
+* :func:`sweep_distance_stats` — the legacy ``Network`` entry, now a
+  thin compile-then-delegate wrapper producing byte-identical
+  ``DistanceStats`` (asserted in ``tests/test_metrics_engine.py`` and
+  ``tests/test_engine_graph_native.py``).
+
+Three BFS kernels produce identical histograms (``resolve_kernel``
+picks; ``REPRO_SWEEP_KERNEL`` overrides):
+
+* ``bitpack`` — level-synchronous multi-source BFS with the frontier
+  bit-packed into uint64 words (64 sources per word, ~32x smaller
+  working set than the old dense int32 frontier); expansion is a CSR
+  gather + ``bitwise_or.reduceat``, histogramming is popcount.  The
+  default above ``BITPACK_AUTO_NODES`` nodes.
+* ``dense`` — the original scipy sparse-matmul block BFS (default for
+  small graphs, where its constants win).
+* ``flat`` — one BFS per source over the flat arrays (no scipy, or no
+  numpy at all).
 
 Worker-count resolution (``resolve_workers``): an explicit int wins; 0
 or a negative value means "all cores"; ``None`` falls back to the
-``REPRO_WORKERS`` environment variable, then the module default set by
-:func:`set_default_workers` (the experiment runner's ``--workers`` flag
-sets that default for a run).
+``REPRO_WORKERS`` environment variable (invalid values warn and fall
+back), then the module default set by :func:`set_default_workers` (the
+experiment runner's ``--workers`` flag sets that default for a run).
 """
 
 from __future__ import annotations
@@ -28,6 +51,7 @@ import math
 import os
 import pickle
 import random
+import sys
 import time
 import warnings
 from collections import Counter
@@ -41,16 +65,46 @@ from repro.topology.compiled import (
     HAVE_NUMPY,
     HAVE_SCIPY,
     CompiledGraph,
+    CSRGraphView,
     compile_graph,
     compile_server_projection,
 )
 from repro.topology.graph import Network
+
+if HAVE_NUMPY:
+    import numpy as _np
 
 #: below this many sources the fork/pickle overhead outweighs the fan-out.
 PARALLEL_THRESHOLD = 16
 
 #: seconds to back off before the single pool-recovery retry.
 POOL_RETRY_BACKOFF_S = 0.25
+
+#: above this many servers `sweep_graph_distance_stats` defaults to
+#: sampled-source estimation (exact all-pairs at 786k servers would be
+#: ~6 * 10^11 BFS-pair evaluations).  The Network wrapper never
+#: auto-samples: its legacy semantics are exact unless asked.
+AUTO_SAMPLE_THRESHOLD = 20_000
+
+#: sources drawn when auto-sampling kicks in.
+AUTO_SAMPLE_SOURCES = 1024
+
+#: the bit-packed kernel beats the scipy dense-frontier kernel once the
+#: dense (nodes x block) working set stops fitting in cache; below this
+#: node count the matmul's constants win.
+BITPACK_AUTO_NODES = 4096
+
+#: recognised kernel names (``resolve_kernel`` maps "auto" to a real one).
+SWEEP_KERNELS = ("auto", "bitpack", "dense", "flat")
+
+#: per-block working-set budget of the bit-packed kernel, in MB
+#: (gather buffer + frontier + visited + next); REPRO_SWEEP_BUDGET_MB
+#: overrides.
+SWEEP_BUDGET_MB = 192.0
+
+#: the bit-packed kernel maps word bits to source columns through a
+#: little-endian byte view; big-endian platforms fall back to "flat".
+_BITPACK_OK = HAVE_NUMPY and sys.byteorder == "little"
 
 #: exception classes that mean "the worker pool is unusable", not "the
 #: computation is wrong": a crashed/OOM-killed worker, an unpicklable
@@ -162,147 +216,374 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     """Resolve an effective worker count (see module docstring)."""
     if workers is None:
         env = os.environ.get("REPRO_WORKERS", "").strip()
-        workers = int(env) if env else _DEFAULT_WORKERS
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring invalid REPRO_WORKERS={env!r} (not an integer); "
+                    f"using the module default ({_DEFAULT_WORKERS})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                workers = _DEFAULT_WORKERS
+        else:
+            workers = _DEFAULT_WORKERS
     workers = int(workers)
     if workers <= 0:
         workers = os.cpu_count() or 1
     return workers
 
 
+def resolve_kernel(kernel: Optional[str] = None, graph: Optional[CompiledGraph] = None) -> str:
+    """Resolve a kernel name to a concrete, available kernel.
+
+    ``None`` reads ``REPRO_SWEEP_KERNEL`` (empty = "auto"); "auto" picks
+    bit-packed at ``BITPACK_AUTO_NODES``+ nodes, scipy dense below, flat
+    without scipy.  An explicit kernel that is unavailable on this
+    platform degrades to "flat" rather than failing — all kernels give
+    identical results.
+    """
+    if kernel is None:
+        kernel = os.environ.get("REPRO_SWEEP_KERNEL", "").strip().lower() or "auto"
+    if kernel not in SWEEP_KERNELS:
+        raise ValueError(
+            f"sweep kernel must be one of {SWEEP_KERNELS}, got {kernel!r}"
+        )
+    if kernel == "auto":
+        nodes = graph.num_nodes if graph is not None else 0
+        if _BITPACK_OK and nodes >= BITPACK_AUTO_NODES:
+            return "bitpack"
+        if HAVE_SCIPY:
+            return "dense"
+        return "flat"
+    if kernel == "bitpack" and not _BITPACK_OK:
+        return "flat"
+    if kernel == "dense" and not HAVE_SCIPY:
+        return "flat"
+    return kernel
+
+
 # ----------------------------------------------------------------------
-# the kernel: multi-source sweep -> (histogram, unreachable count)
+# the kernels: multi-source sweep ->
+#   (histogram, unreachable count, per-source sums, per-source reached)
 # ----------------------------------------------------------------------
 def _sweep_sources(
-    graph: CompiledGraph, sources: Sequence[int]
-) -> Tuple[Dict[int, int], int]:
+    graph: CompiledGraph,
+    sources: Sequence[int],
+    kernel: str = "auto",
+    per_source: bool = False,
+) -> Tuple[Dict[int, int], int, List[int], List[int]]:
     """Histogram of server->server distances from ``sources``.
 
     Distance 0 entries (the source itself) are excluded; unreachable
-    (src, dst) pairs are counted, not raised — the caller decides.
-
-    Kernel selection, fastest available first: batched multi-source BFS
-    via sparse matmul (scipy), per-source vectorised frontier BFS
-    (numpy), flat-array BFS (stdlib only).  All three produce identical
-    histograms — distances are unique, only the traversal differs.
+    (src, dst) pairs are counted, not raised — the caller decides.  With
+    ``per_source`` the last two elements carry, per source in input
+    order, the sum of its distances and its reached-target count (exact
+    ints, so every kernel returns bit-identical values) — the raw
+    material for the sampled-sweep confidence interval.
     """
-    if HAVE_SCIPY:
-        return _sweep_batched(graph, sources)
+    kernel = resolve_kernel(kernel, graph)
+    if kernel == "bitpack":
+        return _sweep_bitpack(graph, sources, per_source)
+    if kernel == "dense":
+        return _sweep_dense(graph, sources, per_source)
+    return _sweep_flat(graph, sources, per_source)
+
+
+def _merge_hist(acc, counts):
+    """Accumulate a bincount into the (growing) histogram array."""
+    if counts.size > acc.size:
+        counts = counts.astype(_np.int64, copy=True)
+        counts[: acc.size] += acc
+        return counts
+    acc += counts
+    return acc
+
+
+def _hist_dict(acc) -> Dict[int, int]:
+    return {int(h): int(c) for h, c in enumerate(acc) if c}
+
+
+def _sweep_flat(
+    graph: CompiledGraph, sources: Sequence[int], per_source: bool
+) -> Tuple[Dict[int, int], int, List[int], List[int]]:
+    """One BFS per source: vectorised frontier (numpy) or flat lists."""
     targets = graph.server_indices
     unreachable = 0
+    sums: List[int] = []
+    reached: List[int] = []
     if HAVE_NUMPY:
-        import numpy as np
-
-        acc = np.zeros(1, dtype=np.int64)
+        acc = _np.zeros(1, dtype=_np.int64)
         for src in sources:
             d = graph.bfs_distances(src)[targets]
             unreachable += int((d < 0).sum())
-            counts = np.bincount(d[d > 0], minlength=acc.size)
-            if counts.size > acc.size:
-                counts[: acc.size] += acc
-                acc = counts
-            else:
-                acc += counts
-        return {int(h): int(c) for h, c in enumerate(acc) if c}, unreachable
+            pos = d > 0
+            acc = _merge_hist(acc, _np.bincount(d[pos], minlength=acc.size))
+            if per_source:
+                sums.append(int(d[pos].sum()))
+                reached.append(int(pos.sum()))
+        return _hist_dict(acc), unreachable, sums, reached
     histogram: Counter = Counter()
     for src in sources:
         dist = graph.bfs_distances(src)
+        total = 0
+        count = 0
         for t in targets:
             hops = dist[t]
             if hops < 0:
                 unreachable += 1
             elif hops > 0:
                 histogram[hops] += 1
-    return dict(histogram), unreachable
+                total += hops
+                count += 1
+        if per_source:
+            sums.append(total)
+            reached.append(count)
+    return dict(histogram), unreachable, sums, reached
 
 
-def _sweep_batched(
-    graph: CompiledGraph, sources: Sequence[int]
-) -> Tuple[Dict[int, int], int]:
-    """Level-synchronous BFS over a *block* of sources at once.
+def _dense_block(nodes: int) -> int:
+    """Sources per dense block: caps the (nodes x block) int32 frontier."""
+    return int(min(max(8_000_000 // max(nodes, 1), 16), 1024))
 
-    The frontier of a whole source block is one dense (nodes x block)
-    matrix; expanding every frontier is a single sparse-matrix multiply,
-    so the per-level Python overhead is amortised over the block.  Block
-    size is capped to keep the working set a few megabytes regardless of
-    graph size.
+
+def _block_bfs_dense(mat, nodes: int, chunk):
+    """Level-synchronous BFS over one block of sources at once.
+
+    The frontier of the whole block is one dense (nodes x width) matrix;
+    expanding every frontier is a single sparse-matrix multiply, so the
+    per-level Python overhead is amortised over the block.  Returns the
+    (nodes x width) int32 distance matrix (-1 = unreachable).  Shared by
+    the all-pairs sweep and :func:`pairwise_distances` — this is the one
+    copy of the dense block-BFS loop.
     """
-    import numpy as np
+    width = len(chunk)
+    cols = _np.arange(width)
+    frontier = _np.zeros((nodes, width), dtype=_np.int32)
+    frontier[chunk, cols] = 1
+    visited = frontier > 0
+    dist = _np.full((nodes, width), -1, dtype=_np.int32)
+    dist[chunk, cols] = 0
+    level = 0
+    while True:
+        level += 1
+        fresh = (mat @ frontier) > 0
+        fresh &= ~visited
+        if not fresh.any():
+            break
+        dist[fresh] = level
+        visited |= fresh
+        frontier = fresh.astype(_np.int32)
+    return dist
 
+
+def _sweep_dense(
+    graph: CompiledGraph, sources: Sequence[int], per_source: bool
+) -> Tuple[Dict[int, int], int, List[int], List[int]]:
+    """Block BFS via scipy sparse matmul (the original batched kernel)."""
     mat = graph.sparse_adjacency()
     nodes = graph.num_nodes
-    targets = np.asarray(graph.server_indices)
-    source_arr = np.asarray(sources, dtype=np.int64)
-    block = int(min(max(8_000_000 // max(nodes, 1), 16), 1024))
-    acc = np.zeros(1, dtype=np.int64)
+    targets = _np.asarray(graph.server_indices, dtype=_np.int64)
+    source_arr = _np.asarray(sources, dtype=_np.int64)
+    block = _dense_block(nodes)
+    acc = _np.zeros(1, dtype=_np.int64)
     unreachable = 0
+    sums: List[int] = []
+    reached: List[int] = []
+    for lo in range(0, len(source_arr), block):
+        chunk = source_arr[lo : lo + block]
+        sub = _block_bfs_dense(mat, nodes, chunk)[targets, :]
+        unreachable += int((sub < 0).sum())
+        pos = sub > 0
+        acc = _merge_hist(acc, _np.bincount(sub[pos], minlength=acc.size))
+        if per_source:
+            sums.extend(
+                int(v) for v in _np.where(pos, sub, 0).sum(axis=0, dtype=_np.int64)
+            )
+            reached.extend(int(v) for v in pos.sum(axis=0))
+    return _hist_dict(acc), unreachable, sums, reached
+
+
+# -- the bit-packed kernel ---------------------------------------------
+if HAVE_NUMPY:
+    #: _BYTE_BITS[b, j] = bit j of byte b — turns per-byte-value counts
+    #: into per-bit counts with one (256 x 8) matmul.
+    _BYTE_BITS = _np.array(
+        [[(b >> j) & 1 for j in range(8)] for b in range(256)], dtype=_np.int64
+    )
+    if hasattr(_np, "bitwise_count"):
+
+        def _popcount_sum(a) -> int:
+            return int(_np.bitwise_count(a).sum())
+
+    else:  # pragma: no cover - numpy < 2.0
+        _POP8 = _np.array([bin(b).count("1") for b in range(256)], dtype=_np.uint8)
+
+        def _popcount_sum(a) -> int:
+            return int(_POP8[_np.ascontiguousarray(a).view(_np.uint8)].sum(dtype=_np.int64))
+
+
+def _per_source_counts(bits, width: int):
+    """Per-source set-bit counts of a (rows x words) uint64 bit matrix.
+
+    Column ``j`` of the packed matrix is source ``j``: byte ``p`` of the
+    little-endian word stream holds sources ``8p .. 8p+7``, so one
+    bincount per byte column + the byte->bit table recovers every
+    source's count without unpacking the matrix.
+    """
+    byte_cols = _np.ascontiguousarray(bits).view(_np.uint8).reshape(len(bits), -1)
+    out = _np.zeros(byte_cols.shape[1] * 8, dtype=_np.int64)
+    for p in range(byte_cols.shape[1]):
+        out[p * 8 : (p + 1) * 8] = (
+            _np.bincount(byte_cols[:, p], minlength=256) @ _BYTE_BITS
+        )
+    return out[:width]
+
+
+def _bitpack_block(nodes: int, entries: int) -> int:
+    """Sources per bit-packed block, from the working-set budget.
+
+    Each uint64 word column costs ``8 * (entries + 3 * nodes)`` bytes
+    (the gather buffer dominates); the budget caps that, and 64 words
+    (4096 sources) caps the per-level popcount work.  Even at 1M nodes
+    the block stays in the thousands — the dense kernel's cap at that
+    size is 16.
+    """
+    budget_mb = SWEEP_BUDGET_MB
+    env = os.environ.get("REPRO_SWEEP_BUDGET_MB", "").strip()
+    if env:
+        try:
+            budget_mb = float(env)
+        except ValueError:
+            pass
+    per_word = 8.0 * (entries + 3 * max(nodes, 1))
+    words = int(budget_mb * 1e6 // per_word)
+    return 64 * max(1, min(words, 64))
+
+
+class _BitExpander:
+    """Frontier expansion for the bit-packed kernel.
+
+    ``expand(frontier)[v] = OR of frontier[u] over u adjacent to v`` —
+    valid as the transpose-free form because the graphs are undirected
+    (CSR == its transpose).  Implemented as one gather of the neighbor
+    rows plus ``bitwise_or.reduceat`` over the row starts; degree-0 rows
+    (possible in masked views) get their start index clipped and their
+    output zeroed, since ``reduceat`` cannot express an empty slice.
+    """
+
+    __slots__ = ("neighbors", "starts", "zero_rows", "entries")
+
+    def __init__(self, graph: CompiledGraph) -> None:
+        offsets = _np.asarray(graph.offsets, dtype=_np.int64)
+        self.neighbors = _np.asarray(graph.neighbors, dtype=_np.int64)
+        self.entries = len(self.neighbors)
+        starts = offsets[:-1]
+        self.zero_rows = None
+        if self.entries:
+            degree = offsets[1:] - starts
+            if bool((degree == 0).any()):
+                self.zero_rows = degree == 0
+                starts = _np.minimum(starts, self.entries - 1)
+        self.starts = starts
+
+    def expand(self, frontier):
+        if not self.entries:
+            return _np.zeros_like(frontier)
+        gathered = frontier[self.neighbors]
+        nxt = _np.bitwise_or.reduceat(gathered, self.starts, axis=0)
+        if self.zero_rows is not None:
+            nxt[self.zero_rows] = 0
+        return nxt
+
+
+def _sweep_bitpack(
+    graph: CompiledGraph, sources: Sequence[int], per_source: bool
+) -> Tuple[Dict[int, int], int, List[int], List[int]]:
+    """Bit-packed level-synchronous multi-source BFS (see module docstring).
+
+    The frontier/visited sets of a whole block are (nodes x words)
+    uint64 matrices — 64 sources per word — so the working set is ~32x
+    smaller than the dense kernel's int32 frontier and the block size
+    grows to thousands of sources where dense is capped at 16.
+    Histogram increments are popcounts; distances never materialise.
+    """
+    expander = _BitExpander(graph)
+    nodes = graph.num_nodes
+    targets = _np.asarray(graph.server_indices, dtype=_np.int64)
+    source_arr = _np.asarray(sources, dtype=_np.int64)
+    block = _bitpack_block(nodes, expander.entries)
+    acc = _np.zeros(1, dtype=_np.int64)
+    unreachable = 0
+    sums: List[int] = []
+    reached: List[int] = []
+    one = _np.uint64(1)
     for lo in range(0, len(source_arr), block):
         chunk = source_arr[lo : lo + block]
         width = len(chunk)
-        cols = np.arange(width)
-        frontier = np.zeros((nodes, width), dtype=np.int32)
-        frontier[chunk, cols] = 1
-        visited = frontier > 0
-        dist = np.full((nodes, width), -1, dtype=np.int32)
-        dist[chunk, cols] = 0
+        words = (width + 63) // 64
+        col = _np.arange(width, dtype=_np.int64)
+        frontier = _np.zeros((nodes, words), dtype=_np.uint64)
+        frontier[chunk, col >> 6] = one << (col & 63).astype(_np.uint64)
+        visited = frontier.copy()
+        if per_source:
+            chunk_sums = _np.zeros(width, dtype=_np.int64)
+            chunk_reached = _np.zeros(width, dtype=_np.int64)
         level = 0
         while True:
             level += 1
-            fresh = (mat @ frontier) > 0
-            fresh &= ~visited
-            if not fresh.any():
+            nxt = expander.expand(frontier)
+            nxt &= ~visited
+            if not nxt.any():
                 break
-            dist[fresh] = level
-            visited |= fresh
-            frontier = fresh.astype(np.int32)
-        sub = dist[targets, :]
-        unreachable += int((sub < 0).sum())
-        counts = np.bincount(sub[sub > 0], minlength=acc.size)
-        if counts.size > acc.size:
-            counts[: acc.size] += acc
-            acc = counts
-        else:
-            acc += counts
-    return {int(h): int(c) for h, c in enumerate(acc) if c}, unreachable
+            hit = nxt[targets]
+            count = _popcount_sum(hit)
+            if count:
+                if level >= acc.size:
+                    grown = _np.zeros(level + 1, dtype=_np.int64)
+                    grown[: acc.size] = acc
+                    acc = grown
+                acc[level] += count
+                if per_source:
+                    per = _per_source_counts(hit, width)
+                    chunk_sums += level * per
+                    chunk_reached += per
+            visited |= nxt
+            frontier = nxt
+        unreachable += width * len(targets) - _popcount_sum(visited[targets])
+        if per_source:
+            sums.extend(int(v) for v in chunk_sums)
+            reached.extend(int(v) for v in chunk_reached)
+    return _hist_dict(acc), unreachable, sums, reached
 
 
 def pairwise_distances(
-    graph: CompiledGraph, pairs: Sequence[Tuple[int, int]]
+    graph: CompiledGraph,
+    pairs: Sequence[Tuple[int, int]],
+    kernel: Optional[str] = None,
 ) -> List[int]:
     """Hop distance for each ``(src, dst)`` node-index pair (-1 = unreachable).
 
-    Sources are deduplicated; with scipy present the distinct sources run
-    through the same block BFS as the all-pairs sweep — a panel of
-    hundreds of pairs costs a handful of sparse matmuls instead of one
-    full BFS per distinct source.  Used by the fault-routing experiments
-    for their shortest-path baselines.
+    Sources are deduplicated and run through the shared block-BFS
+    kernels: the bit-packed frontier when ``resolve_kernel`` picks it
+    (big graphs, or ``kernel="bitpack"``), else the dense scipy block
+    BFS — a panel of hundreds of pairs costs a handful of block
+    expansions instead of one full BFS per distinct source.  Used by the
+    fault-routing experiments for their shortest-path baselines.
     """
     sources = sorted({u for u, _ in pairs})
+    kernel = resolve_kernel(kernel, graph)
+    if kernel == "bitpack" and len(sources) >= 2:
+        return _pairwise_bitpack(graph, pairs, sources)
     dist: Dict[int, Sequence[int]] = {}
-    if HAVE_SCIPY and len(sources) >= 4:
-        import numpy as np
-
+    if kernel == "dense" and len(sources) >= 4:
         mat = graph.sparse_adjacency()
         nodes = graph.num_nodes
-        block = int(min(max(8_000_000 // max(nodes, 1), 16), 1024))
+        block = _dense_block(nodes)
         for lo in range(0, len(sources), block):
-            chunk = np.asarray(sources[lo : lo + block], dtype=np.int64)
-            width = len(chunk)
-            cols = np.arange(width)
-            frontier = np.zeros((nodes, width), dtype=np.int32)
-            frontier[chunk, cols] = 1
-            visited = frontier > 0
-            d = np.full((nodes, width), -1, dtype=np.int32)
-            d[chunk, cols] = 0
-            level = 0
-            while True:
-                level += 1
-                fresh = (mat @ frontier) > 0
-                fresh &= ~visited
-                if not fresh.any():
-                    break
-                d[fresh] = level
-                visited |= fresh
-                frontier = fresh.astype(np.int32)
+            chunk = _np.asarray(sources[lo : lo + block], dtype=_np.int64)
+            d = _block_bfs_dense(mat, nodes, chunk)
             for j, src in enumerate(sources[lo : lo + block]):
                 dist[src] = d[:, j]
     else:
@@ -311,23 +592,92 @@ def pairwise_distances(
     return [int(dist[u][v]) for u, v in pairs]
 
 
-# Worker-process state: the compiled graph arrives once via the pool
-# initializer and is reused by every chunk the worker executes.
+def _pairwise_bitpack(
+    graph: CompiledGraph, pairs: Sequence[Tuple[int, int]], sources: List[int]
+) -> List[int]:
+    """Pairwise distances through the bit-packed frontier.
+
+    Instead of materialising distance columns, each pair watches one
+    (row, word, bit) cell of the packed frontier and records the level
+    at which its destination's bit first appears.
+    """
+    expander = _BitExpander(graph)
+    nodes = graph.num_nodes
+    block = _bitpack_block(nodes, expander.entries)
+    position = {src: j for j, src in enumerate(sources)}
+    results = [-1] * len(pairs)
+    one = _np.uint64(1)
+    for lo in range(0, len(sources), block):
+        chunk = _np.asarray(sources[lo : lo + block], dtype=_np.int64)
+        width = len(chunk)
+        words = (width + 63) // 64
+        col = _np.arange(width, dtype=_np.int64)
+        frontier = _np.zeros((nodes, words), dtype=_np.uint64)
+        frontier[chunk, col >> 6] = one << (col & 63).astype(_np.uint64)
+        visited = frontier.copy()
+        watch_ids: List[int] = []
+        watch_row: List[int] = []
+        watch_word: List[int] = []
+        watch_mask: List[int] = []
+        for i, (u, v) in enumerate(pairs):
+            j = position[u]
+            if not lo <= j < lo + width:
+                continue
+            if u == v:
+                results[i] = 0
+                continue
+            watch_ids.append(i)
+            watch_row.append(v)
+            watch_word.append((j - lo) >> 6)
+            watch_mask.append(1 << ((j - lo) & 63))
+        ids = _np.asarray(watch_ids, dtype=_np.int64)
+        row = _np.asarray(watch_row, dtype=_np.int64)
+        word = _np.asarray(watch_word, dtype=_np.int64)
+        mask = _np.asarray(watch_mask, dtype=_np.uint64)
+        pending = _np.ones(len(ids), dtype=bool)
+        level = 0
+        while pending.any():
+            level += 1
+            nxt = expander.expand(frontier)
+            nxt &= ~visited
+            if not nxt.any():
+                break
+            found = pending & ((nxt[row, word] & mask) != 0)
+            for i in ids[found]:
+                results[int(i)] = level
+            pending &= ~found
+            visited |= nxt
+            frontier = nxt
+    return results
+
+
+# ----------------------------------------------------------------------
+# the worker pool: shared-memory graph hand-off
+# ----------------------------------------------------------------------
+# Worker-process state: the graph arrives once via the pool initializer
+# — as a GraphHandle attaching shared memory, or (legacy/test path) a
+# pickled graph — and is reused by every chunk the worker executes.
 _WORKER_GRAPH: Optional[CompiledGraph] = None
+_WORKER_KERNEL: str = "auto"
+_WORKER_PER_SOURCE: bool = False
 
 
-def _worker_init(graph: CompiledGraph) -> None:
-    global _WORKER_GRAPH
+def _worker_init(graph, kernel: str = "auto", per_source: bool = False) -> None:
+    global _WORKER_GRAPH, _WORKER_KERNEL, _WORKER_PER_SOURCE
+    if hasattr(graph, "materialize"):  # a shm GraphHandle descriptor
+        graph = graph.materialize()
     _WORKER_GRAPH = graph
+    _WORKER_KERNEL = kernel
+    _WORKER_PER_SOURCE = per_source
     _obs.maybe_init_worker()
 
 
-def _worker_sweep(sources: Sequence[int]) -> Tuple[Dict[int, int], int]:
+def _worker_sweep(sources: Sequence[int]):
     assert _WORKER_GRAPH is not None, "worker pool not initialised"
     with _obs.span("engine.batch", sources=len(sources)):
         _obs.counter("engine.batches")
         _obs.counter("engine.sources", len(sources))
-        return _sweep_sources(_WORKER_GRAPH, sources)
+        return _sweep_sources(_WORKER_GRAPH, sources, _WORKER_KERNEL, _WORKER_PER_SOURCE)
 
 
 def _chunk(sources: Sequence[int], workers: int) -> List[Sequence[int]]:
@@ -337,75 +687,178 @@ def _chunk(sources: Sequence[int], workers: int) -> List[Sequence[int]]:
 
 
 def _parallel_sweep(
-    graph: CompiledGraph, sources: Sequence[int], workers: int
-) -> Tuple[Dict[int, int], int]:
-    results = map_with_pool_recovery(
-        _worker_sweep,
-        _chunk(sources, workers),
-        workers=workers,
-        initializer=_worker_init,
-        initargs=(graph,),
-        sequential=lambda chunks: [_sweep_sources(graph, c) for c in chunks],
-        context="all-pairs distance sweep",
-    )
+    graph: CompiledGraph,
+    sources: Sequence[int],
+    workers: int,
+    kernel: str = "auto",
+    per_source: bool = False,
+) -> Tuple[Dict[int, int], int, List[int], List[int]]:
+    from repro.topology import shm as _shm
+
+    kernel = resolve_kernel(kernel, graph)
+    with _obs.span("engine.handoff", workers=workers):
+        handle = _shm.export_graph(CSRGraphView.of(graph))
+    try:
+        results = map_with_pool_recovery(
+            _worker_sweep,
+            _chunk(sources, workers),
+            workers=workers,
+            initializer=_worker_init,
+            initargs=(handle, kernel, per_source),
+            sequential=lambda chunks: [
+                _sweep_sources(graph, c, kernel, per_source) for c in chunks
+            ],
+            context="all-pairs distance sweep",
+        )
+    finally:
+        handle.release()
     merged: Counter = Counter()
     unreachable = 0
-    for histogram, missed in results:
+    sums: List[int] = []
+    reached: List[int] = []
+    for histogram, missed, chunk_sums, chunk_reached in results:
         merged.update(histogram)
         unreachable += missed
-    return dict(merged), unreachable
+        sums.extend(chunk_sums)
+        reached.extend(chunk_reached)
+    return dict(merged), unreachable, sums, reached
 
 
 # ----------------------------------------------------------------------
-# public entry point
+# public entry points
 # ----------------------------------------------------------------------
-def sweep_distance_stats(
-    net: Network,
-    hops: str = "link",
+def _mean_ci95(sums: Sequence[int], reached: Sequence[int]) -> float:
+    """95% CI half-width of the mean distance, from per-source stats.
+
+    Sources are the independent sampling unit, so the CI comes from the
+    spread of per-source mean distances (sources that reach nothing are
+    excluded — with drop semantics they contribute no pairs).  Inputs
+    are exact ints from the kernels, so the result is bit-identical
+    across kernels and across the parallel/sequential paths.
+    """
+    means = [s / r for s, r in zip(sums, reached) if r]
+    k = len(means)
+    if k < 2:
+        return 0.0
+    mu = sum(means) / k
+    var = sum((m - mu) ** 2 for m in means) / (k - 1)
+    return 1.96 * math.sqrt(var / k)
+
+
+def _graph_label(graph) -> str:
+    layout = getattr(graph, "layout", None)
+    if layout is not None:
+        return layout.label()
+    return f"<{type(graph).__name__}: {graph.num_servers} servers>"
+
+
+def sweep_graph_distance_stats(
+    graph,
+    *,
     sample_sources: Optional[int] = None,
     seed: int = 0,
     workers: Optional[int] = None,
+    kernel: Optional[str] = None,
+    unreachable: Optional[str] = None,
+    auto_sample: bool = True,
+    auto_sample_threshold: Optional[int] = None,
+    label: Optional[str] = None,
 ) -> DistanceStats:
-    """All-pairs (or sampled-source) server distance stats for ``net``.
+    """All-pairs (or sampled-source) server distance stats of a graph.
 
-    ``hops`` selects the compiled view: ``"link"`` (physical link hops
-    over the full graph) or ``"server"`` (logical server hops over the
-    server projection).  Sampling semantics, seeding and the resulting
-    :class:`DistanceStats` match the legacy pure-Python sweep exactly.
+    The graph-native sweep entry: ``graph`` is any
+    :class:`CompiledGraph` (including :class:`FastCompiledGraph` and
+    :class:`CSRGraphView`) — or a
+    :class:`~repro.faults.mask.MaskedGraph`, which is swept through its
+    alive-only :meth:`~repro.faults.mask.MaskedGraph.sweep_view` so
+    degraded topologies need no subgraph copy or recompile.
+
+    ``unreachable`` decides what an unreachable (src, dst) pair does:
+    ``"raise"`` (the default for plain graphs, matching the legacy
+    Network path) or ``"drop"`` (the default for masked graphs — the
+    pair is excluded from ``pairs`` and the mean).
+
+    With ``sample_sources`` the sweep runs one BFS per sampled source:
+    the diameter becomes a lower bound, the mean stays unbiased, and
+    ``DistanceStats.mean_ci95`` carries a 95% confidence half-width
+    from the per-source spread.  Above ``auto_sample_threshold``
+    servers (default :data:`AUTO_SAMPLE_THRESHOLD`) sampling of
+    :data:`AUTO_SAMPLE_SOURCES` sources becomes the default — exact
+    all-pairs at that scale must be requested via
+    ``auto_sample=False``.
     """
-    if hops == "link":
-        graph = compile_graph(net)
-    elif hops == "server":
-        graph = compile_server_projection(net)
+    if hasattr(graph, "sweep_view"):  # a MaskedGraph (duck-typed: no import cycle)
+        view = graph.sweep_view()
+        if unreachable is None:
+            unreachable = "drop"
+        if label is None:
+            label = f"masked {_graph_label(graph.graph)}"
     else:
-        raise ValueError(f"hops must be 'link' or 'server', got {hops!r}")
+        view = graph
+    if unreachable is None:
+        unreachable = "raise"
+    if unreachable not in ("raise", "drop"):
+        raise ValueError(
+            f"unreachable must be 'raise' or 'drop', got {unreachable!r}"
+        )
+    if label is None:
+        label = _graph_label(view)
 
-    server_names = [graph.names[i] for i in graph.server_indices]
-    if len(server_names) < 2:
+    servers = view.server_indices
+    num_servers = len(servers)
+    if num_servers < 2:
         return DistanceStats(diameter=0, mean=0.0, histogram={}, pairs=0, exact=True)
-    exact = sample_sources is None or sample_sources >= len(server_names)
-    if exact:
-        source_names: Sequence[str] = server_names
-    else:
-        source_names = random.Random(seed).sample(list(server_names), sample_sources)
-    source_idx = [graph.index[name] for name in source_names]
 
+    threshold = (
+        AUTO_SAMPLE_THRESHOLD if auto_sample_threshold is None else auto_sample_threshold
+    )
+    if sample_sources is None and auto_sample and num_servers > threshold:
+        sample_sources = min(AUTO_SAMPLE_SOURCES, num_servers)
+        _obs.event(
+            "auto-sample",
+            f"{label}: {num_servers} servers exceed the exact-sweep "
+            f"threshold; sampling {sample_sources} sources",
+            servers=num_servers,
+            sources=sample_sources,
+        )
+    exact = sample_sources is None or sample_sources >= num_servers
+    if exact:
+        source_idx = [int(i) for i in servers]
+    else:
+        # Sample *positions*, not names: random.sample picks the same
+        # positions for any equal-length population, so this matches the
+        # legacy sample-the-name-list semantics bit for bit without
+        # materialising a single name (LazyNames stays lazy).
+        positions = random.Random(seed).sample(range(num_servers), sample_sources)
+        source_idx = [int(servers[p]) for p in positions]
+
+    kernel_name = resolve_kernel(kernel, view)
+    per_source = not exact
     workers = resolve_workers(workers)
     with _obs.span(
-        "engine.sweep", hops=hops, sources=len(source_idx), workers=workers
+        "engine.sweep",
+        kernel=kernel_name,
+        sources=len(source_idx),
+        workers=workers,
+        exact=exact,
     ):
         if workers <= 1 or len(source_idx) < max(PARALLEL_THRESHOLD, 2 * workers):
             _obs.counter("engine.sources", len(source_idx))
-            histogram, unreachable = _sweep_sources(graph, source_idx)
+            histogram, missed, sums, reached = _sweep_sources(
+                view, source_idx, kernel_name, per_source
+            )
         else:
-            histogram, unreachable = _parallel_sweep(graph, source_idx, workers)
-    if unreachable:
+            histogram, missed, sums, reached = _parallel_sweep(
+                view, source_idx, workers, kernel_name, per_source
+            )
+    if missed and unreachable == "raise":
         raise ValueError(
-            f"{unreachable} (src, dst) server pairs unreachable "
-            f"in {net.name!r} ({hops} hops)"
+            f"{missed} (src, dst) server pairs unreachable in {label}"
         )
 
-    pairs = len(source_idx) * (len(server_names) - 1)
+    pairs = len(source_idx) * (num_servers - 1)
+    if unreachable == "drop":
+        pairs -= missed
     total = sum(h * c for h, c in histogram.items())
     return DistanceStats(
         diameter=max(histogram) if histogram else 0,
@@ -413,4 +866,39 @@ def sweep_distance_stats(
         histogram=dict(sorted(histogram.items())),
         pairs=pairs,
         exact=exact,
+        mean_ci95=_mean_ci95(sums, reached) if per_source else 0.0,
+    )
+
+
+def sweep_distance_stats(
+    net: Network,
+    hops: str = "link",
+    sample_sources: Optional[int] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> DistanceStats:
+    """All-pairs (or sampled-source) server distance stats for ``net``.
+
+    ``hops`` selects the compiled view: ``"link"`` (physical link hops
+    over the full graph) or ``"server"`` (logical server hops over the
+    server projection).  A thin compile-then-delegate wrapper over
+    :func:`sweep_graph_distance_stats`; sampling semantics, seeding and
+    the resulting :class:`DistanceStats` match the legacy pure-Python
+    sweep exactly (never auto-sampled, unreachable pairs raise).
+    """
+    if hops == "link":
+        graph = compile_graph(net)
+    elif hops == "server":
+        graph = compile_server_projection(net)
+    else:
+        raise ValueError(f"hops must be 'link' or 'server', got {hops!r}")
+    return sweep_graph_distance_stats(
+        graph,
+        sample_sources=sample_sources,
+        seed=seed,
+        workers=workers,
+        kernel=kernel,
+        auto_sample=False,
+        label=f"{net.name!r} ({hops} hops)",
     )

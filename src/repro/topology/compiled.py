@@ -451,6 +451,78 @@ class CompiledGraph:
         return self._rows
 
 
+class CSRGraphView(CompiledGraph):
+    """Kernel-only CSR view: the traversal arrays, nothing else.
+
+    The sweep engine's kernels touch exactly three arrays — ``offsets``,
+    ``neighbors`` and ``server_indices`` — yet a full
+    :class:`CompiledGraph` drags its name table, edge list and lookup
+    dict along whenever it is handed to a worker pool.  A view carries
+    only the arrays (node count kept explicitly, since there is no name
+    tuple to measure), so the shared-memory hand-off in
+    :mod:`repro.topology.shm` ships megabytes, not graph objects, and a
+    masked sweep (:meth:`repro.faults.mask.MaskedGraph.sweep_view`) can
+    splice in filtered arrays without inventing fake names.
+
+    Name/index lookups raise ``TypeError`` — a view is for kernels; use
+    the graph it was taken from for identity queries.
+    """
+
+    __slots__ = ("_num_nodes",)
+
+    def __init__(self, num_nodes: int, offsets, neighbors, server_indices) -> None:
+        self._num_nodes = int(num_nodes)
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.server_indices = server_indices
+        self.edge_u = ()
+        self.edge_v = ()
+        self.edge_capacity = ()
+        self._edge_lookup = None
+        self._sparse = None
+        self._rows = None
+        self._masked_template = None
+
+    @classmethod
+    def of(cls, graph: "CompiledGraph") -> "CSRGraphView":
+        """The kernel view of ``graph`` (identity when already a view)."""
+        if isinstance(graph, CSRGraphView):
+            return graph
+        return cls(
+            graph.num_nodes, graph.offsets, graph.neighbors, graph.server_indices
+        )
+
+    @property
+    def num_nodes(self) -> int:  # type: ignore[override]
+        return self._num_nodes
+
+    @property
+    def names(self):  # type: ignore[override]
+        raise TypeError(
+            "CSRGraphView is a kernel-only view and carries no node names; "
+            "query the graph it was taken from"
+        )
+
+    @property
+    def index(self):  # type: ignore[override]
+        raise TypeError(
+            "CSRGraphView is a kernel-only view and carries no name index; "
+            "query the graph it was taken from"
+        )
+
+    def __getstate__(self):
+        return (self._num_nodes, self.offsets, self.neighbors, self.server_indices)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CSRGraphView: {self.num_servers} servers, "
+            f"{self.num_nodes} nodes, {len(self.neighbors)} entries>"
+        )
+
+
 #: below this node count the pure-Python masked BFS beats the scipy
 #: slice-and-label round trip (measured on the quick-mode instances).
 _SCIPY_MASK_THRESHOLD = 192

@@ -64,6 +64,41 @@ class TestBuildFast:
         assert "topology.fastbuild" in names
 
 
+class TestSweep:
+    ABCCC_ARGS = ["-p", "n=3", "-p", "k=1", "-p", "s=2"]
+
+    def test_exact_sweep_summary(self, capsys):
+        assert main(["sweep", "abccc", *self.ABCCC_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "18 servers" in out
+        assert "diameter 8 link hops" in out
+        assert "exact" in out
+
+    def test_sampled_sweep_reports_lower_bound(self, capsys):
+        assert main(
+            ["sweep", "abccc", *self.ABCCC_ARGS, "--sample", "4", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "diameter >=" in out
+        assert "sampled" in out
+
+    def test_kernel_flag_accepted(self, capsys):
+        for kernel in ("bitpack", "dense", "flat"):
+            assert main(
+                ["sweep", "abccc", *self.ABCCC_ARGS, "--kernel", kernel]
+            ) == 0
+            assert "diameter 8 link hops" in capsys.readouterr().out
+
+    def test_sweep_trace_records_span(self, tmp_path, capsys):
+        from repro.obs.report import load_trace
+
+        trace = str(tmp_path / "sweep.trace.jsonl")
+        assert main(["sweep", "abccc", *self.ABCCC_ARGS, "--trace", trace]) == 0
+        assert "trace written" in capsys.readouterr().out
+        names = {e["name"] for e in load_trace(trace) if e["ev"] == "span"}
+        assert "engine.sweep" in names
+
+
 class TestRoute:
     def test_route_by_index(self, capsys):
         code = main(

@@ -131,6 +131,19 @@ class TestEngineKnobs:
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert resolve_workers(None) == 3
 
+    def test_garbage_env_warns_and_falls_back(self, monkeypatch):
+        import warnings
+
+        from repro.metrics.engine import get_default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS='lots'"):
+            assert resolve_workers(None) == get_default_workers()
+        # Explicit argument still wins, silently.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(2) == 2
+
     def test_zero_means_all_cores(self):
         import os
 

@@ -1,0 +1,137 @@
+"""Shared-memory graph hand-off: round-trips, pickling, release.
+
+A :class:`~repro.topology.shm.GraphHandle` must (a) reconstruct an
+equivalent graph after a pickle round-trip — that is the worker path —
+(b) reference memmap-backed arrays by filename instead of copying them
+into the segment, and (c) release its segment exactly once, after which
+materialization fails instead of silently reading freed memory.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import AbcccSpec
+from repro.metrics.engine import sweep_graph_distance_stats
+from repro.topology import shm
+from repro.topology.compiled import HAVE_NUMPY, CSRGraphView, compile_graph
+from repro.topology.fastbuild import FastCompiledGraph
+
+
+def _graph():
+    return compile_graph(AbcccSpec(3, 1, 2).build())
+
+
+def _assert_same_csr(got, want):
+    assert got.num_nodes == want.num_nodes
+    assert list(got.offsets) == list(want.offsets)
+    assert list(got.neighbors) == list(want.neighbors)
+    assert list(got.server_indices) == list(want.server_indices)
+
+
+class TestRoundTrips:
+    def test_view_roundtrip(self):
+        graph = _graph()
+        view = CSRGraphView.of(graph)
+        handle = shm.export_graph(view)
+        try:
+            got = handle.materialize()
+            assert isinstance(got, CSRGraphView)
+            _assert_same_csr(got, view)
+        finally:
+            handle.release()
+
+    def test_compiled_roundtrip_keeps_names(self):
+        graph = _graph()
+        handle = shm.export_graph(graph)
+        try:
+            got = handle.materialize()
+            assert type(got) is type(graph)
+            _assert_same_csr(got, graph)
+            assert tuple(got.names) == tuple(graph.names)
+            assert got.index == graph.index
+        finally:
+            handle.release()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="fastbuild requires numpy")
+    def test_fast_roundtrip(self):
+        graph = AbcccSpec(4, 2, 2).compiled()
+        assert isinstance(graph, FastCompiledGraph)
+        handle = shm.export_graph(graph)
+        try:
+            got = handle.materialize()
+            assert isinstance(got, FastCompiledGraph)
+            _assert_same_csr(got, graph)
+        finally:
+            handle.release()
+
+    def test_pickled_handle_materializes(self):
+        # The worker path: the handle crosses a process boundary as a
+        # tiny pickle; the arrays do not ride along.
+        graph = _graph()
+        view = CSRGraphView.of(graph)
+        handle = shm.export_graph(view)
+        try:
+            blob = pickle.dumps(handle)
+            if HAVE_NUMPY and handle.segment is not None:
+                assert len(blob) < 2_000
+                assert len(blob) < view.neighbors.nbytes
+            clone = pickle.loads(blob)
+            got = clone.materialize()
+            _assert_same_csr(got, view)
+            stats = sweep_graph_distance_stats(got)
+            assert stats.pairs > 0
+        finally:
+            handle.release()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="memmap requires numpy")
+    def test_memmap_arrays_referenced_by_file(self, tmp_path):
+        import numpy as np
+
+        graph = AbcccSpec(4, 2, 2).compiled(memmap_dir=str(tmp_path))
+        assert any(isinstance(a, np.memmap) for a in (graph.offsets, graph.neighbors))
+        handle = shm.export_graph(graph)
+        try:
+            assert any(ref[0] == "memmap" for ref in handle.refs)
+            got = pickle.loads(pickle.dumps(handle)).materialize()
+            _assert_same_csr(got, graph)
+        finally:
+            handle.release()
+
+
+class TestRelease:
+    def test_release_is_idempotent_and_tracked(self):
+        handle = shm.export_graph(CSRGraphView.of(_graph()))
+        if handle.segment is not None:
+            assert handle.segment in [name for name in shm.owned_segments()]
+        handle.release()
+        assert shm.owned_segments() == ()
+        assert handle.released
+        handle.release()  # second call is a no-op
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="segment only used with numpy")
+    def test_materialize_after_release_fails(self):
+        handle = shm.export_graph(CSRGraphView.of(_graph()))
+        if handle.segment is None:
+            pytest.skip("no shared memory on this platform")
+        handle.release()
+        clone = pickle.loads(pickle.dumps(handle))
+        with pytest.raises((FileNotFoundError, ValueError, OSError)):
+            clone.materialize()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="read-only views need numpy")
+    def test_materialized_arrays_are_read_only(self):
+        import numpy as np
+
+        handle = shm.export_graph(CSRGraphView.of(_graph()))
+        if handle.segment is None:
+            pytest.skip("no shared memory on this platform")
+        try:
+            got = pickle.loads(pickle.dumps(handle)).materialize()
+            arr = np.asarray(got.neighbors)
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[0] = 0
+        finally:
+            handle.release()
