@@ -1,0 +1,139 @@
+"""CI smoke for the serve daemon: full lifecycle against a real process.
+
+Starts ``repro serve`` as a subprocess, polls ``/healthz`` until ready,
+fires a burst of route + what-if queries (including one that must be
+shed under a deliberately tiny queue bound), then SIGTERMs the daemon
+and asserts a clean drain: exit code 0, the drain message on stdout, no
+traceback on stderr, and zero leaked shared-memory segments.
+
+Run from the repo root:  python scripts/serve_smoke.py
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.serve import ServeClient, ServeError  # noqa: E402
+
+SPAWN_TIMEOUT_S = 120
+
+
+def shm_segments():
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def main() -> int:
+    before = shm_segments()
+    ready_file = os.path.join(ROOT, "serve-smoke-ready.json")
+    trace_file = os.path.join(ROOT, "serve-smoke.trace.jsonl")
+    for stale in (ready_file, trace_file):
+        if os.path.exists(stale):
+            os.unlink(stale)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "abccc",
+            "-p", "n=4", "-p", "k=2", "-p", "s=2",
+            "--workers", "2",
+            "--queue", "2",  # tiny on purpose: the burst must shed
+            "--port", "0",
+            "--ready-file", ready_file,
+            "--trace", trace_file,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+    deadline = time.monotonic() + SPAWN_TIMEOUT_S
+    while time.monotonic() < deadline and not os.path.exists(ready_file):
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise SystemExit(f"daemon died during startup:\n{out}\n{err}")
+        time.sleep(0.1)
+    assert os.path.exists(ready_file), "daemon never wrote the ready file"
+    with open(ready_file, encoding="utf-8") as handle:
+        port = json.load(handle)["port"]
+    print(f"daemon ready on port {port}")
+
+    client = ServeClient(port=port, retries=4, backoff_base_s=0.05, seed=0)
+    state = client.health()
+    assert state["status"] == "serving", state
+    assert client.ready()
+
+    # -- correctness burst ---------------------------------------------
+    route = client.route("0", "100")
+    assert route["status"] == "ok" and route["reachable"], route
+    assert len(route["path"]) == route["link_hops"] + 1
+    detour = client.route("0", "100", avoid=[route["path"][1]])
+    assert route["path"][1] not in detour["path"], detour
+    whatif = client.whatif(dead_switches=[route["path"][1]], sample_pairs=100)
+    assert whatif["status"] in ("ok", "degraded"), whatif
+    print(
+        f"route {route['link_hops']} hops; what-if: "
+        f"{whatif['alive_servers']}/{whatif['num_servers']} alive, "
+        f"lcf {whatif['largest_component_fraction']}"
+    )
+
+    # -- overload burst: the tiny queue must shed, never hang ----------
+    outcomes = []
+
+    def hammer(slot: int) -> None:
+        c = ServeClient(port=port, retries=0, timeout_s=60, seed=slot)
+        try:
+            c.whatif(
+                dead_servers=[f"s0.0.{slot}/0"],
+                sample_pairs=100_000,  # max-cost request: keeps workers busy
+            )
+            outcomes.append("ok")
+        except ServeError as error:
+            outcomes.append(error.code)
+        finally:
+            c.close()
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(12)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=SPAWN_TIMEOUT_S)
+        assert not t.is_alive(), "a burst request hung"
+    shed = outcomes.count("overload")
+    print(f"burst outcomes: {sorted(outcomes)} ({shed} shed)")
+    assert shed >= 1, f"tiny queue never shed: {outcomes}"
+    assert "internal" not in outcomes, outcomes
+
+    stats = client.stats()
+    assert stats["counters"]["shed_overload"] >= 1, stats["counters"]
+    client.close()
+
+    # -- SIGTERM drain --------------------------------------------------
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=SPAWN_TIMEOUT_S)
+    assert proc.returncode == 0, f"exit {proc.returncode}:\n{err}"
+    assert "drained and stopped" in out, out
+    assert "Traceback" not in err, err
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shm segments: {leaked}"
+    os.unlink(ready_file)
+    assert os.path.exists(trace_file), "trace file missing"
+    print("serve smoke: OK (clean drain, no leaked segments)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

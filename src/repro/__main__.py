@@ -1,7 +1,14 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+The ``__name__`` guard is load-bearing: ``repro serve`` workers use the
+``spawn`` start method, which re-executes the parent's main module in
+each child (as ``__mp_main__``) — without the guard every worker would
+re-run the CLI.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

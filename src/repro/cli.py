@@ -31,14 +31,27 @@ Commands:
   journal survives a timeout, so ``--resume`` finishes the run),
   ``--trace`` writes a JSONL span trace (``repro.obs``) and
   ``--profile`` dumps a cProfile per experiment.
+* ``serve KIND --params … [--port N | --unix PATH] [--workers N]`` —
+  the always-on topology query daemon: compiles the graph once and
+  answers ``/route``, ``/distance`` and ``/whatif`` queries over HTTP
+  until SIGTERM drains it (see docs/OPERATIONS.md).
 * ``obs report TRACE… [--slowest N]`` — per-phase wall-time breakdown,
   slowest spans, worker utilization, cache hit rates and peak RSS of
   one or more trace files (see docs/OBSERVABILITY.md).
+
+Error handling contract: user-level mistakes — unknown topology kind,
+malformed ``--param``, a ``--memmap`` path that is not a usable
+directory, a missing input file — exit with status **2** and a
+one-line ``repro: error: …`` message on stderr, never a traceback
+(``REPRO_DEBUG=1`` re-raises for debugging).  Argparse's own usage
+errors also exit 2, so scripts can treat 2 uniformly as "bad
+invocation".
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -46,16 +59,20 @@ from repro.topology.registry import available, create, spec_class
 from repro.topology.validate import find_problems
 
 
+class CliError(Exception):
+    """A user-facing CLI mistake: one-line stderr message, exit code 2."""
+
+
 def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
     params: Dict[str, Any] = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"bad parameter {pair!r}; expected name=value")
+            raise CliError(f"bad parameter {pair!r}; expected name=value")
         name, _, value = pair.partition("=")
         try:
             params[name] = int(value)
         except ValueError:
-            raise SystemExit(f"parameter {name!r} must be an integer, got {value!r}")
+            raise CliError(f"parameter {name!r} must be an integer, got {value!r}")
     return params
 
 
@@ -190,7 +207,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         try:
             return servers[int(token)]
         except (ValueError, IndexError):
-            raise SystemExit(f"{token!r} is neither a server name nor an index")
+            raise CliError(f"{token!r} is neither a server name nor an index")
 
     src, dst = resolve(args.src), resolve(args.dst)
     route = spec.route(net, src, dst)
@@ -250,7 +267,13 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
     spec = create(args.kind, **_parse_params(args.param))
     net = spec.build()
     config = LayoutConfig(rack_capacity=args.rack_capacity)
-    print(build_manifest(net, config).render())
+    manifest = build_manifest(net, config)
+    if args.json:
+        import json
+
+        print(json.dumps(manifest.to_json(), indent=2, sort_keys=True))
+    else:
+        print(manifest.render())
     return 0
 
 
@@ -334,6 +357,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profile=args.profile or None,
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the always-on topology query daemon (docs/OPERATIONS.md)."""
+    from repro.obs import trace as obs_trace
+    from repro.serve import Daemon, ServeConfig, TopologyService
+
+    if args.workers < 0:
+        raise CliError(f"--workers must be >= 0, got {args.workers}")
+    if args.queue < 1:
+        raise CliError(f"--queue must be >= 1, got {args.queue}")
+    if args.deadline_ms < 1:
+        raise CliError(f"--deadline-ms must be >= 1, got {args.deadline_ms}")
+    if args.memmap is not None and os.path.exists(args.memmap) and not os.path.isdir(args.memmap):
+        raise CliError(f"--memmap {args.memmap!r} exists and is not a directory")
+    spec = create(args.kind, **_parse_params(args.param))
+    config = ServeConfig(
+        workers=args.workers,
+        queue_bound=args.queue,
+        default_deadline_s=args.deadline_ms / 1000.0,
+        hang_timeout_s=args.hang_timeout,
+        drain_timeout_s=args.drain_timeout,
+        scenario_cache=args.scenario_cache,
+    )
+    tracer = obs_trace.Tracer(path=args.trace) if args.trace else None
+    previous = obs_trace.set_tracer(tracer) if tracer else None
+    try:
+        graph = spec.compiled(memmap_dir=args.memmap)
+        service = TopologyService(graph, config, label=spec.label)
+        daemon = Daemon(
+            service,
+            host=args.host,
+            port=args.port,
+            unix=args.unix,
+            ready_file=args.ready_file,
+        )
+        switches = graph.num_nodes - graph.num_servers
+        print(
+            f"{spec.label}: serving {graph.num_servers} servers / {switches} switches "
+            f"on {daemon.front.endpoint} (pid {os.getpid()}, "
+            f"{config.workers or 'inline'} workers)",
+            flush=True,
+        )
+        code = daemon.run()
+        print("drained and stopped", flush=True)
+        return code
+    finally:
+        if tracer is not None:
+            obs_trace.set_tracer(previous)
+            tracer.close()
+            print(f"trace written to {args.trace}", flush=True)
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -443,6 +517,8 @@ def build_parser() -> argparse.ArgumentParser:
     manifest.add_argument("kind", choices=available())
     manifest.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
     manifest.add_argument("--rack-capacity", type=int, default=40)
+    manifest.add_argument("--json", action="store_true",
+                          help="emit the machine-readable manifest")
     manifest.set_defaults(fn=_cmd_manifest)
 
     planner = sub.add_parser("plan", help="find ABCCC configs for requirements")
@@ -462,6 +538,76 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
     report.add_argument("--max-measure-nodes", type=int, default=2000)
     report.set_defaults(fn=_cmd_report)
+
+    serve = sub.add_parser("serve", help="always-on topology query daemon")
+    serve.add_argument("kind", choices=available())
+    serve.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (default 0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--unix", default=None, metavar="PATH", help="serve on a unix socket instead"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes answering queries (0 = inline threads)",
+    )
+    serve.add_argument(
+        "--queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="pending-request bound before shedding with 429",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=10_000,
+        help="default per-request deadline (clients may lower it)",
+    )
+    serve.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="kill + restart a worker that answers nothing for S seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=15.0,
+        metavar="S",
+        help="SIGTERM: wait up to S seconds for in-flight requests",
+    )
+    serve.add_argument(
+        "--scenario-cache",
+        type=int,
+        default=64,
+        metavar="N",
+        help="what-if MaskedGraph LRU entries per worker",
+    )
+    serve.add_argument(
+        "--memmap",
+        default=None,
+        metavar="DIR",
+        help="back the CSR arrays with memory-mapped files in DIR",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write {endpoint, pid} JSON here once ready (for scripts)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span trace of the serving session",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     sub.add_parser("experiments", help="list the evaluation suite").set_defaults(
         fn=_cmd_experiments
@@ -520,7 +666,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+    except (CliError, ValueError, KeyError, OSError, NotImplementedError) as error:
+        # User-level mistakes exit 2 with a one-line message, matching
+        # argparse's own usage errors; REPRO_DEBUG=1 re-raises so
+        # developers still get the traceback.
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        message = str(error) or type(error).__name__
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -93,6 +93,38 @@ class DeploymentManifest:
             lines.append(f"  … {len(self.cables) - max_cables} more cables")
         return "\n".join(lines)
 
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable manifest (what ``repro manifest --json`` emits).
+
+        The rack-death what-if workflow reads this to map a physical
+        rack to the node names it takes down, then feeds those to the
+        serve daemon's ``/whatif`` endpoint.
+        """
+        return {
+            "network": self.network_name,
+            "num_racks": self.num_racks,
+            "total_cable_length_m": round(self.total_cable_length, 3),
+            "racks": [
+                {
+                    "rack": bom.rack,
+                    "servers": list(bom.servers),
+                    "switches": list(bom.switches),
+                }
+                for bom in self.racks
+            ],
+            "cables": [
+                {
+                    "u": cable.u,
+                    "v": cable.v,
+                    "rack_u": cable.rack_u,
+                    "rack_v": cable.rack_v,
+                    "length_m": round(cable.length, 3),
+                    "intra_rack": cable.intra_rack,
+                }
+                for cable in self.cables
+            ],
+        }
+
 
 def build_manifest(
     net: Network, config: Optional[LayoutConfig] = None

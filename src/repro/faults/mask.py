@@ -194,6 +194,80 @@ class MaskedGraph:
             members[label] = members.get(label, 0) + 1
         return max(members.values()) / alive_total
 
+    def alive_server_indices(self):
+        """Node ids of alive servers, insertion order (flat int sequence)."""
+        servers = self.graph.server_indices
+        alive = self.node_alive
+        if HAVE_NUMPY:
+            servers = _np.asarray(servers)
+            mask = _np.asarray(alive, dtype=bool)[servers.astype(_np.int64)]
+            return servers[mask]
+        return array("q", (int(i) for i in servers if alive[i]))
+
+    def connection_ratio_indexed(self, sample_pairs: int = 200, seed: int = 0) -> float:
+        """Sampled pair-connectivity ratio over server *indices*.
+
+        Same estimator as :meth:`connection_ratio` but the RNG draws
+        positions into the alive-server index array instead of names,
+        so no name string is ever materialised — this is the query
+        path for million-server fast-built graphs whose name tables
+        are lazy.  (The draws differ from :meth:`connection_ratio` for
+        the same seed: that method samples the *name list* to stay
+        bit-identical with the legacy protocol.)
+        """
+        alive_idx = self.alive_server_indices()
+        count = len(alive_idx)
+        if count < 2:
+            return 0.0
+        rng = random.Random(seed)
+        labels = self.component_labels()
+        connected = 0
+        for _ in range(sample_pairs):
+            a, b = rng.sample(range(count), 2)
+            if labels[int(alive_idx[a])] == labels[int(alive_idx[b])]:
+                connected += 1
+        return connected / sample_pairs
+
+    def cut_off_servers(self, limit: int = 10):
+        """Alive servers outside the largest alive component.
+
+        Returns ``(count, names)`` where ``names`` holds at most
+        ``limit`` examples (insertion order) — the "what breaks if this
+        rack dies" answer: servers that survive the failure but lose
+        the majority partition.  ``(0, [])`` when no server survives.
+        """
+        labels = self.component_labels()
+        if HAVE_NUMPY:
+            servers = _np.asarray(self.graph.server_indices).astype(_np.int64)
+            server_labels = _np.asarray(labels)[servers]
+            alive = server_labels >= 0
+            if not bool(alive.any()):
+                return 0, []
+            majority = int(_np.bincount(server_labels[alive]).argmax())
+            cut = alive & (server_labels != majority)
+            count = int(cut.sum())
+            names = self.graph.names
+            examples = [names[int(i)] for i in servers[cut][:limit]]
+            return count, examples
+        counts: Dict[int, int] = {}
+        for server in self.graph.server_indices:
+            label = int(labels[server])
+            if label >= 0:
+                counts[label] = counts.get(label, 0) + 1
+        if not counts:
+            return 0, []
+        majority = max(counts, key=lambda label: (counts[label], -label))
+        names = self.graph.names
+        count = 0
+        examples: List[str] = []
+        for server in self.graph.server_indices:
+            label = int(labels[server])
+            if label >= 0 and label != majority:
+                count += 1
+                if len(examples) < limit:
+                    examples.append(names[int(server)])
+        return count, examples
+
     def connection_ratio(self, sample_pairs: int = 200, seed: int = 0) -> float:
         """Fraction of sampled alive server pairs still mutually reachable.
 

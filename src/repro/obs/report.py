@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 _NUMERIC = (int, float)
 
 #: event types defined by schema version 1 (see docs/OBSERVABILITY.md).
-KNOWN_EVENTS = ("meta", "span", "counters", "rss", "warning")
+KNOWN_EVENTS = ("meta", "span", "counters", "rss", "warning", "note")
 
 
 def load_trace(path: str) -> List[Dict[str, Any]]:
@@ -103,9 +103,9 @@ def validate_trace(events: Sequence[Dict[str, Any]]) -> List[str]:
             for name in ("rss_mb", "peak_mb"):
                 if not isinstance(event.get(name), _NUMERIC):
                     problems.append(f"{where}: rss without numeric {name!r}")
-        elif kind == "warning":
+        elif kind in ("warning", "note"):
             if not isinstance(event.get("kind"), str):
-                problems.append(f"{where}: warning without 'kind'")
+                problems.append(f"{where}: {kind} without 'kind'")
     for i, pid, parent in parents:
         if parent not in spans_by_pid.get(pid, ()):
             problems.append(f"event {i}: span parent {parent} not emitted by pid {pid}")
@@ -154,6 +154,7 @@ class TraceSummary:
     pools: List[PoolStats] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     warnings: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[Dict[str, Any]] = field(default_factory=list)
 
     def slowest(self, n: int = 10) -> List[Dict[str, Any]]:
         return sorted(self.spans, key=lambda s: -s.get("dur", 0.0))[:n]
@@ -195,6 +196,8 @@ def summarize(events: Sequence[Dict[str, Any]]) -> TraceSummary:
                     summary.peak_rss_mb = float(peak)
         elif kind == "warning":
             summary.warnings.append(event)
+        elif kind == "note":
+            summary.notes.append(event)
     for values in counters_by_pid.values():
         for name, value in values.items():
             summary.counters[name] = summary.counters.get(name, 0) + value
@@ -341,6 +344,15 @@ def render_report(path: str, summary: TraceSummary, slowest: int = 10) -> str:
             )
     else:
         lines.append("warnings: none")
+    if summary.notes:
+        kinds: Dict[str, int] = {}
+        for note in summary.notes:
+            key = str(note.get("kind", "?"))
+            kinds[key] = kinds.get(key, 0) + 1
+        breakdown = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(kinds.items())
+        )
+        lines.append(f"notes ({len(summary.notes)}): {breakdown}")
     return "\n".join(lines)
 
 

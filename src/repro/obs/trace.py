@@ -301,9 +301,13 @@ class Tracer:
             self._counters[name] = self._counters.get(name, 0) + inc
 
     def event(self, kind: str, message: str = "", **data: Any) -> None:
+        # Anything that is not a failure-ish warning travels as a
+        # generic "note" so the trace schema stays closed: new kinds
+        # (serve lifecycle, auto-sample decisions, gauges) never make a
+        # trace invalid.
         self._emit(
             {
-                "ev": "warning" if kind in ("degraded-mode", "pool-retry") else kind,
+                "ev": "warning" if kind in ("degraded-mode", "pool-retry") else "note",
                 "t": time.perf_counter(),
                 "kind": kind,
                 "message": message,

@@ -1,0 +1,28 @@
+"""``repro.serve``: the fault-tolerant always-on topology query service.
+
+A long-running daemon (``repro serve KIND …``) loads a compiled graph
+once and answers route / distance / what-if queries over HTTP (TCP or
+unix socket), treating robustness as the product: structured error
+taxonomy with per-request deadlines, a bounded queue with load-shedding
+backpressure, a supervisor that restarts crashed or hung workers with
+exponential backoff, graceful SIGTERM drain, and a retrying client.
+
+See ``docs/OPERATIONS.md`` for running it and the layer map in
+:mod:`repro.serve.server`.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import ServeError, scenario_key
+from repro.serve.scenario import ScenarioCache
+from repro.serve.server import Daemon, HTTPFrontEnd, ServeConfig, TopologyService
+
+__all__ = [
+    "Daemon",
+    "HTTPFrontEnd",
+    "ScenarioCache",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "TopologyService",
+    "scenario_key",
+]

@@ -1,0 +1,265 @@
+"""Bundled client for the topology query service.
+
+Implements the retry discipline the service's error taxonomy is
+designed for, so every consumer (CLI, smoke tests, chaos suite) gets
+correct behavior instead of re-inventing it:
+
+* **only retryable errors retry** — 429/503/504 (and transport-level
+  connect/reset failures); a 400 ``bad-request`` raises immediately,
+  a 500 ``internal`` raises after one retry is attempted at most zero
+  times (it is flagged non-retryable by the server);
+* **server hints win** — a ``Retry-After`` header (the shed path
+  always sends one) overrides the client's own backoff schedule;
+* **exponential backoff with jitter** — ``backoff_base_s * 2^attempt``
+  capped at ``backoff_max_s``, plus a uniform jitter fraction so a
+  shed burst of clients does not re-arrive in lockstep (the thundering
+  herd the bounded queue exists to absorb);
+* **idempotency keys** — each logical request carries one opaque
+  ``X-Request-Key`` that *stays fixed across its retries*: when a
+  timed-out request actually completed server-side, the retry replays
+  the stored answer instead of recomputing it.
+
+Transport is stdlib ``http.client`` over TCP or a unix socket; no
+external dependencies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import random
+import socket
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.serve.protocol import IDEMPOTENCY_HEADER, ServeError, decode, encode
+
+#: transport failures worth retrying (server gone mid-connection).
+_RETRYABLE_IO = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.CannotSendRequest,
+    socket.timeout,
+)
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self._path)
+
+
+class ServeClient:
+    """Retrying JSON client; one instance per target endpoint.
+
+    Not thread-safe (one underlying connection); create one client per
+    thread.  ``seed`` makes the jitter deterministic for tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix: Optional[str] = None,
+        retries: int = 5,
+        backoff_base_s: float = 0.1,
+        backoff_max_s: float = 2.0,
+        jitter: float = 0.25,
+        timeout_s: float = 30.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if (port is None) == (unix is None):
+            raise ValueError("pass exactly one of port= or unix=")
+        self.host = host
+        self.port = port
+        self.unix = unix
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.jitter = jitter
+        self.timeout_s = timeout_s
+        self._rng = random.Random(seed)
+        self._conn: Optional[http.client.HTTPConnection] = None
+        #: (attempts made, sleeps taken) of the last request — chaos
+        #: tests assert on these.
+        self.last_attempts = 0
+        self.last_sleeps: List[float] = []
+
+    # -- transport ------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            if self.unix is not None:
+                self._conn = _UnixHTTPConnection(self.unix, timeout=self.timeout_s)
+            else:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout_s
+                )
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]],
+        key: Optional[str],
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        conn = self._connection()
+        headers = {"Content-Type": "application/json"}
+        if key is not None:
+            headers[IDEMPOTENCY_HEADER] = key
+        conn.request(
+            method, path, body=encode(body) if body is not None else None, headers=headers
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        retry_after: Optional[float] = None
+        header = response.getheader("Retry-After")
+        if header:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        try:
+            payload = decode(raw) if raw else {}
+        except ServeError:
+            payload = {"error": {"code": "internal", "message": "unparseable body"}}
+        return response.status, payload, retry_after
+
+    def _sleep_for(self, attempt: int, hint: Optional[float]) -> float:
+        backoff = min(self.backoff_base_s * (2 ** attempt), self.backoff_max_s)
+        delay = max(hint, backoff) if hint is not None else backoff
+        delay *= 1.0 + self.jitter * self._rng.random()
+        return delay
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        idempotent: bool = True,
+    ) -> Dict[str, Any]:
+        """One logical request with retries; returns the response payload.
+
+        Raises the last :class:`ServeError` when retries are exhausted
+        (code preserved, so callers can still branch on the taxonomy).
+        """
+        key = os.urandom(8).hex() if idempotent else None
+        self.last_attempts = 0
+        self.last_sleeps = []
+        last_error: Optional[ServeError] = None
+        for attempt in range(self.retries + 1):
+            self.last_attempts = attempt + 1
+            hint: Optional[float] = None
+            try:
+                status, payload, hint = self._once(method, path, body, key)
+                if status < 400:
+                    return payload
+                error = ServeError.from_payload(payload)
+                if error.retry_after_s is None and hint is not None:
+                    error.retry_after_s = hint
+                last_error = error
+                if not error.retryable or (error.code == "timeout" and not idempotent):
+                    raise error
+            except ServeError:
+                raise
+            except _RETRYABLE_IO as io_error:
+                self._drop_connection()
+                last_error = ServeError(
+                    "unavailable", f"transport failure: {io_error!r}"
+                )
+            if attempt < self.retries:
+                delay = self._sleep_for(attempt, last_error.retry_after_s)
+                self.last_sleeps.append(delay)
+                time.sleep(delay)
+        raise last_error
+
+    # -- the API --------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        try:
+            return bool(self.request("GET", "/readyz", idempotent=True).get("ready"))
+        except ServeError:
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def route(
+        self,
+        src: str,
+        dst: str,
+        avoid: Optional[Sequence[str]] = None,
+        scenario: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"src": src, "dst": dst}
+        if avoid:
+            body["avoid"] = list(avoid)
+        if scenario:
+            body["scenario"] = dict(scenario)
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self.request("POST", "/route", body)
+
+    def distance(
+        self,
+        src: str,
+        dst: str,
+        scenario: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"src": src, "dst": dst}
+        if scenario:
+            body["scenario"] = dict(scenario)
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self.request("POST", "/distance", body)
+
+    def whatif(
+        self,
+        dead_servers: Optional[Sequence[str]] = None,
+        dead_switches: Optional[Sequence[str]] = None,
+        dead_links: Optional[Sequence[Sequence[str]]] = None,
+        sample_pairs: int = 200,
+        seed: int = 0,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "dead_servers": list(dead_servers or ()),
+            "dead_switches": list(dead_switches or ()),
+            "dead_links": [list(pair) for pair in (dead_links or ())],
+            "sample_pairs": sample_pairs,
+            "seed": seed,
+        }
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self.request("POST", "/whatif", body)

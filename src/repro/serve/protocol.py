@@ -1,0 +1,295 @@
+"""Wire protocol of the topology query service: errors, requests, scenarios.
+
+The service speaks JSON over HTTP (TCP or unix socket).  Everything a
+client and a worker must agree on lives here, importable without
+touching the server machinery:
+
+* the **error taxonomy** — every failure a request can hit maps to one
+  :class:`ServeError` code with a fixed HTTP status and a ``retryable``
+  bit, so clients never have to pattern-match message strings:
+
+  ============= ====== ========= =============================================
+  code          status retryable meaning
+  ============= ====== ========= =============================================
+  bad-request   400    no        malformed query (unknown op/name, bad value)
+  timeout       504    yes*      the per-request deadline elapsed
+  overload      429    yes       bounded queue full — shed, come back later
+  unavailable   503    yes       not ready / draining / worker lost mid-request
+  internal      500    no        unexpected server-side failure (no traceback
+                                 ever crosses the wire — message only)
+  ============= ====== ========= =============================================
+
+  (*timeouts are retryable because every query here is a read — retried
+  work is wasted, never wrong; pair retries with an idempotency key so
+  the server can replay a completed answer instead of recomputing.)
+
+  **Degraded is not an error.**  A route between servers that a failure
+  scenario disconnected, or a what-if that kills every server, is a
+  *correct answer about a degraded topology*: it returns HTTP 200 with
+  ``status: "degraded"`` and a ``degraded_reason``, *never* a 5xx.
+  Treating degraded-mode answers as results (Couto et al.'s reliability
+  framing) is what makes the service useful during the failures it
+  exists to model.
+
+* **request validation** — :func:`parse_query` normalises a decoded
+  JSON body / query-string dict into the canonical request dict the
+  workers execute, raising ``bad-request`` errors with one-line
+  messages on anything malformed;
+
+* **scenario canonicalisation** — :func:`scenario_key` reduces a
+  what-if's dead sets to a hashable, order-insensitive key so the
+  MaskedGraph LRU (:mod:`repro.serve.scenario`) caches ``{a,b}`` and
+  ``{b,a}`` as one entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.faults.plan import FailureScenario
+
+#: bump on incompatible changes to the request/response JSON shapes.
+PROTOCOL_VERSION = 1
+
+#: operations the service understands (``ping`` is internal: readiness).
+OPS = ("route", "distance", "whatif", "ping")
+
+#: header carrying the client's idempotency key (any opaque string).
+IDEMPOTENCY_HEADER = "X-Request-Key"
+
+#: hard ceiling on whatif pair sampling, so one request cannot pin a
+#: worker arbitrarily long.
+MAX_SAMPLE_PAIRS = 100_000
+
+#: ceiling on the number of dead components one what-if may name.
+MAX_SCENARIO_ITEMS = 100_000
+
+
+class ServeError(Exception):
+    """A structured service failure (see the module-level taxonomy)."""
+
+    #: code -> (http status, retryable)
+    TAXONOMY: Mapping[str, Tuple[int, bool]] = {
+        "bad-request": (400, False),
+        "timeout": (504, True),
+        "overload": (429, True),
+        "unavailable": (503, True),
+        "internal": (500, False),
+    }
+
+    def __init__(
+        self, code: str, message: str, retry_after_s: Optional[float] = None
+    ) -> None:
+        if code not in self.TAXONOMY:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+    @property
+    def http_status(self) -> int:
+        return self.TAXONOMY[self.code][0]
+
+    @property
+    def retryable(self) -> bool:
+        return self.TAXONOMY[self.code][1]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON body an erroring response carries."""
+        error: Dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = round(float(self.retry_after_s), 3)
+        return {"error": error}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ServeError":
+        error = payload.get("error") or {}
+        code = error.get("code", "internal")
+        if code not in cls.TAXONOMY:
+            code = "internal"
+        return cls(code, error.get("message", "unknown error"), error.get("retry_after_s"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ServeError {self.code}: {self.message}>"
+
+
+def bad_request(message: str) -> ServeError:
+    return ServeError("bad-request", message)
+
+
+# ----------------------------------------------------------------------
+# scenario canonicalisation
+# ----------------------------------------------------------------------
+ScenarioKey = Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[Tuple[str, str], ...]]
+
+EMPTY_SCENARIO_KEY: ScenarioKey = ((), (), ())
+
+
+def _names(value: Any, field: str) -> Tuple[str, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str) or not isinstance(value, (list, tuple)):
+        raise bad_request(f"{field} must be a list of node names")
+    out = []
+    for item in value:
+        if not isinstance(item, str) or not item:
+            raise bad_request(f"{field} entries must be non-empty strings")
+        out.append(item)
+    return tuple(out)
+
+
+def scenario_key(
+    dead_servers: Any = None, dead_switches: Any = None, dead_links: Any = None
+) -> ScenarioKey:
+    """Canonical hashable key of a failure scenario.
+
+    Deduplicates, sorts, and normalises each link pair to lexicographic
+    order, so logically identical scenarios share one cache entry.
+    """
+    servers = tuple(sorted(set(_names(dead_servers, "dead_servers"))))
+    switches = tuple(sorted(set(_names(dead_switches, "dead_switches"))))
+    links = []
+    if dead_links is not None:
+        if isinstance(dead_links, str) or not isinstance(dead_links, (list, tuple)):
+            raise bad_request("dead_links must be a list of [u, v] pairs")
+        for pair in dead_links:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise bad_request("dead_links entries must be [u, v] pairs")
+            u, v = pair
+            if not isinstance(u, str) or not isinstance(v, str):
+                raise bad_request("dead_links endpoints must be node names")
+            links.append((u, v) if u <= v else (v, u))
+    key = (servers, switches, tuple(sorted(set(links))))
+    total = len(key[0]) + len(key[1]) + len(key[2])
+    if total > MAX_SCENARIO_ITEMS:
+        raise bad_request(
+            f"scenario names {total} dead components "
+            f"(limit {MAX_SCENARIO_ITEMS})"
+        )
+    return key
+
+
+def scenario_from_key(key: ScenarioKey) -> FailureScenario:
+    """The :class:`FailureScenario` a canonical key describes."""
+    servers, switches, links = key
+    return FailureScenario(
+        dead_servers=servers, dead_switches=switches, dead_links=links
+    )
+
+
+# ----------------------------------------------------------------------
+# request parsing / validation
+# ----------------------------------------------------------------------
+def _require_str(params: Mapping[str, Any], field: str) -> str:
+    value = params.get(field)
+    if not isinstance(value, str) or not value:
+        raise bad_request(f"missing required parameter {field!r}")
+    return value
+
+
+def parse_query(op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and normalise one query into the canonical request dict.
+
+    The result is what travels to a worker: plain JSON-serialisable
+    values only, every field already checked, so workers never raise
+    validation errors (name resolution, which needs the graph, happens
+    worker-side and reports unknown names as ``bad-request`` from
+    there).
+    """
+    if op not in OPS:
+        raise bad_request(f"unknown operation {op!r} (expected one of {', '.join(OPS)})")
+    request: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": op}
+    if op == "ping":
+        return request
+    if op in ("route", "distance"):
+        request["src"] = _require_str(params, "src")
+        request["dst"] = _require_str(params, "dst")
+        avoid = params.get("avoid")
+        if avoid is not None:
+            request["avoid"] = list(_names(avoid, "avoid"))
+    if op == "whatif" or params.get("scenario") is not None:
+        raw = params.get("scenario") if op != "whatif" else params
+        raw = raw if raw is not None else {}
+        if not isinstance(raw, Mapping):
+            raise bad_request("scenario must be an object")
+        key = scenario_key(
+            raw.get("dead_servers"), raw.get("dead_switches"), raw.get("dead_links")
+        )
+        request["scenario"] = [list(key[0]), list(key[1]), [list(p) for p in key[2]]]
+    if op == "whatif":
+        pairs = params.get("sample_pairs", 200)
+        if not isinstance(pairs, int) or isinstance(pairs, bool):
+            raise bad_request("sample_pairs must be an integer")
+        if not 0 < pairs <= MAX_SAMPLE_PAIRS:
+            raise bad_request(
+                f"sample_pairs must be in 1..{MAX_SAMPLE_PAIRS}, got {pairs}"
+            )
+        request["sample_pairs"] = pairs
+        seed = params.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise bad_request("seed must be an integer")
+        request["seed"] = seed
+    return request
+
+
+def request_scenario_key(request: Mapping[str, Any]) -> ScenarioKey:
+    """The canonical scenario key a parsed request carries (or empty)."""
+    raw = request.get("scenario")
+    if raw is None:
+        return EMPTY_SCENARIO_KEY
+    servers, switches, links = raw
+    return (
+        tuple(servers),
+        tuple(switches),
+        tuple((u, v) for u, v in links),
+    )
+
+
+def parse_deadline_ms(
+    value: Any, default_s: float, max_s: float
+) -> float:
+    """A request's deadline budget in seconds, validated and clamped."""
+    if value is None:
+        return default_s
+    try:
+        ms = int(value)
+    except (TypeError, ValueError):
+        raise bad_request(f"deadline_ms must be an integer, got {value!r}")
+    if ms <= 0:
+        raise bad_request("deadline_ms must be positive")
+    return min(ms / 1000.0, max_s)
+
+
+# ----------------------------------------------------------------------
+# JSON helpers (shared by server and client)
+# ----------------------------------------------------------------------
+def encode(payload: Mapping[str, Any]) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode(raw: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise bad_request(f"body is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise bad_request("body must be a JSON object")
+    return payload
+
+
+def degraded(payload: Dict[str, Any], reason: str) -> Dict[str, Any]:
+    """Mark a successful answer as degraded-mode (HTTP 200, flagged)."""
+    payload["status"] = "degraded"
+    payload["degraded_reason"] = reason
+    return payload
+
+
+def ok(payload: Dict[str, Any]) -> Dict[str, Any]:
+    payload.setdefault("status", "ok")
+    return payload

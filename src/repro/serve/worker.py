@@ -1,0 +1,76 @@
+"""Worker-process entry point of the topology query service.
+
+Each worker is one OS process connected to the parent by a private
+duplex :class:`multiprocessing.Pipe`.  Privacy is the crash-isolation
+property: ``multiprocessing.Queue`` shares reader/writer locks between
+consumers, so a worker SIGKILLed mid-``get`` can leave the lock held
+and deadlock every sibling — with one pipe per worker, a killed worker
+costs exactly its own in-flight request (the parent sees EOF on *that*
+pipe and fails *that* request as retryable), and the supervisor
+replaces the process without touching the others.
+
+The graph arrives as a :class:`~repro.topology.shm.GraphHandle`: the
+CSR arrays live once in shared memory (or in memmap files), so spawning
+or respawning a worker attaches megabytes instead of copying them —
+restart cost stays flat in graph size.
+
+Protocol on the pipe (all plain picklable dicts):
+
+* parent -> worker: ``{"seq": n, "request": <canonical request>}``;
+* worker -> parent: ``{"seq": n, "result": payload}`` or
+  ``{"seq": n, "error": <ServeError payload>}``.
+
+The ``seq`` echo lets the parent discard stale replies after it has
+already timed out a request — the pipe stays usable without a restart.
+A worker exits on EOF (parent closed the pipe = drain) and never
+touches the segment's lifetime: the parent owns it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from repro.serve import engine
+from repro.serve.protocol import ServeError
+from repro.serve.scenario import ScenarioCache
+
+
+def worker_main(conn, handle, scenario_capacity: int = 64) -> None:
+    """Blocking request loop; returns (exiting the process) on EOF."""
+    from repro.obs import trace as obs_trace
+
+    obs_trace.maybe_init_worker()
+    graph = handle.materialize()
+    scenarios = ScenarioCache(graph, capacity=scenario_capacity)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:  # explicit stop sentinel
+                break
+            reply: Dict[str, Any] = {"seq": message.get("seq")}
+            try:
+                with obs_trace.span(
+                    "serve.execute", op=message["request"].get("op", "?")
+                ):
+                    result = engine.execute(graph, message["request"], scenarios)
+                result["worker"] = {
+                    "pid": os.getpid(),
+                    "cache": scenarios.stats(),
+                }
+                reply["result"] = result
+            except ServeError as error:
+                reply["error"] = error.to_payload()
+            except Exception as error:  # noqa: BLE001 - must not kill the loop
+                reply["error"] = ServeError(
+                    "internal", f"{type(error).__name__}: {error}"
+                ).to_payload()
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        conn.close()

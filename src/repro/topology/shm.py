@@ -28,6 +28,10 @@ instead of failing.
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs import trace as _obs
@@ -50,6 +54,73 @@ _OWNED: Dict[str, object] = {}
 _ATTACHED: Dict[str, object] = {}
 
 _ALIGN = 16
+
+#: set once the atexit / SIGTERM cleanup hooks are installed.
+_CLEANUP_INSTALLED = False
+
+
+def release_owned() -> int:
+    """Close and unlink every segment this process owns; returns the count.
+
+    Idempotent and safe to call at any time — the owned registry is
+    drained as segments are released, so a normal ``handle.release()``
+    afterwards finds nothing to do.
+    """
+    released = 0
+    while _OWNED:
+        _, segment = _OWNED.popitem()
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        released += 1
+    return released
+
+
+def _install_cleanup() -> None:
+    """Register abnormal-exit cleanup for owned segments, once per process.
+
+    A POSIX shm segment outlives its creator: a crash between
+    :func:`export_graph` and ``release()`` used to leak the segment
+    until reboot.  Two hooks close that window:
+
+    * ``atexit`` covers ``sys.exit``, unhandled exceptions, and normal
+      interpreter shutdown;
+    * a ``SIGTERM`` handler covers the kill path (atexit does not run
+      when the default handler terminates the process).  It is only
+      installed from the main thread and only when the current
+      disposition is the default one — an application that handles
+      SIGTERM itself (e.g. the serve daemon's graceful drain) keeps its
+      handler and is expected to release segments in its own shutdown
+      path, with atexit as the backstop.  After cleaning up, the
+      handler re-raises the signal with the default disposition so the
+      exit status still reports death-by-SIGTERM.
+
+    SIGKILL remains uncoverable by design; ``repro.serve`` supervisors
+    own their handles in the parent precisely so a killed *worker*
+    never owns a segment.
+    """
+    global _CLEANUP_INSTALLED
+    if _CLEANUP_INSTALLED:
+        return
+    _CLEANUP_INSTALLED = True
+    atexit.register(release_owned)
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        current = signal.getsignal(signal.SIGTERM)
+    except (ValueError, AttributeError):  # pragma: no cover - exotic platform
+        return
+    if current is not signal.SIG_DFL:
+        return
+
+    def _on_sigterm(signum, frame):
+        release_owned()
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
 
 
 def _pack_arrays(arrays) -> Tuple[Optional[str], int, List[tuple]]:
@@ -78,6 +149,7 @@ def _pack_arrays(arrays) -> Tuple[Optional[str], int, List[tuple]]:
         return None, 0, refs
     segment = _shared_memory.SharedMemory(create=True, size=max(cursor, 1))
     _OWNED[segment.name] = segment
+    _install_cleanup()
     for offset, arr in packed:
         dst = _np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf, offset=offset)
         dst[:] = arr
@@ -88,7 +160,13 @@ def _attach(name: str):
     """The SharedMemory segment ``name``, attached once per process."""
     segment = _OWNED.get(name) or _ATTACHED.get(name)
     if segment is None:
-        segment = _shared_memory.SharedMemory(name=name, create=False)
+        try:
+            # track=False (3.13+) keeps the resource tracker from
+            # registering a segment this process merely *attaches* —
+            # attachers must never unlink.
+            segment = _shared_memory.SharedMemory(name=name, create=False, track=False)
+        except TypeError:
+            segment = _shared_memory.SharedMemory(name=name, create=False)
         _ATTACHED[name] = segment
     return segment
 

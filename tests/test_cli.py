@@ -20,13 +20,19 @@ class TestBuild:
         assert "18 servers" in out
         assert "structural invariants: OK" in out
 
-    def test_bad_param_value(self):
-        with pytest.raises(SystemExit, match="integer"):
-            main(["build", "abccc", "-p", "n=three"])
+    def test_bad_param_value(self, capsys):
+        assert main(["build", "abccc", "-p", "n=three"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "integer" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1
 
-    def test_bad_param_format(self):
-        with pytest.raises(SystemExit, match="name=value"):
-            main(["build", "abccc", "-p", "n:3"])
+    def test_bad_param_format(self, capsys):
+        assert main(["build", "abccc", "-p", "n:3"]) == 2
+        err = capsys.readouterr().err
+        assert "name=value" in err
+        assert "Traceback" not in err
 
     def test_unknown_kind_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
@@ -116,9 +122,70 @@ class TestRoute:
         )
         assert code == 0
 
-    def test_bad_server_token(self):
-        with pytest.raises(SystemExit, match="neither"):
-            main(["route", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2", "0", "zap"])
+    def test_bad_server_token(self, capsys):
+        assert main(
+            ["route", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2", "0", "zap"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "neither" in err
+        assert "Traceback" not in err
+
+
+class TestErrorPaths:
+    """Operator mistakes exit 2 with one friendly stderr line, never a
+    traceback (the contract ``REPRO_DEBUG=1`` opts back out of)."""
+
+    def test_sweep_bad_param(self, capsys):
+        assert main(["sweep", "abccc", "-p", "n=many"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "Traceback" not in err
+
+    def test_sweep_malformed_spec(self, capsys):
+        # n below the minimum radix: the spec constructor raises
+        # AddressError (a ValueError), surfaced as a friendly line.
+        assert main(["sweep", "abccc", "-p", "n=0", "-p", "k=1", "-p", "s=2"]) == 2
+        err = capsys.readouterr().err
+        assert "radix" in err
+        assert "Traceback" not in err
+
+    def test_serve_unknown_kind_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "zork"])
+
+    def test_serve_bad_workers(self, capsys):
+        assert main(
+            ["serve", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2",
+             "--workers", "-1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert "Traceback" not in err
+
+    def test_serve_bad_queue(self, capsys):
+        assert main(
+            ["serve", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2",
+             "--queue", "0"]
+        ) == 2
+        assert "--queue" in capsys.readouterr().err
+
+    def test_serve_bad_memmap(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("plain file")
+        assert main(
+            ["serve", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2",
+             "--memmap", str(bogus)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--memmap" in err
+        assert "Traceback" not in err
+
+    def test_debug_env_reraises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        from repro.cli import CliError
+
+        with pytest.raises(CliError):
+            main(["build", "abccc", "-p", "n=three"])
 
 
 class TestExportVerifyManifest:
@@ -166,6 +233,18 @@ class TestExportVerifyManifest:
         out = capsys.readouterr().out
         assert "deployment manifest" in out
         assert "racks" in out
+
+    def test_manifest_json(self, capsys):
+        import json
+
+        assert main(
+            ["manifest", "abccc", *self.ABCCC_ARGS, "--rack-capacity", "6", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_racks"] == len(data["racks"])
+        assert all({"u", "v", "length_m"} <= set(c) for c in data["cables"])
+        # rack -> doomed nodes is exactly the serve /whatif input shape
+        assert isinstance(data["racks"][0]["servers"], list)
 
 
 class TestPlan:

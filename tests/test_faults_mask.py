@@ -88,6 +88,104 @@ class TestMaskedGraph:
         assert masked.connection_ratio(sample_pairs=10, seed=0) == 1.0
 
 
+class TestDegenerateScenarios:
+    """Mass-failure edge cases the serve what-if path leans on.
+
+    ``sweep_view`` and the ratio helpers must answer — not crash, not
+    divide by zero — when a whole rack dies, when no server survives,
+    and when literally every node is masked off.
+    """
+
+    def _masked(self, net, **kwargs):
+        from repro.faults.plan import explicit_failures
+
+        return MaskedGraph(compile_graph(net), explicit_failures(**kwargs))
+
+    def test_entire_rack_dead(self, abccc_medium):
+        _, net = abccc_medium
+        graph = compile_graph(net)
+        rack = sorted(
+            {name.rsplit("/", 1)[0] for name in net.servers}
+        )[0]
+        doomed = tuple(n for n in net.servers if n.startswith(rack + "/"))
+        assert doomed, "fixture has no rack-shaped server group"
+        masked = self._masked(net, dead_servers=doomed)
+        assert masked.num_alive_servers() == len(net.servers) - len(doomed)
+        # ABCCC survives a rack loss connected: survivors all reach
+        # each other, nobody is cut off.
+        assert masked.largest_component_fraction() == 1.0
+        assert masked.cut_off_servers() == (0, [])
+        view = masked.sweep_view()
+        assert len(view.server_indices) == masked.num_alive_servers()
+        from repro.metrics.engine import sweep_graph_distance_stats
+
+        stats = sweep_graph_distance_stats(view)
+        assert stats.pairs > 0
+
+    def test_zero_surviving_servers(self, abccc_medium):
+        _, net = abccc_medium
+        masked = self._masked(net, dead_servers=tuple(net.servers))
+        assert masked.num_alive_servers() == 0
+        assert list(masked.alive_server_indices()) == []
+        assert masked.largest_component_fraction() == 0.0
+        assert masked.connection_ratio(sample_pairs=10, seed=0) == 0.0
+        assert masked.connection_ratio_indexed(sample_pairs=10, seed=0) == 0.0
+        assert masked.cut_off_servers() == (0, [])
+        view = masked.sweep_view()
+        assert len(view.server_indices) == 0
+        from repro.metrics.engine import sweep_graph_distance_stats
+
+        stats = sweep_graph_distance_stats(view)
+        assert stats.pairs == 0
+
+    def test_mask_all_nodes(self, tiny_net):
+        masked = self._masked(
+            tiny_net,
+            dead_servers=tuple(tiny_net.servers),
+            dead_switches=tuple(tiny_net.switches),
+        )
+        assert masked.num_alive_servers() == 0
+        assert all(int(label) == -1 for label in masked.component_labels())
+        view = masked.sweep_view()
+        assert len(view.server_indices) == 0
+        # Every adjacency entry is gone: the CSR is all-empty rows.
+        assert int(view.offsets[len(view.offsets) - 1]) == 0
+        assert masked.largest_component_fraction() == 0.0
+        assert masked.cut_off_servers() == (0, [])
+
+    def test_single_survivor(self, tiny_net):
+        survivor = tiny_net.servers[0]
+        doomed = tuple(n for n in tiny_net.servers if n != survivor)
+        masked = self._masked(tiny_net, dead_servers=doomed)
+        assert masked.num_alive_servers() == 1
+        # One alive server: no pairs to sample, ratio degenerates to 0.
+        assert masked.connection_ratio_indexed(sample_pairs=10) == 0.0
+        assert masked.largest_component_fraction() == 1.0
+        assert masked.cut_off_servers() == (0, [])
+
+    def test_cut_off_servers_reports_minority(self, tiny_net):
+        # Kill the switch: in the tiny star net every server loses the
+        # others; the majority component is a single server, the rest
+        # count as cut off.
+        masked = self._masked(tiny_net, dead_switches=tuple(tiny_net.switches))
+        count, examples = masked.cut_off_servers()
+        alive = masked.num_alive_servers()
+        assert count == alive - 1
+        assert len(examples) == min(count, 10)
+
+    def test_indexed_ratio_partition_consistency(self, abccc_medium):
+        _, net = abccc_medium
+        scenario = random_failures(
+            net, server_fraction=0.4, switch_fraction=0.4, seed=5
+        ).scenario
+        masked = MaskedGraph(compile_graph(net), scenario)
+        ratio = masked.connection_ratio_indexed(sample_pairs=300, seed=1)
+        lcf = masked.largest_component_fraction()
+        assert 0.0 <= ratio <= 1.0
+        if lcf == 1.0:
+            assert ratio == 1.0
+
+
 class TestSweepPathParity:
     @pytest.mark.parametrize("family", ["abccc_medium", "bcube_small"])
     def test_masked_and_legacy_sweeps_identical(self, family, request):

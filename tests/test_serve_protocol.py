@@ -1,0 +1,165 @@
+"""Unit tests for the serve wire protocol: taxonomy, parsing, scenarios."""
+
+import pytest
+
+from repro.serve.protocol import (
+    EMPTY_SCENARIO_KEY,
+    MAX_SAMPLE_PAIRS,
+    PROTOCOL_VERSION,
+    ServeError,
+    decode,
+    degraded,
+    encode,
+    ok,
+    parse_deadline_ms,
+    parse_query,
+    request_scenario_key,
+    scenario_from_key,
+    scenario_key,
+)
+
+
+class TestTaxonomy:
+    def test_every_code_has_status_and_retryable(self):
+        expected = {
+            "bad-request": (400, False),
+            "timeout": (504, True),
+            "overload": (429, True),
+            "unavailable": (503, True),
+            "internal": (500, False),
+        }
+        for code, (status, retryable) in expected.items():
+            error = ServeError(code, "x")
+            assert error.http_status == status
+            assert error.retryable is retryable
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            ServeError("teapot", "x")
+
+    def test_payload_round_trip(self):
+        error = ServeError("overload", "queue full", retry_after_s=0.25)
+        back = ServeError.from_payload(error.to_payload())
+        assert back.code == "overload"
+        assert back.message == "queue full"
+        assert back.retry_after_s == 0.25
+        assert back.retryable
+
+    def test_from_payload_defaults_to_internal(self):
+        error = ServeError.from_payload({"error": {"code": "weird"}})
+        assert error.code == "internal"
+        assert not error.retryable
+        assert ServeError.from_payload({}).code == "internal"
+
+
+class TestScenarioKey:
+    def test_order_and_duplicates_collapse(self):
+        a = scenario_key(["s1", "s0", "s1"], ["w2", "w1"], [["b", "a"]])
+        b = scenario_key(["s0", "s1"], ["w1", "w2"], [["a", "b"], ["a", "b"]])
+        assert a == b
+        assert a == (("s0", "s1"), ("w1", "w2"), (("a", "b"),))
+
+    def test_empty_key(self):
+        assert scenario_key() == EMPTY_SCENARIO_KEY
+
+    def test_link_pairs_normalised_lexicographically(self):
+        key = scenario_key(dead_links=[["z", "a"], ["m", "n"]])
+        assert key[2] == (("a", "z"), ("m", "n"))
+
+    def test_bad_shapes_are_bad_requests(self):
+        for kwargs in (
+            {"dead_servers": "s0"},
+            {"dead_servers": [1]},
+            {"dead_servers": [""]},
+            {"dead_links": "ab"},
+            {"dead_links": [["a"]]},
+            {"dead_links": [["a", 3]]},
+        ):
+            with pytest.raises(ServeError) as exc:
+                scenario_key(**kwargs)
+            assert exc.value.code == "bad-request"
+
+    def test_round_trip_to_failure_scenario(self):
+        key = scenario_key(["s0"], ["w0"], [["a", "b"]])
+        scenario = scenario_from_key(key)
+        assert scenario.dead_servers == ("s0",)
+        assert scenario.dead_switches == ("w0",)
+        assert scenario.dead_links == (("a", "b"),)
+
+
+class TestParseQuery:
+    def test_unknown_op(self):
+        with pytest.raises(ServeError, match="unknown operation"):
+            parse_query("teleport", {})
+
+    def test_route_requires_src_and_dst(self):
+        with pytest.raises(ServeError, match="src"):
+            parse_query("route", {"dst": "a"})
+        with pytest.raises(ServeError, match="dst"):
+            parse_query("distance", {"src": "a"})
+
+    def test_route_normalises(self):
+        request = parse_query("route", {"src": "a", "dst": "b", "avoid": ["c"]})
+        assert request == {
+            "v": PROTOCOL_VERSION,
+            "op": "route",
+            "src": "a",
+            "dst": "b",
+            "avoid": ["c"],
+        }
+
+    def test_route_scenario_is_canonicalised(self):
+        request = parse_query(
+            "route",
+            {"src": "a", "dst": "b", "scenario": {"dead_servers": ["t", "s", "t"]}},
+        )
+        assert request["scenario"][0] == ["s", "t"]
+        assert request_scenario_key(request) == (("s", "t"), (), ())
+
+    def test_whatif_defaults(self):
+        request = parse_query("whatif", {})
+        assert request["sample_pairs"] == 200
+        assert request["seed"] == 0
+        assert request["scenario"] == [[], [], []]
+
+    def test_whatif_sample_pairs_bounds(self):
+        with pytest.raises(ServeError, match="sample_pairs"):
+            parse_query("whatif", {"sample_pairs": 0})
+        with pytest.raises(ServeError, match="sample_pairs"):
+            parse_query("whatif", {"sample_pairs": MAX_SAMPLE_PAIRS + 1})
+        with pytest.raises(ServeError, match="sample_pairs"):
+            parse_query("whatif", {"sample_pairs": True})
+
+    def test_ping_is_minimal(self):
+        assert parse_query("ping", {}) == {"v": PROTOCOL_VERSION, "op": "ping"}
+
+
+class TestDeadline:
+    def test_default_and_clamp(self):
+        assert parse_deadline_ms(None, 10.0, 60.0) == 10.0
+        assert parse_deadline_ms(500, 10.0, 60.0) == 0.5
+        assert parse_deadline_ms(10 ** 9, 10.0, 60.0) == 60.0
+
+    def test_invalid_values(self):
+        for value in ("soon", 0, -5):
+            with pytest.raises(ServeError, match="deadline_ms"):
+                parse_deadline_ms(value, 10.0, 60.0)
+
+
+class TestJsonHelpers:
+    def test_encode_decode_round_trip(self):
+        assert decode(encode({"a": 1})) == {"a": 1}
+
+    def test_decode_garbage_is_bad_request(self):
+        with pytest.raises(ServeError, match="JSON"):
+            decode(b"{nope")
+        with pytest.raises(ServeError, match="object"):
+            decode(b"[1, 2]")
+
+    def test_status_markers(self):
+        assert ok({})["status"] == "ok"
+        marked = degraded({"x": 1}, "partitioned")
+        assert marked["status"] == "degraded"
+        assert marked["degraded_reason"] == "partitioned"
+        # ok() never downgrades an explicit degraded marker.
+        assert ok(degraded({}, "r"))["status"] == "degraded"

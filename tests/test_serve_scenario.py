@@ -1,0 +1,130 @@
+"""ScenarioCache and query-engine tests (no HTTP, no workers)."""
+
+import pytest
+
+from repro.core import AbcccSpec
+from repro.serve.engine import execute, resolve_server
+from repro.serve.protocol import EMPTY_SCENARIO_KEY, ServeError, parse_query, scenario_key
+from repro.serve.scenario import ScenarioCache
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return AbcccSpec(3, 1, 2).compiled()
+
+
+@pytest.fixture()
+def cache(graph):
+    return ScenarioCache(graph, capacity=3)
+
+
+def run(graph, cache, op, params):
+    return execute(graph, parse_query(op, params), cache)
+
+
+class TestScenarioCache:
+    def test_baseline_masked_graph_is_cached(self, cache):
+        first = cache.get(EMPTY_SCENARIO_KEY)
+        second = cache.get(EMPTY_SCENARIO_KEY)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self, graph, cache):
+        names = [graph.names[i] for i in graph.server_indices[:4]]
+        for name in names:
+            cache.get(scenario_key([name]))
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        # The first scenario was evicted; re-fetching it is a miss.
+        misses = cache.misses
+        cache.get(scenario_key([names[0]]))
+        assert cache.misses == misses + 1
+
+    def test_unknown_name_is_bad_request(self, cache):
+        with pytest.raises(ServeError) as exc:
+            cache.get(scenario_key(["no-such-node"]))
+        assert exc.value.code == "bad-request"
+        assert "no-such-node" in exc.value.message
+        # A failed build never occupies a cache slot.
+        assert len(cache) == 0
+
+    def test_stats_shape(self, cache):
+        cache.get(EMPTY_SCENARIO_KEY)
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["capacity"] == 3
+        assert stats["misses"] == 1
+
+
+class TestResolveServer:
+    def test_by_name_and_ordinal(self, graph):
+        first = graph.server_indices[0]
+        assert resolve_server(graph, graph.names[first]) == first
+        assert resolve_server(graph, "0") == first
+
+    def test_bad_tokens(self, graph):
+        for token in ("nope", "-1", str(len(graph.server_indices))):
+            with pytest.raises(ServeError) as exc:
+                resolve_server(graph, token)
+            assert exc.value.code == "bad-request"
+
+
+class TestExecute:
+    def test_route_has_path_and_hops(self, graph, cache):
+        result = run(graph, cache, "route", {"src": "0", "dst": "5"})
+        assert result["status"] == "ok"
+        assert result["reachable"] is True
+        assert result["link_hops"] == len(result["path"]) - 1
+        assert result["path"][0] == graph.names[graph.server_indices[0]]
+
+    def test_distance_skips_path(self, graph, cache):
+        result = run(graph, cache, "distance", {"src": "0", "dst": "5"})
+        assert result["reachable"] is True
+        assert "path" not in result
+
+    def test_route_same_node(self, graph, cache):
+        result = run(graph, cache, "route", {"src": "3", "dst": "3"})
+        assert result["link_hops"] == 0
+        # src echoes the request token; the path holds resolved names.
+        assert result["src"] == "3"
+        assert result["path"] == [graph.names[graph.server_indices[3]]]
+
+    def test_dead_endpoint_is_degraded_not_error(self, graph, cache):
+        name = graph.names[graph.server_indices[0]]
+        result = run(
+            graph,
+            cache,
+            "route",
+            {"src": name, "dst": "5", "scenario": {"dead_servers": [name]}},
+        )
+        assert result["status"] == "degraded"
+        assert result["reachable"] is False
+
+    def test_avoid_excludes_nodes(self, graph, cache):
+        base = run(graph, cache, "route", {"src": "0", "dst": "5"})
+        middle = base["path"][1]
+        detour = run(
+            graph, cache, "route", {"src": "0", "dst": "5", "avoid": [middle]}
+        )
+        assert middle not in detour["path"]
+        assert detour["link_hops"] >= base["link_hops"]
+
+    def test_whatif_healthy(self, graph, cache):
+        result = run(graph, cache, "whatif", {"sample_pairs": 10})
+        assert result["status"] == "ok"
+        assert result["alive_servers"] == result["num_servers"]
+        assert result["largest_component_fraction"] == 1.0
+
+    def test_whatif_dead_switch(self, graph, cache):
+        switch = next(
+            name for name in graph.names if not name.startswith("s")
+        )
+        result = run(
+            graph, cache, "whatif", {"dead_switches": [switch], "sample_pairs": 10}
+        )
+        assert result["dead_switches"] == 1
+        assert result["alive_servers"] == result["num_servers"]
+
+    def test_ping(self, graph, cache):
+        result = run(graph, cache, "ping", {})
+        assert result["pong"] is True

@@ -9,7 +9,12 @@ materialization fails instead of silently reading freed memory.
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -121,6 +126,16 @@ class TestRelease:
         with pytest.raises((FileNotFoundError, ValueError, OSError)):
             clone.materialize()
 
+    def test_release_owned_drains_registry(self):
+        handle = shm.export_graph(CSRGraphView.of(_graph()))
+        if handle.segment is None:
+            pytest.skip("no shared memory on this platform")
+        released = shm.release_owned()
+        assert released == 1
+        assert shm.owned_segments() == ()
+        assert shm.release_owned() == 0  # idempotent
+        handle.release()  # finding nothing left is fine
+
     @pytest.mark.skipif(not HAVE_NUMPY, reason="read-only views need numpy")
     def test_materialized_arrays_are_read_only(self):
         import numpy as np
@@ -135,3 +150,76 @@ class TestRelease:
                 arr[0] = 0
         finally:
             handle.release()
+
+
+_EXPORT_SCRIPT = """\
+import os, sys, time
+from repro.core import AbcccSpec
+from repro.topology import shm
+from repro.topology.compiled import CSRGraphView, compile_graph
+
+handle = shm.export_graph(CSRGraphView.of(compile_graph(AbcccSpec(3, 1, 2).build())))
+if handle.segment is None:
+    print("NOSEG", flush=True)
+    sys.exit(0)
+print(handle.segment, flush=True)
+MODE = sys.argv[1]
+if MODE == "exit":
+    sys.exit(3)  # abnormal exit without release(): atexit must clean up
+elif MODE == "wait":  # parent delivers SIGTERM; the handler must clean up
+    time.sleep(120)
+"""
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="segments only created with numpy")
+class TestAbnormalExitCleanup:
+    """A crashed or killed owner must not leak its shm segment."""
+
+    def _segment_exists(self, name: str) -> bool:
+        return os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+    def test_sys_exit_without_release_leaves_no_segment(self, tmp_path):
+        script = tmp_path / "owner.py"
+        script.write_text(_EXPORT_SCRIPT)
+        proc = subprocess.run(
+            [sys.executable, str(script), "exit"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": os.path.abspath("src")},
+        )
+        name = proc.stdout.strip()
+        if name == "NOSEG":
+            pytest.skip("no shared memory on this platform")
+        assert proc.returncode == 3, proc.stderr
+        assert name.startswith("psm_")
+        assert not self._segment_exists(name), f"leaked {name}"
+
+    def test_sigterm_without_release_leaves_no_segment(self, tmp_path):
+        script = tmp_path / "owner.py"
+        script.write_text(_EXPORT_SCRIPT)
+        proc = subprocess.Popen(
+            [sys.executable, str(script), "wait"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": os.path.abspath("src")},
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            if name == "NOSEG":
+                proc.kill()
+                pytest.skip("no shared memory on this platform")
+            assert self._segment_exists(name), "owner never created the segment"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.communicate(timeout=30)
+        # exit status still reports death-by-SIGTERM (handler re-raises)
+        assert proc.returncode == -signal.SIGTERM
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and self._segment_exists(name):
+            time.sleep(0.05)
+        assert not self._segment_exists(name), f"leaked {name}"
