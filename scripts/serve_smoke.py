@@ -2,16 +2,21 @@
 
 Starts ``repro serve`` as a subprocess, polls ``/healthz`` until ready,
 fires a burst of route + what-if queries (including one that must be
-shed under a deliberately tiny queue bound), then SIGTERMs the daemon
-and asserts a clean drain: exit code 0, the drain message on stdout, no
-traceback on stderr, and zero leaked shared-memory segments.
+shed under a deliberately tiny queue bound), scrapes ``/metrics``
+mid-burst (the exposition must stay well-formed while workers churn)
+and again after the burst (latency-histogram counts must agree with
+``/stats``), then SIGTERMs the daemon and asserts a clean drain: exit
+code 0, the drain message on stdout, no traceback on stderr, and zero
+leaked shared-memory segments.
 
 Run from the repo root:  python scripts/serve_smoke.py
 """
 
 import glob
+import http.client
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -22,6 +27,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(ROOT, "src")
 sys.path.insert(0, SRC)
 
+from repro.obs.metrics import exposition_problems  # noqa: E402
 from repro.serve import ServeClient, ServeError  # noqa: E402
 
 SPAWN_TIMEOUT_S = 120
@@ -31,6 +37,34 @@ def shm_segments():
     if not os.path.isdir("/dev/shm"):
         return set()
     return set(glob.glob("/dev/shm/psm_*"))
+
+
+def scrape_metrics(port: int):
+    """GET /metrics raw (the exposition is text, not the JSON envelope)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        return response.status, response.getheader("Content-Type") or "", body
+    finally:
+        conn.close()
+
+
+def assert_exposition_ok(body: str, when: str) -> None:
+    problems = exposition_problems(body)
+    assert not problems, f"/metrics malformed {when}: {problems}"
+
+
+def exposition_series_count(body: str, series: str) -> float:
+    """Sum of every ``series{...} value`` sample in the exposition."""
+    total = 0.0
+    pattern = re.compile(r"^" + re.escape(series) + r"(?:\{[^}]*\})? (\S+)$")
+    for line in body.splitlines():
+        match = pattern.match(line)
+        if match:
+            total += float(match.group(1))
+    return total
 
 
 def main() -> int:
@@ -90,6 +124,21 @@ def main() -> int:
         f"lcf {whatif['largest_component_fraction']}"
     )
 
+    # -- /metrics after the correctness burst --------------------------
+    status, ctype, body = scrape_metrics(port)
+    assert status == 200, (status, body[:200])
+    assert ctype.startswith("text/plain"), ctype
+    assert_exposition_ok(body, "after correctness burst")
+    for series in (
+        "repro_serve_request_latency_seconds_bucket",
+        "repro_serve_queue_wait_seconds_count",
+        "repro_serve_requests_total",
+        "repro_serve_worker_alive",
+    ):
+        assert series in body, f"core series {series} missing from /metrics"
+    assert 'endpoint="route"' in body and 'outcome="ok"' in body, body[:400]
+    print("/metrics: well-formed, core series present")
+
     # -- overload burst: the tiny queue must shed, never hang ----------
     outcomes = []
 
@@ -109,6 +158,12 @@ def main() -> int:
     threads = [threading.Thread(target=hammer, args=(i,)) for i in range(12)]
     for t in threads:
         t.start()
+    # mid-burst scrape: the exposition must stay well-formed while the
+    # queue sheds and workers churn (the point of live telemetry).
+    status, _, body = scrape_metrics(port)
+    assert status == 200, status
+    assert_exposition_ok(body, "mid-burst")
+    print("/metrics: well-formed mid-burst")
     for t in threads:
         t.join(timeout=SPAWN_TIMEOUT_S)
         assert not t.is_alive(), "a burst request hung"
@@ -119,6 +174,26 @@ def main() -> int:
 
     stats = client.stats()
     assert stats["counters"]["shed_overload"] >= 1, stats["counters"]
+
+    # -- /metrics agrees with /stats after the burst settles -----------
+    status, _, body = scrape_metrics(port)
+    assert status == 200, status
+    assert_exposition_ok(body, "after burst")
+    exposed = exposition_series_count(body, "repro_serve_request_latency_seconds_count")
+    snapshot = stats["metrics"]
+    recorded = sum(
+        h["count"]
+        for h in snapshot["histograms"]
+        if h["name"] == "serve.request.latency_seconds"
+    )
+    assert exposed == recorded, (exposed, recorded)
+    assert 'outcome="shed"' in body, "shed outcome series missing"
+    memory = stats.get("memory") or {}
+    assert memory.get("pool_total_mb"), memory
+    print(
+        f"/metrics vs /stats: {int(exposed)} requests in both; "
+        f"pool RSS {memory['pool_total_mb']} MB"
+    )
     client.close()
 
     # -- SIGTERM drain --------------------------------------------------

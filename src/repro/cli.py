@@ -35,9 +35,17 @@ Commands:
   the always-on topology query daemon: compiles the graph once and
   answers ``/route``, ``/distance`` and ``/whatif`` queries over HTTP
   until SIGTERM drains it (see docs/OPERATIONS.md).
-* ``obs report TRACE… [--slowest N]`` — per-phase wall-time breakdown,
-  slowest spans, worker utilization, cache hit rates and peak RSS of
-  one or more trace files (see docs/OBSERVABILITY.md).
+* ``obs report TRACE… [--slowest N] [--trace-id ID]`` — per-phase
+  wall-time breakdown, slowest spans, worker utilization, cache hit
+  rates and peak RSS of one or more trace files; ``--trace-id``
+  stitches one request's client/queue/worker spans into a tree
+  (see docs/OBSERVABILITY.md).  Empty traces print ``no events``
+  and exit 0.
+* ``obs tail TRACE [--poll S] [--timeout S]`` — follow a live trace
+  file (shards included), one rendered line per span/event.
+* ``obs diff OLD NEW [--threshold-pct P] [--calibrate]`` — compare two
+  benchmark or metrics JSON snapshots; exits 1 when any timing
+  regressed beyond the threshold (the CI perf gate).
 
 Error handling contract: user-level mistakes — unknown topology kind,
 malformed ``--param``, a ``--memmap`` path that is not a usable
@@ -411,16 +419,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
-    import os
+    from repro.obs.report import load_trace, report_files, report_trace_id
 
-    from repro.obs.report import report_files
-
-    missing = [path for path in args.trace if not os.path.exists(path)]
-    if missing:
-        print(f"no such trace file: {', '.join(missing)}")
-        return 1
-    print(report_files(args.trace, slowest=args.slowest))
+    # An empty or not-yet-written trace is a normal operational state
+    # (the daemon just started, the run produced nothing): report it as
+    # "no events", exit 0, so dashboards and scripts don't page on it.
+    present = [path for path in args.trace if os.path.exists(path)]
+    events = []
+    for path in present:
+        events.extend(load_trace(path))
+    if not events:
+        print("no events")
+        return 0
+    if args.trace_id:
+        text, count = report_trace_id(args.trace, args.trace_id)
+        if count == 0:
+            print("no events")
+            return 0
+        print(text)
+        return 0
+    print(report_files(present, slowest=args.slowest))
     return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    from repro.obs.report import follow_trace, render_tail_event
+
+    try:
+        for event in follow_trace(
+            args.trace,
+            poll_s=args.poll,
+            timeout_s=args.timeout,
+            max_events=args.max_events,
+        ):
+            line = render_tail_event(event)
+            if line is not None:
+                print(line, flush=True)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_files, render_diff
+
+    result = diff_files(
+        args.old,
+        args.new,
+        threshold=args.threshold_pct / 100.0,
+        min_abs_s=args.min_abs_ms / 1000.0,
+        calibrate=args.calibrate,
+    )
+    print(render_diff(args.old, args.new, result, threshold=args.threshold_pct / 100.0))
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -651,7 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(fn=_cmd_run)
 
-    obs = sub.add_parser("obs", help="observability: trace reports")
+    obs = sub.add_parser("obs", help="observability: trace reports, tail, perf diff")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser(
         "report", help="per-phase breakdown / utilization report of trace files"
@@ -660,7 +711,63 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument(
         "--slowest", type=int, default=10, metavar="N", help="slowest spans to list"
     )
+    obs_report.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="ID",
+        help="stitch and render the spans of one request trace id "
+        "(client attempt -> queue wait -> worker execution)",
+    )
     obs_report.set_defaults(fn=_cmd_obs_report)
+
+    obs_tail = obs_sub.add_parser(
+        "tail", help="follow a live trace file, one line per span/event"
+    )
+    obs_tail.add_argument("trace", help="trace JSONL file (shards picked up too)")
+    obs_tail.add_argument(
+        "--poll", type=float, default=0.25, metavar="S", help="poll interval"
+    )
+    obs_tail.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop after S seconds (default: follow until interrupted)",
+    )
+    obs_tail.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N events (for scripting)",
+    )
+    obs_tail.set_defaults(fn=_cmd_obs_tail)
+
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two benchmark/metrics snapshots; exit 1 on regression"
+    )
+    obs_diff.add_argument("old", help="baseline JSON (BENCH_*.json or /stats dump)")
+    obs_diff.add_argument("new", help="candidate JSON to compare against the baseline")
+    obs_diff.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="flag timings more than PCT%% slower than the baseline",
+    )
+    obs_diff.add_argument(
+        "--min-abs-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="ignore regressions smaller than MS milliseconds absolute",
+    )
+    obs_diff.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="divide ratios by the median ratio (normalises machine speed)",
+    )
+    obs_diff.set_defaults(fn=_cmd_obs_diff)
     return parser
 
 

@@ -1,34 +1,66 @@
-"""Observability: structured tracing, metrics, logging, run reports.
+"""Observability: structured tracing, live metrics, logging, reports.
 
-The package behind ``repro run --trace`` and ``repro obs report``:
+The package behind ``repro run --trace``, ``repro obs report`` and the
+serve daemon's ``GET /metrics``:
 
 * :mod:`repro.obs.trace` — span tracer emitting JSONL events, plus
-  counters and worker-shard handling;
+  counters, trace-id context propagation and worker-shard handling;
+* :mod:`repro.obs.metrics` — the live metrics registry: counters,
+  gauges and log-linear latency histograms with mergeable snapshots
+  and Prometheus text exposition;
 * :mod:`repro.obs.memory` — RSS/peak-memory sampling;
 * :mod:`repro.obs.log` — the stderr progress logger and heartbeat;
 * :mod:`repro.obs.profile` — opt-in cProfile hook;
-* :mod:`repro.obs.report` — trace loading, validation and the
-  per-phase/utilization/peak-RSS report.
+* :mod:`repro.obs.report` — trace loading, validation, the
+  per-phase/utilization/peak-RSS report, per-trace-id stitching and
+  the live tail follower;
+* :mod:`repro.obs.diff` — noise-aware snapshot comparison (the CI
+  perf-regression gate).
 
 Instrumented code imports the module-level proxies (:func:`span`,
-:func:`counter`, :func:`event`): they forward to the active tracer and
-are no-ops when tracing is disabled, so hot paths stay unconditional.
-See docs/OBSERVABILITY.md for the trace schema and environment
-variables.
+:func:`counter`, :func:`event`, :func:`record_span`): they forward to
+the active tracer and are no-ops when tracing is disabled, so hot paths
+stay unconditional.  See docs/OBSERVABILITY.md for the trace schema,
+metric names and environment variables.
 """
 
+from repro.obs.diff import (
+    DiffEntry,
+    DiffResult,
+    diff_files,
+    diff_timings,
+    flatten_timings,
+    render_diff,
+)
 from repro.obs.log import Heartbeat, get_logger, heartbeat_interval
 from repro.obs.memory import MemorySampler, memory_sample, peak_rss_mb
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exposition_problems,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+    set_registry,
+)
 from repro.obs.profile import maybe_profile, profile_enabled
 from repro.obs.report import (
     PhaseStats,
     PoolStats,
     TraceSummary,
     cache_hit_lines,
+    follow_trace,
     load_trace,
     render_report,
+    render_tail_event,
+    render_trace,
     report_files,
+    report_trace_id,
     summarize,
+    trace_spans,
     validate_trace,
 )
 from repro.obs.trace import (
@@ -41,18 +73,29 @@ from repro.obs.trace import (
     Span,
     Tracer,
     counter,
+    current_trace_id,
     event,
     get_tracer,
     maybe_init_worker,
     merge_shards,
+    mint_trace_id,
+    record_span,
     set_tracer,
     span,
+    trace_context,
     trace_path_from_env,
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "DiffEntry",
+    "DiffResult",
+    "Gauge",
     "Heartbeat",
+    "Histogram",
     "MemorySampler",
+    "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PROFILE_ENV",
@@ -66,8 +109,15 @@ __all__ = [
     "Tracer",
     "cache_hit_lines",
     "counter",
+    "current_trace_id",
+    "diff_files",
+    "diff_timings",
     "event",
+    "exposition_problems",
+    "flatten_timings",
+    "follow_trace",
     "get_logger",
+    "get_registry",
     "get_tracer",
     "heartbeat_interval",
     "load_trace",
@@ -75,13 +125,24 @@ __all__ = [
     "maybe_profile",
     "memory_sample",
     "merge_shards",
+    "merge_snapshots",
+    "mint_trace_id",
     "peak_rss_mb",
     "profile_enabled",
+    "record_span",
+    "render_diff",
+    "render_prometheus",
     "render_report",
+    "render_tail_event",
+    "render_trace",
     "report_files",
+    "report_trace_id",
+    "set_registry",
     "set_tracer",
     "span",
     "summarize",
+    "trace_context",
     "trace_path_from_env",
+    "trace_spans",
     "validate_trace",
 ]

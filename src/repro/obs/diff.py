@@ -1,0 +1,218 @@
+"""Noise-aware comparison of bench/metrics snapshots: the perf gate.
+
+``repro obs diff OLD NEW`` compares two JSON snapshots — either the
+micro-bench outputs (``results/BENCH_*.json``) or live metrics
+snapshots (``/stats`` / :meth:`MetricsRegistry.snapshot`) — and flags
+timing regressions.  This is what the CI ``perf-gate`` job runs against
+the committed baselines, so the thresholds have to tolerate benchmark
+noise without letting a real 2x slowdown through:
+
+* **relative threshold** — a regression needs ``new > old * (1 + pct)``
+  (default 25%), well above run-to-run jitter of the micro-benches;
+* **absolute floor** — *and* ``new - old > min_abs_s`` (default 1 ms),
+  so microsecond-scale timings can't trip the relative test on noise;
+* **calibration** (``--calibrate``) — the median new/old ratio across
+  all compared timings is treated as the machine-speed factor between
+  the two snapshots and divided out before thresholding.  That is what
+  makes "CI runner vs. the workstation that committed the baseline"
+  comparisons meaningful: a uniformly 1.6x-slower runner calibrates
+  away, a single kernel that regressed 2x while its siblings held
+  still does not.
+
+Only *timings* gate: keys ending in ``_s`` (and the per-kernel entries
+of ``kernel_s`` maps) in bench rows, and histogram mean/quantiles in
+metrics snapshots.  Counts, sizes and speedup ratios are informational.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: default regression threshold (fraction; 0.25 == fail on >25% slower).
+DEFAULT_THRESHOLD = 0.25
+
+#: default absolute floor in seconds — deltas below it never gate.
+DEFAULT_MIN_ABS_S = 0.001
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def flatten_timings(snapshot: Mapping[str, Any]) -> Dict[str, float]:
+    """Comparable timing leaves of one snapshot, keyed by a stable path.
+
+    Bench snapshots (``{"rows": [...]}``): each row is keyed by its
+    ``spec`` field; leaves are numeric values under keys ending ``_s``,
+    with dict-valued ``*_s`` entries (``kernel_s``) flattened one level.
+    Metrics snapshots (``{"histograms": [...]}``): each histogram
+    contributes its mean and exact-bucket quantiles.
+    """
+    timings: Dict[str, float] = {}
+    for row in snapshot.get("rows") or ():
+        if not isinstance(row, Mapping):
+            continue
+        prefix = str(row.get("spec", row.get("name", "?")))
+        for key, value in row.items():
+            if not str(key).endswith("_s"):
+                continue
+            if _is_number(value):
+                timings[f"{prefix}.{key}"] = float(value)
+            elif isinstance(value, Mapping):
+                for sub, sub_value in value.items():
+                    if _is_number(sub_value):
+                        timings[f"{prefix}.{key}.{sub}"] = float(sub_value)
+    for hist in snapshot.get("histograms") or ():
+        if not isinstance(hist, Mapping):
+            continue
+        labels = hist.get("labels") or {}
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        prefix = f"{hist.get('name', '?')}{{{label_text}}}"
+        count = hist.get("count") or 0
+        if count and _is_number(hist.get("sum")):
+            timings[f"{prefix}.mean_s"] = float(hist["sum"]) / count
+        for q_name, q_value in (hist.get("q") or {}).items():
+            if _is_number(q_value):
+                timings[f"{prefix}.{q_name}_s"] = float(q_value)
+    return timings
+
+
+@dataclass
+class DiffEntry:
+    key: str
+    old: float
+    new: float
+    ratio: float            # raw new/old
+    adjusted_ratio: float   # after calibration (== ratio when off)
+    regressed: bool
+    improved: bool
+
+
+@dataclass
+class DiffResult:
+    entries: List[DiffEntry] = field(default_factory=list)
+    only_old: List[str] = field(default_factory=list)
+    only_new: List[str] = field(default_factory=list)
+    calibration: Optional[float] = None  # median machine-speed ratio
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def diff_timings(
+    old: Mapping[str, float],
+    new: Mapping[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs_s: float = DEFAULT_MIN_ABS_S,
+    calibrate: bool = False,
+) -> DiffResult:
+    """Compare flattened timing maps; shared keys gate, the rest is noted."""
+    result = DiffResult()
+    shared = sorted(set(old) & set(new))
+    result.only_old = sorted(set(old) - set(new))
+    result.only_new = sorted(set(new) - set(old))
+    ratios = [new[k] / old[k] for k in shared if old[k] > 0]
+    if calibrate and ratios:
+        result.calibration = _median(ratios)
+    scale = result.calibration or 1.0
+    for key in shared:
+        old_value, new_value = old[key], new[key]
+        ratio = new_value / old_value if old_value > 0 else float("inf")
+        adjusted = ratio / scale
+        # the absolute floor also calibrates: on a 2x-slower runner a
+        # 1 ms-at-baseline delta is expected to read as ~2 ms of noise
+        regressed = (
+            adjusted > 1.0 + threshold
+            and new_value - old_value * scale > min_abs_s * scale
+        )
+        improved = adjusted < 1.0 / (1.0 + threshold)
+        result.entries.append(
+            DiffEntry(key, old_value, new_value, ratio, adjusted, regressed, improved)
+        )
+    return result
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{path}: expected a JSON object snapshot")
+    return snapshot
+
+
+def diff_files(
+    old_path: str,
+    new_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs_s: float = DEFAULT_MIN_ABS_S,
+    calibrate: bool = False,
+) -> DiffResult:
+    """Load two snapshot files and diff their timing leaves."""
+    return diff_timings(
+        flatten_timings(load_snapshot(old_path)),
+        flatten_timings(load_snapshot(new_path)),
+        threshold=threshold,
+        min_abs_s=min_abs_s,
+        calibrate=calibrate,
+    )
+
+
+def render_diff(
+    old_path: str, new_path: str, result: DiffResult, threshold: float
+) -> str:
+    """Human-readable diff report (regressions first, loudest)."""
+    lines = [f"perf diff: {old_path} -> {new_path}"]
+    if result.calibration is not None:
+        lines.append(
+            f"calibration: median new/old ratio {result.calibration:.3f} "
+            f"treated as machine-speed factor"
+        )
+    if not result.entries:
+        lines.append("no comparable timings (disjoint snapshots?)")
+    else:
+        lines.append(
+            f"compared {len(result.entries)} timing(s), "
+            f"threshold +{100 * threshold:.0f}%"
+        )
+    lines.append(f"  {'key':<52} {'old':>12} {'new':>12} {'ratio':>7}  verdict")
+    ordered = sorted(
+        result.entries, key=lambda e: (-e.regressed, -e.adjusted_ratio)
+    )
+    for entry in ordered:
+        verdict = (
+            "REGRESSED"
+            if entry.regressed
+            else ("improved" if entry.improved else "ok")
+        )
+        shown_ratio = entry.adjusted_ratio
+        lines.append(
+            f"  {entry.key:<52} {entry.old:>12.6f} {entry.new:>12.6f} "
+            f"{shown_ratio:>6.2f}x  {verdict}"
+        )
+    for key in result.only_old:
+        lines.append(f"  {key:<52} only in OLD (skipped)")
+    for key in result.only_new:
+        lines.append(f"  {key:<52} only in NEW (skipped)")
+    bad = result.regressions
+    if bad:
+        lines.append(
+            f"FAIL: {len(bad)} regression(s) beyond +{100 * threshold:.0f}%"
+        )
+    else:
+        lines.append("OK: no regressions beyond threshold")
+    return "\n".join(lines)

@@ -20,8 +20,10 @@ strict half, used by the schema tests and the CI smoke job.
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 _NUMERIC = (int, float)
 
@@ -149,6 +151,7 @@ class TraceSummary:
     worker_pids: List[int] = field(default_factory=list)
     wall_s: float = 0.0
     peak_rss_mb: Optional[float] = None
+    rss_by_pid: Dict[int, float] = field(default_factory=dict)
     phases: Dict[str, PhaseStats] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     pools: List[PoolStats] = field(default_factory=list)
@@ -194,6 +197,10 @@ def summarize(events: Sequence[Dict[str, Any]]) -> TraceSummary:
             if isinstance(peak, _NUMERIC):
                 if summary.peak_rss_mb is None or peak > summary.peak_rss_mb:
                     summary.peak_rss_mb = float(peak)
+                pid = event.get("pid")
+                if isinstance(pid, int):
+                    if float(peak) > summary.rss_by_pid.get(pid, 0.0):
+                        summary.rss_by_pid[pid] = float(peak)
         elif kind == "warning":
             summary.warnings.append(event)
         elif kind == "note":
@@ -282,6 +289,17 @@ def render_report(path: str, summary: TraceSummary, slowest: int = 10) -> str:
             f"processes: main pid {summary.main_pid} + "
             f"{len(summary.worker_pids)} workers"
         )
+    if len(summary.rss_by_pid) > 1:
+        # Per-process peaks only earn a section once workers sampled
+        # memory too; a single-process run is covered by the header.
+        lines.append("memory (peak RSS per process):")
+        total = 0.0
+        for pid in sorted(summary.rss_by_pid):
+            role = "main" if pid == summary.main_pid else "worker"
+            peak_mb = summary.rss_by_pid[pid]
+            total += peak_mb
+            lines.append(f"  pid {pid:<8} {role:<7} {peak_mb:>9.1f} MB")
+        lines.append(f"  {'pool total':<16} {total:>9.1f} MB")
 
     lines.append("")
     lines.append("phase breakdown (spans aggregated by name):")
@@ -370,3 +388,185 @@ def report_files(paths: Sequence[str], slowest: int = 10) -> str:
             )
         sections.append(section)
     return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# trace stitching: one request's client → queue → worker critical path
+# ----------------------------------------------------------------------
+def trace_spans(
+    events: Sequence[Dict[str, Any]], trace_id: str
+) -> List[Dict[str, Any]]:
+    """All spans tagged ``trace=<trace_id>``, in start order.
+
+    The serve stack tags every span it opens under a bound trace
+    context (client request, server-side submit, retroactive queue
+    wait, worker execute) with the request's trace id, so filtering on
+    the tag reassembles the request across processes and trace files.
+    """
+    spans = [
+        event
+        for event in events
+        if event.get("ev") == "span"
+        and (event.get("tags") or {}).get("trace") == trace_id
+    ]
+    spans.sort(key=lambda s: (s.get("t", 0.0), s.get("pid", 0), s.get("seq", 0)))
+    return spans
+
+
+def render_trace(trace_id: str, spans: Sequence[Dict[str, Any]]) -> str:
+    """An indented tree of one stitched trace, timed relative to its start.
+
+    Parent/child nesting uses the emitted ``parent`` sids *within* a
+    pid; across pids (client process → server process → worker) spans
+    are separate roots ordered by start time, which reads as the
+    request's hop sequence.  A retried request (worker died, client
+    retried) shows each attempt's spans under the same id — that is the
+    point: the whole story of one logical request in one place.
+    """
+    if not spans:
+        return f"trace {trace_id}: no spans"
+    t0 = min(float(s.get("t", 0.0)) for s in spans)
+    by_key = {(s.get("pid"), s.get("sid")): s for s in spans}
+    children: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for s in spans:
+        parent_key = (s.get("pid"), s.get("parent"))
+        if s.get("parent") is not None and parent_key in by_key:
+            children.setdefault(parent_key, []).append(s)
+        else:
+            roots.append(s)
+    pids = sorted({s.get("pid") for s in spans if isinstance(s.get("pid"), int)})
+    lines = [
+        f"trace {trace_id}: {len(spans)} span(s) across "
+        f"{len(pids)} process(es) {pids}"
+    ]
+    lines.append(f"  {'offset_ms':>10} {'dur_ms':>9}  {'pid':>7}  span")
+
+    def _walk(span: Dict[str, Any], depth: int) -> None:
+        offset_ms = 1000.0 * (float(span.get("t", 0.0)) - t0)
+        dur_ms = 1000.0 * float(span.get("dur", 0.0))
+        tags = {
+            k: v for k, v in (span.get("tags") or {}).items() if k != "trace"
+        }
+        lines.append(
+            f"  {offset_ms:>10.2f} {dur_ms:>9.2f}  {span.get('pid', '?'):>7}  "
+            f"{'  ' * depth}{span.get('name', '?')} {_fmt_tags(tags, limit=60)}"
+        )
+        for child in sorted(
+            children.get((span.get("pid"), span.get("sid")), ()),
+            key=lambda s: s.get("t", 0.0),
+        ):
+            _walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("t", 0.0)):
+        _walk(root, 0)
+    return "\n".join(lines)
+
+
+def report_trace_id(paths: Sequence[str], trace_id: str) -> Tuple[str, int]:
+    """Stitch ``trace_id`` across trace files; (rendered text, span count)."""
+    spans: List[Dict[str, Any]] = []
+    for path in paths:
+        if os.path.exists(path):
+            spans.extend(trace_spans(load_trace(path), trace_id))
+    spans.sort(key=lambda s: (s.get("t", 0.0), s.get("pid", 0), s.get("seq", 0)))
+    return render_trace(trace_id, spans), len(spans)
+
+
+# ----------------------------------------------------------------------
+# live following (repro obs tail)
+# ----------------------------------------------------------------------
+def follow_trace(
+    path: str,
+    poll_s: float = 0.25,
+    timeout_s: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield events appended to a live trace file (and its worker shards).
+
+    ``tail -f`` for JSONL traces: starts at the beginning, then polls
+    for growth.  Partial trailing lines (a writer mid-``write``) are
+    held back until their newline arrives.  Worker shard files
+    (``<path>.shard-*``) are picked up as they appear, so spans emitted
+    by pool workers stream too.  Stops after ``timeout_s`` without the
+    file existing/growing, or once ``max_events`` events were yielded;
+    runs forever when both are ``None`` (caller interrupts).
+    """
+    import glob as _glob
+
+    yielded = 0
+    offsets: Dict[str, int] = {}
+    buffers: Dict[str, str] = {}
+    last_progress = time.monotonic()
+
+    def _drain(file_path: str) -> Iterator[Dict[str, Any]]:
+        try:
+            size = os.path.getsize(file_path)
+        except OSError:
+            return
+        offset = offsets.get(file_path, 0)
+        if size <= offset:
+            if size < offset:  # merged/rewritten: start over
+                offsets[file_path] = 0
+                buffers[file_path] = ""
+            return
+        with open(file_path, "r", encoding="utf-8") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+            offsets[file_path] = handle.tell()
+        pending = buffers.get(file_path, "") + chunk
+        lines = pending.split("\n")
+        buffers[file_path] = lines.pop()  # tail without newline: hold back
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict):
+                yield event
+
+    while True:
+        progressed = False
+        for file_path in [path] + sorted(_glob.glob(_glob.escape(path) + ".shard-*")):
+            for event in _drain(file_path):
+                progressed = True
+                yielded += 1
+                yield event
+                if max_events is not None and yielded >= max_events:
+                    return
+        now = time.monotonic()
+        if progressed:
+            last_progress = now
+        elif timeout_s is not None and now - last_progress >= timeout_s:
+            return
+        time.sleep(poll_s)
+
+
+def render_tail_event(event: Dict[str, Any]) -> Optional[str]:
+    """One-line rendering of a followed event (None = not shown)."""
+    kind = event.get("ev")
+    pid = event.get("pid", "?")
+    if kind == "span":
+        tags = _fmt_tags(event.get("tags") or {}, limit=60)
+        return (
+            f"[{pid}] span  {event.get('name', '?'):<26} "
+            f"{1000.0 * float(event.get('dur', 0.0)):>9.2f} ms  {tags}"
+        )
+    if kind in ("warning", "note"):
+        return (
+            f"[{pid}] {kind:<5} {event.get('kind', '?')}: "
+            f"{event.get('message', '')} "
+            f"{_fmt_tags(event.get('data') or {}, limit=60)}"
+        )
+    if kind == "rss":
+        return (
+            f"[{pid}] rss   {event.get('rss_mb', 0.0):.1f} MB "
+            f"(peak {event.get('peak_mb', 0.0):.1f} MB)"
+        )
+    if kind == "meta":
+        tags = _fmt_tags(event.get("tags") or {}, limit=60)
+        return f"[{pid}] meta  schema={event.get('schema')} {tags}"
+    return None  # counters snapshots are too chatty for a live tail

@@ -47,9 +47,12 @@ single self-contained JSONL file.
 from __future__ import annotations
 
 import atexit
+import contextlib
+import contextvars
 import glob
 import json
 import os
+import re
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -67,6 +70,45 @@ TRACE_ENV = "REPRO_TRACE"
 
 #: environment variable enabling the cProfile hook (see repro.obs.profile).
 PROFILE_ENV = "REPRO_PROFILE"
+
+
+# ----------------------------------------------------------------------
+# trace context: one logical request = one trace id
+# ----------------------------------------------------------------------
+#: the trace id bound to the current task/thread (contextvar so it
+#: follows async tasks and is inherited by threads started under it
+#: only when explicitly rebound — which is what the serve stack does).
+_TRACE_CTX: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace id (little entropy needed: ids only
+    have to be unique within one trace file's lifetime)."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to the calling context, or ``None``."""
+    return _TRACE_CTX.get()
+
+
+@contextlib.contextmanager
+def trace_context(trace_id: Optional[str]):
+    """Bind ``trace_id`` for the duration of the block.
+
+    Spans opened inside the block on a *file-backed* tracer are tagged
+    ``trace=<id>``, which is what ``repro obs report --trace-id`` uses
+    to stitch the client → queue → worker critical path back together.
+    ``None`` unbinds (useful to keep an inherited id out of unrelated
+    background work).
+    """
+    token = _TRACE_CTX.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_CTX.reset(token)
 
 
 class _NullSpan:
@@ -107,6 +149,9 @@ class NullTracer:
     def event(self, kind: str, message: str = "", **data: Any) -> None:
         return None
 
+    def record_span(self, name: str, t0: float, dur: float, **tags: Any) -> None:
+        return None
+
     def phase_seconds(self) -> Dict[str, float]:
         return {}
 
@@ -145,6 +190,10 @@ class Span:
             self.parent = stack[-1].sid if stack else None
             self.sid = tracer._next_sid()
             stack.append(self)
+            if "trace" not in self.tags:
+                trace_id = _TRACE_CTX.get()
+                if trace_id is not None:
+                    self.tags["trace"] = trace_id
         self.t0 = time.perf_counter()
         return self
 
@@ -315,6 +364,41 @@ class Tracer:
             }
         )
 
+    def record_span(self, name: str, t0: float, dur: float, **tags: Any) -> None:
+        """Record a span retroactively from measured timestamps.
+
+        For regions whose start and end are observed in *different*
+        call frames (e.g. queue wait: enqueue in the service thread,
+        pickup in the worker agent), where a ``with span():`` block
+        cannot wrap the region.  ``t0`` must come from
+        ``time.perf_counter()``.  The span is top-level (no parent —
+        the recording thread's open spans are unrelated to the measured
+        region) and aggregates into phase totals like any other span.
+        """
+        with self._lock:
+            slot = self._agg.get(name)
+            if slot is None:
+                self._agg[name] = [1, dur]
+            else:
+                slot[0] += 1
+                slot[1] += dur
+        if self._handle is not None:
+            if "trace" not in tags:
+                trace_id = _TRACE_CTX.get()
+                if trace_id is not None:
+                    tags["trace"] = trace_id
+            self._emit(
+                {
+                    "ev": "span",
+                    "t": t0,
+                    "dur": dur,
+                    "name": name,
+                    "sid": self._next_sid(),
+                    "parent": None,
+                    "tags": tags,
+                }
+            )
+
     def flush_counters(self) -> None:
         """Emit a counters snapshot if values changed since the last one."""
         if self._handle is None:
@@ -380,18 +464,37 @@ class Tracer:
 # ----------------------------------------------------------------------
 # shard merging
 # ----------------------------------------------------------------------
-def _iter_events(path: str) -> Iterator[Dict[str, Any]]:
+def _read_events(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Events of one JSONL file plus the number of skipped bad lines.
+
+    A worker killed mid-write (SIGKILL, OOM) leaves a truncated final
+    line; such lines parse as garbage and are counted, not raised.
+    """
+    events: List[Dict[str, Any]] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
-            line = line.strip()
-            if not line:
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                event = json.loads(line)
+                event = json.loads(stripped)
             except ValueError:
-                continue  # truncated tail from a killed writer
+                skipped += 1  # truncated tail from a killed writer
+                continue
             if isinstance(event, dict):
-                yield event
+                events.append(event)
+            else:
+                skipped += 1
+    return events, skipped
+
+
+def _iter_events(path: str) -> Iterator[Dict[str, Any]]:
+    for event in _read_events(path)[0]:
+        yield event
+
+
+_SHARD_PID_RE = re.compile(r"\.shard-(\d+)$")
 
 
 def merge_shards(path: str) -> int:
@@ -401,13 +504,38 @@ def merge_shards(path: str) -> int:
     ``seq`` is unique per pid — so merging the same shard set twice
     produces byte-identical output.  Returns the number of shard files
     merged (0 when there were none; the main file is then untouched).
+
+    Truncated records (a worker SIGKILLed mid-write leaves a partial
+    final line in its shard) are skipped, and one synthetic
+    ``warning``/``truncated-shard`` event per affected file is merged
+    in their place, so the loss is visible in ``repro obs report``
+    instead of silently dropped or fatal.
     """
     shards = sorted(glob.glob(glob.escape(path) + ".shard-*"))
     if not shards:
         return 0
-    events = list(_iter_events(path))
+    events, _ = _read_events(path)
     for shard in shards:
-        events.extend(_iter_events(shard))
+        shard_events, skipped = _read_events(shard)
+        events.extend(shard_events)
+        if skipped:
+            match = _SHARD_PID_RE.search(shard)
+            pid = int(match.group(1)) if match else 0
+            last_t = max((e.get("t", 0.0) for e in shard_events), default=0.0)
+            events.append(
+                {
+                    "ev": "warning",
+                    "t": last_t,
+                    "pid": pid,
+                    # far above any real seq so the warning sorts after
+                    # the shard's surviving events at the same t
+                    "seq": 1_000_000_000,
+                    "kind": "truncated-shard",
+                    "message": f"skipped {skipped} partial record(s) "
+                    f"(writer likely killed mid-write)",
+                    "data": {"path": os.path.basename(shard), "skipped": skipped},
+                }
+            )
     events.sort(key=lambda e: (e.get("t", 0.0), e.get("pid", 0), e.get("seq", 0)))
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
@@ -454,6 +582,11 @@ def counter(name: str, inc: float = 1) -> None:
 def event(kind: str, message: str = "", **data: Any) -> None:
     """Record a structured event (warnings, retries) on the active tracer."""
     _ACTIVE.event(kind, message, **data)
+
+
+def record_span(name: str, t0: float, dur: float, **tags: Any) -> None:
+    """Record a retroactively-measured span on the active tracer."""
+    _ACTIVE.record_span(name, t0, dur, **tags)
 
 
 def maybe_init_worker() -> None:

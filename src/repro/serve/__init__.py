@@ -12,17 +12,26 @@ See ``docs/OPERATIONS.md`` for running it and the layer map in
 """
 
 from repro.serve.client import ServeClient
-from repro.serve.protocol import ServeError, scenario_key
+from repro.serve.protocol import (
+    IDEMPOTENCY_HEADER,
+    TRACE_HEADER,
+    ServeError,
+    normalize_trace_id,
+    scenario_key,
+)
 from repro.serve.scenario import ScenarioCache
 from repro.serve.server import Daemon, HTTPFrontEnd, ServeConfig, TopologyService
 
 __all__ = [
     "Daemon",
     "HTTPFrontEnd",
+    "IDEMPOTENCY_HEADER",
     "ScenarioCache",
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "TRACE_HEADER",
     "TopologyService",
+    "normalize_trace_id",
     "scenario_key",
 ]

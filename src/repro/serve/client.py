@@ -17,7 +17,15 @@ correct behavior instead of re-inventing it:
 * **idempotency keys** — each logical request carries one opaque
   ``X-Request-Key`` that *stays fixed across its retries*: when a
   timed-out request actually completed server-side, the retry replays
-  the stored answer instead of recomputing it.
+  the stored answer instead of recomputing it;
+* **trace propagation** — each logical request also mints one trace id
+  (``X-Trace-Id``, fixed across retries like the idempotency key) and
+  wraps its retry loop in a ``serve.client.request`` span, so when the
+  client process traces, ``repro obs report --trace-id`` stitches the
+  client attempt(s), the server-side queue wait and the worker
+  execution into one tree — including across a worker crash + retry,
+  which is exactly when you want the whole story in one place.  The
+  id of the last request is kept on ``last_trace_id``.
 
 Transport is stdlib ``http.client`` over TCP or a unix socket; no
 external dependencies.
@@ -32,7 +40,14 @@ import socket
 import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.serve.protocol import IDEMPOTENCY_HEADER, ServeError, decode, encode
+from repro.obs import trace as _obs
+from repro.serve.protocol import (
+    IDEMPOTENCY_HEADER,
+    TRACE_HEADER,
+    ServeError,
+    decode,
+    encode,
+)
 
 #: transport failures worth retrying (server gone mid-connection).
 _RETRYABLE_IO = (
@@ -94,6 +109,8 @@ class ServeClient:
         #: tests assert on these.
         self.last_attempts = 0
         self.last_sleeps: List[float] = []
+        #: trace id minted for the last logical request.
+        self.last_trace_id: Optional[str] = None
 
     # -- transport ------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -129,11 +146,14 @@ class ServeClient:
         path: str,
         body: Optional[Mapping[str, Any]],
         key: Optional[str],
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any], Optional[float]]:
         conn = self._connection()
         headers = {"Content-Type": "application/json"}
         if key is not None:
             headers[IDEMPOTENCY_HEADER] = key
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         conn.request(
             method, path, body=encode(body) if body is not None else None, headers=headers
         )
@@ -171,34 +191,57 @@ class ServeClient:
         (code preserved, so callers can still branch on the taxonomy).
         """
         key = os.urandom(8).hex() if idempotent else None
+        trace_id = _obs.mint_trace_id()
+        self.last_trace_id = trace_id
         self.last_attempts = 0
         self.last_sleeps = []
         last_error: Optional[ServeError] = None
-        for attempt in range(self.retries + 1):
-            self.last_attempts = attempt + 1
-            hint: Optional[float] = None
-            try:
-                status, payload, hint = self._once(method, path, body, key)
-                if status < 400:
-                    return payload
-                error = ServeError.from_payload(payload)
-                if error.retry_after_s is None and hint is not None:
-                    error.retry_after_s = hint
-                last_error = error
-                if not error.retryable or (error.code == "timeout" and not idempotent):
-                    raise error
-            except ServeError:
-                raise
-            except _RETRYABLE_IO as io_error:
-                self._drop_connection()
-                last_error = ServeError(
-                    "unavailable", f"transport failure: {io_error!r}"
+        # One span per *logical* request (covering every retry), tagged
+        # with the same trace id every attempt sends — so a retried
+        # request stitches into a single trace server-side.
+        with _obs.trace_context(trace_id):
+            with _obs.span(
+                "serve.client.request", method=method, path=path
+            ) as request_span:
+                for attempt in range(self.retries + 1):
+                    self.last_attempts = attempt + 1
+                    hint: Optional[float] = None
+                    try:
+                        status, payload, hint = self._once(
+                            method, path, body, key, trace_id
+                        )
+                        if status < 400:
+                            request_span.tag(attempts=attempt + 1, status=status)
+                            return payload
+                        error = ServeError.from_payload(payload)
+                        if error.retry_after_s is None and hint is not None:
+                            error.retry_after_s = hint
+                        last_error = error
+                        if not error.retryable or (
+                            error.code == "timeout" and not idempotent
+                        ):
+                            raise error
+                    except ServeError:
+                        request_span.tag(
+                            attempts=attempt + 1, error=last_error.code
+                            if last_error
+                            else "?",
+                        )
+                        raise
+                    except _RETRYABLE_IO as io_error:
+                        self._drop_connection()
+                        last_error = ServeError(
+                            "unavailable", f"transport failure: {io_error!r}"
+                        )
+                    if attempt < self.retries:
+                        delay = self._sleep_for(attempt, last_error.retry_after_s)
+                        self.last_sleeps.append(delay)
+                        time.sleep(delay)
+                request_span.tag(
+                    attempts=self.last_attempts,
+                    error=last_error.code if last_error else "?",
                 )
-            if attempt < self.retries:
-                delay = self._sleep_for(attempt, last_error.retry_after_s)
-                self.last_sleeps.append(delay)
-                time.sleep(delay)
-        raise last_error
+                raise last_error
 
     # -- the API --------------------------------------------------------
     def health(self) -> Dict[str, Any]:

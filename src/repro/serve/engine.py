@@ -24,8 +24,10 @@ Results are plain JSON-serialisable dicts with ``status: ok|degraded``
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional
 
+from repro.obs import metrics as _metrics
 from repro.obs import trace as _obs
 from repro.serve import protocol
 from repro.serve.protocol import bad_request, degraded, ok
@@ -114,8 +116,12 @@ def _route_or_distance(
                 {"src": request["src"], "dst": request["dst"], "reachable": False},
                 reason,
             )
+    t0 = time.perf_counter()
     with _obs.span("serve.bfs", op="route" if want_path else "distance"):
         dist = view.bfs_distances(src)
+    _metrics.get_registry().histogram(
+        "serve.bfs.seconds", op="route" if want_path else "distance"
+    ).observe(time.perf_counter() - t0)
     hops = int(dist[dst])
     payload: Dict[str, Any] = {
         "src": request["src"],
@@ -134,6 +140,7 @@ def _route_or_distance(
 def _whatif(graph, request: Dict[str, Any], scenarios: ScenarioCache) -> Dict[str, Any]:
     key = protocol.request_scenario_key(request)
     masked = scenarios.get(key)
+    t0 = time.perf_counter()
     with _obs.span("serve.whatif", components=sum(len(part) for part in key)):
         alive = masked.num_alive_servers()
         total = graph.num_servers
@@ -160,6 +167,9 @@ def _whatif(graph, request: Dict[str, Any], scenarios: ScenarioCache) -> Dict[st
         count, examples = masked.cut_off_servers()
         payload["cut_off_servers"] = count
         payload["cut_off_examples"] = examples
+    _metrics.get_registry().histogram("serve.whatif.seconds").observe(
+        time.perf_counter() - t0
+    )
     if payload["largest_component_fraction"] < 1.0:
         return degraded(payload, "surviving servers are partitioned")
     return ok(payload)

@@ -58,6 +58,34 @@ OPS = ("route", "distance", "whatif", "ping")
 #: header carrying the client's idempotency key (any opaque string).
 IDEMPOTENCY_HEADER = "X-Request-Key"
 
+#: header carrying the client-minted trace id (see repro.obs.trace).
+TRACE_HEADER = "X-Trace-Id"
+
+#: ceiling on accepted trace-id length (ids are opaque; the cap only
+#: stops a hostile header from bloating every span the request tags).
+MAX_TRACE_ID_LEN = 64
+
+
+def normalize_trace_id(value: Any) -> Optional[str]:
+    """A safe trace id from an inbound header value, or ``None``.
+
+    Accepts modest-length identifiers made of word characters, dots and
+    dashes; anything else (missing, empty, oversized, control bytes) is
+    dropped rather than rejected — tracing is best-effort metadata and
+    must never fail a request.
+    """
+    if not isinstance(value, str):
+        return None
+    value = value.strip()
+    if not value or len(value) > MAX_TRACE_ID_LEN:
+        return None
+    # ASCII-only on purpose: str.isalnum() admits any Unicode letter,
+    # and these ids end up verbatim in log lines and metric labels.
+    if not all(("a" <= c <= "z") or ("A" <= c <= "Z") or ("0" <= c <= "9")
+               or c in "._-" for c in value):
+        return None
+    return value
+
 #: hard ceiling on whatif pair sampling, so one request cannot pin a
 #: worker arbitrarily long.
 MAX_SAMPLE_PAIRS = 100_000

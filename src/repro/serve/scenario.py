@@ -25,6 +25,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.faults.mask import MaskedGraph
+from repro.obs import metrics as _metrics
 from repro.obs import trace as _obs
 from repro.serve.protocol import ScenarioKey, bad_request, scenario_from_key
 
@@ -64,21 +65,25 @@ class ScenarioCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 _obs.counter("serve.scenario.cache_hit")
+                _metrics.get_registry().counter("serve.scenario.cache_hit").inc()
                 return masked
         # Build outside the lock: construction touches the whole node
         # bitmap and may be slow on big graphs; concurrent misses on the
         # same key then race benignly (last insert wins, same content).
         self._validate_names(key)
         masked = MaskedGraph(self.graph, scenario_from_key(key))
+        registry = _metrics.get_registry()
         with self._lock:
             self.misses += 1
             _obs.counter("serve.scenario.cache_miss")
+            registry.counter("serve.scenario.cache_miss").inc()
             self._entries[key] = masked
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 _obs.counter("serve.scenario.cache_evict")
+                registry.counter("serve.scenario.cache_evict").inc()
         return masked
 
     def _validate_names(self, key: ScenarioKey) -> None:

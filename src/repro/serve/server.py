@@ -38,12 +38,29 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import metrics as _metrics
 from repro.obs import trace as _obs
+from repro.obs.memory import peak_rss_mb
 from repro.serve import engine, protocol
-from repro.serve.protocol import IDEMPOTENCY_HEADER, ServeError, bad_request
+from repro.serve.protocol import (
+    IDEMPOTENCY_HEADER,
+    TRACE_HEADER,
+    ServeError,
+    bad_request,
+    normalize_trace_id,
+)
 from repro.serve.scenario import ScenarioCache
 from repro.serve.supervisor import Job, Supervisor
 from repro.topology import shm
+
+#: ServeError code -> request-outcome label on metrics series.
+_OUTCOME_BY_CODE = {
+    "timeout": "timeout",
+    "overload": "shed",
+    "unavailable": "shed",
+    "bad-request": "error",
+    "internal": "error",
+}
 
 
 @dataclass
@@ -89,11 +106,15 @@ class TopologyService:
         graph,
         config: Optional[ServeConfig] = None,
         label: str = "graph",
+        registry: Optional[_metrics.MetricsRegistry] = None,
     ) -> None:
         self.graph = graph
         self.config = config or ServeConfig()
         self.label = label
         self.counters = _Counters()
+        #: live metrics registry; defaults to the process-global one so
+        #: engine/cache instrumentation lands in the same place.
+        self.registry = registry if registry is not None else _metrics.get_registry()
         self.supervisor: Optional[Supervisor] = None
         self.handle = None
         self._scenarios: Optional[ScenarioCache] = None
@@ -113,7 +134,7 @@ class TopologyService:
             return
         if self.config.workers > 0:
             self.handle = shm.export_graph(self.graph)
-            self.supervisor = Supervisor(self.handle, self.config)
+            self.supervisor = Supervisor(self.handle, self.config, self.registry)
             self.supervisor.start()
         else:
             self._scenarios = ScenarioCache(
@@ -212,8 +233,43 @@ class TopologyService:
         params: Mapping[str, Any],
         deadline_s: Optional[float] = None,
         idempotency_key: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Run one query; returns the response payload or raises ServeError."""
+        """Run one query; returns the response payload or raises ServeError.
+
+        Every submission — including shed and failed ones — lands in
+        the live metrics: a ``serve.requests`` counter bump and a
+        ``serve.request.latency_seconds`` observation, both labeled
+        ``endpoint=<op>, outcome=<ok|degraded|timeout|shed|error>``.
+        ``trace_id`` (client-minted, via the ``X-Trace-Id`` header)
+        binds the trace context for the request's spans and rides the
+        request dict into the worker.
+        """
+        outcome = "error"
+        t0 = time.perf_counter()
+        try:
+            with _obs.trace_context(trace_id):
+                payload = self._submit(op, params, deadline_s, idempotency_key, trace_id)
+            outcome = "degraded" if payload.get("status") == "degraded" else "ok"
+            return payload
+        except ServeError as error:
+            outcome = _OUTCOME_BY_CODE.get(error.code, "error")
+            raise
+        finally:
+            registry = self.registry
+            registry.counter("serve.requests", endpoint=op, outcome=outcome).inc()
+            registry.histogram(
+                "serve.request.latency_seconds", endpoint=op, outcome=outcome
+            ).observe(time.perf_counter() - t0)
+
+    def _submit(
+        self,
+        op: str,
+        params: Mapping[str, Any],
+        deadline_s: Optional[float],
+        idempotency_key: Optional[str],
+        trace_id: Optional[str],
+    ) -> Dict[str, Any]:
         config = self.config
         if self._stopped:
             raise ServeError(
@@ -235,6 +291,10 @@ class TopologyService:
         if replay is not None:
             return replay
         request = protocol.parse_query(op, params)
+        if trace_id is not None:
+            # the trace id travels inside the canonical request so the
+            # worker process can rebind the context around execution.
+            request["trace"] = trace_id
         if deadline_s is None:
             deadline_s = config.default_deadline_s
         deadline_s = min(deadline_s, config.max_deadline_s)
@@ -254,7 +314,13 @@ class TopologyService:
             self._inline_inflight += 1
         try:
             started = time.monotonic()
+            started_pc = time.perf_counter()
             payload = engine.execute(self.graph, request, self._scenarios)
+            self.registry.histogram(
+                "serve.execute.latency_seconds",
+                endpoint=request.get("op", "?"),
+                outcome="degraded" if payload.get("status") == "degraded" else "ok",
+            ).observe(time.perf_counter() - started_pc)
             if time.monotonic() - started > deadline_s:
                 # Inline execution cannot be preempted; a blown budget
                 # still reports as a timeout so clients behave the same
@@ -347,9 +413,44 @@ class TopologyService:
                 info["scenario_cache"] = self._scenarios.stats()
         return info
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The service-wide metrics snapshot: parent ⊕ every worker.
+
+        Refreshes scrape-time gauges first (queue depth, worker age /
+        liveness / RSS), then merges the parent registry with the
+        per-slot worker snapshots that piggybacked on reply pipes —
+        including snapshots retired by worker restarts, so counts are
+        lifetime totals, not since-last-respawn.
+        """
+        worker_snaps = []
+        if self.supervisor is not None:
+            self.supervisor.refresh_gauges()
+            worker_snaps = self.supervisor.worker_metric_snapshots()
+        else:
+            self.registry.gauge("serve.inflight").set(self._inline_inflight)
+        return _metrics.merge_snapshots(self.registry.snapshot(), *worker_snaps)
+
+    def memory_stats(self) -> Dict[str, Any]:
+        """Peak RSS of the parent and each worker, plus the pool total."""
+        main_mb = peak_rss_mb()
+        memory: Dict[str, Any] = {"main_peak_rss_mb": main_mb}
+        total = main_mb or 0.0
+        if self.supervisor is not None:
+            per_worker = {
+                str(agent.slot): agent.last_rss_mb
+                for agent in self.supervisor.agents
+                if agent.last_rss_mb is not None
+            }
+            memory["workers_peak_rss_mb"] = per_worker
+            total += sum(per_worker.values())
+        memory["pool_total_mb"] = round(total, 2)
+        return memory
+
     def stats(self) -> Dict[str, Any]:
         payload = self.state()
         payload["counters"] = self.counters.snapshot()
+        payload["metrics"] = self.metrics_snapshot()
+        payload["memory"] = self.memory_stats()
         return payload
 
 
@@ -385,7 +486,7 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     #: GET paths that bypass the queue entirely.
-    _CONTROL = ("/healthz", "/readyz", "/stats")
+    _CONTROL = ("/healthz", "/readyz", "/stats", "/metrics")
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         return  # request logs go through repro.obs, not stderr
@@ -407,6 +508,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if retry_after_s is not None:
             self.send_header("Retry-After", f"{max(retry_after_s, 0.001):.3f}")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         try:
             self.wfile.write(body)
@@ -439,6 +551,7 @@ class _Handler(BaseHTTPRequestHandler):
                 params,
                 deadline_s=deadline_s,
                 idempotency_key=self.headers.get(IDEMPOTENCY_HEADER),
+                trace_id=normalize_trace_id(self.headers.get(TRACE_HEADER)),
             )
             self._send(200, payload)
         except ServeError as error:
@@ -472,6 +585,13 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/stats":
             self._send(200, service.stats())
+            return
+        if path == "/metrics":
+            self._send_text(
+                200,
+                _metrics.render_prometheus(service.metrics_snapshot()),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
             return
         if path in ("/route", "/distance"):
             self._run(path.lstrip("/"), self._params_from_query())

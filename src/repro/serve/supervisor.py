@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.obs import metrics as _metrics
 from repro.obs import trace as _obs
 from repro.serve.protocol import ServeError
 from repro.serve.worker import worker_main
@@ -44,12 +45,25 @@ from repro.serve.worker import worker_main
 class Job:
     """One queued request plus the rendezvous its waiter blocks on."""
 
-    __slots__ = ("request", "deadline_at", "enqueued_at", "_event", "result", "error")
+    __slots__ = (
+        "request",
+        "deadline_at",
+        "enqueued_at",
+        "enqueued_pc",
+        "picked_pc",
+        "_event",
+        "result",
+        "error",
+    )
 
     def __init__(self, request: Dict[str, Any], deadline_at: float) -> None:
         self.request = request
         self.deadline_at = deadline_at
         self.enqueued_at = time.monotonic()
+        # perf_counter twin of enqueued_at: queue-wait spans must share
+        # the clock every other trace event uses (t is perf_counter).
+        self.enqueued_pc = time.perf_counter()
+        self.picked_pc: Optional[float] = None
         self._event = threading.Event()
         self.result: Optional[Dict[str, Any]] = None
         self.error: Optional[ServeError] = None
@@ -87,6 +101,13 @@ class WorkerAgent(threading.Thread):
         self.restarts = 0
         self.hung_kills = 0
         self.last_cache_stats: Optional[Dict[str, Any]] = None
+        #: latest metrics snapshot / peak RSS the live worker piggybacked
+        #: on a reply, and the merged snapshots of its dead predecessors
+        #: (so counts survive restarts).
+        self.last_metrics: Optional[Dict[str, Any]] = None
+        self.last_rss_mb: Optional[float] = None
+        self.retired_metrics: Optional[Dict[str, Any]] = None
+        self.spawned_at: Optional[float] = None
         self._seq = 0
         self._stopping = threading.Event()
 
@@ -101,6 +122,14 @@ class WorkerAgent(threading.Thread):
         )
 
     def _teardown_process(self, kill: bool = True) -> None:
+        if self.last_metrics is not None:
+            # fold the dying worker's counts into the retired pile so a
+            # restart doesn't erase its observations from /metrics.
+            self.retired_metrics = _metrics.merge_snapshots(
+                self.retired_metrics, self.last_metrics
+            )
+            self.last_metrics = None
+        self.spawned_at = None
         if self.conn is not None:
             try:
                 self.conn.close()
@@ -130,11 +159,15 @@ class WorkerAgent(threading.Thread):
         process.start()
         child_conn.close()
         self.process, self.conn = process, parent_conn
+        registry = self.sup.registry
         if self._spawned_once:
             self.restarts += 1
             _obs.counter("serve.worker.restarts")
+            registry.counter("serve.worker.restarts", slot=self.slot).inc()
         self._spawned_once = True
         _obs.counter("serve.worker.spawns")
+        registry.counter("serve.worker.spawns", slot=self.slot).inc()
+        self.spawned_at = time.monotonic()
         self._seq += 1
         try:
             parent_conn.send({"seq": self._seq, "request": {"op": "ping"}})
@@ -169,6 +202,20 @@ class WorkerAgent(threading.Thread):
             job.fail(ServeError("timeout", "deadline elapsed while queued"))
             _obs.counter("serve.timeouts.queued")
             return
+        # Queue wait = enqueue (service thread) -> here (about to hit
+        # the pipe).  Observed as a histogram and, when tracing, as a
+        # retroactive span so the wait shows up on the request's trace.
+        job.picked_pc = time.perf_counter()
+        waited = job.picked_pc - job.enqueued_pc
+        op = job.request.get("op", "?")
+        self.sup.registry.histogram(
+            "serve.queue.wait_seconds", endpoint=op
+        ).observe(waited)
+        trace_tags = {"op": op, "slot": self.slot}
+        trace_id = job.request.get("trace")
+        if trace_id is not None:
+            trace_tags["trace"] = trace_id
+        _obs.record_span("serve.queue", job.enqueued_pc, waited, **trace_tags)
         self._seq += 1
         seq = self._seq
         try:
@@ -186,6 +233,7 @@ class WorkerAgent(threading.Thread):
                 self.hung_kills += 1
                 self.consecutive_failures += 1
                 _obs.counter("serve.worker.hung")
+                self.sup.registry.counter("serve.worker.hung", slot=self.slot).inc()
                 if not job.settled:
                     self._fail_lost(job, "hung worker killed")
                 self._teardown_process()
@@ -207,11 +255,17 @@ class WorkerAgent(threading.Thread):
                     _obs.counter("serve.worker.stale_replies")
                     continue
                 self.consecutive_failures = 0
+                if "result" in reply:
+                    meta = reply["result"].pop("worker", None)
+                    if meta:
+                        if "cache" in meta:
+                            self.last_cache_stats = meta["cache"]
+                        if "metrics" in meta:
+                            self.last_metrics = meta["metrics"]
+                        if meta.get("rss_mb") is not None:
+                            self.last_rss_mb = meta["rss_mb"]
                 if not job.settled:
                     if "result" in reply:
-                        meta = reply["result"].pop("worker", None)
-                        if meta and "cache" in meta:
-                            self.last_cache_stats = meta["cache"]
                         job.resolve(reply["result"])
                     else:
                         job.fail(ServeError.from_payload(reply.get("error") or {}))
@@ -278,9 +332,12 @@ class WorkerAgent(threading.Thread):
 class Supervisor:
     """The pool of worker agents plus the shared bounded job queue."""
 
-    def __init__(self, handle, config) -> None:
+    def __init__(self, handle, config, registry=None) -> None:
         self.handle = handle
         self.config = config
+        self.registry = (
+            registry if registry is not None else _metrics.get_registry()
+        )
         self.jobs: "queue.Queue[Optional[Job]]" = queue.Queue(
             maxsize=config.queue_bound
         )
@@ -353,6 +410,51 @@ class Supervisor:
     def restart_count(self) -> int:
         return sum(agent.restarts for agent in self.agents)
 
+    def worker_metric_snapshots(self) -> List[Dict[str, Any]]:
+        """Per-slot merged metrics: retired predecessors ⊕ live worker.
+
+        The live worker's snapshot arrives piggybacked on every reply;
+        the retired pile accumulates snapshots of workers this slot
+        already lost (crash/hang/drain), so the merged view counts all
+        work the slot ever did.
+        """
+        merged = []
+        for agent in self.agents:
+            if agent.retired_metrics is not None or agent.last_metrics is not None:
+                merged.append(
+                    _metrics.merge_snapshots(
+                        agent.retired_metrics, agent.last_metrics
+                    )
+                )
+        return merged
+
+    def refresh_gauges(self) -> None:
+        """Push liveness/age/RSS gauges into the registry (scrape-time)."""
+        registry = self.registry
+        now = time.monotonic()
+        total_rss = 0.0
+        for agent in self.agents:
+            alive = agent.process is not None and agent.process.is_alive()
+            registry.gauge("serve.worker.alive", slot=agent.slot).set(
+                1.0 if alive else 0.0
+            )
+            age = (
+                now - agent.spawned_at
+                if alive and agent.spawned_at is not None
+                else 0.0
+            )
+            registry.gauge("serve.worker.age_seconds", slot=agent.slot).set(
+                round(age, 3)
+            )
+            if agent.last_rss_mb is not None:
+                registry.gauge("serve.worker.peak_rss_mb", slot=agent.slot).set(
+                    agent.last_rss_mb
+                )
+                total_rss += agent.last_rss_mb
+        registry.gauge("serve.worker.pool_rss_mb").set(round(total_rss, 2))
+        registry.gauge("serve.queue.depth").set(self.jobs.qsize())
+        registry.gauge("serve.inflight").set(self.inflight)
+
     def stats(self) -> Dict[str, Any]:
         spawns = sum(1 for a in self.agents if a.process is not None)
         caches = [a.last_cache_stats for a in self.agents if a.last_cache_stats]
@@ -360,6 +462,11 @@ class Supervisor:
             "hits": sum(c["hits"] for c in caches),
             "misses": sum(c["misses"] for c in caches),
             "size": sum(c["size"] for c in caches),
+        }
+        rss_by_slot = {
+            str(a.slot): a.last_rss_mb
+            for a in self.agents
+            if a.last_rss_mb is not None
         }
         return {
             "workers": self.config.workers,
@@ -371,4 +478,10 @@ class Supervisor:
             "queue_depth": self.jobs.qsize(),
             "inflight": self.inflight,
             "scenario_cache": cache_totals if caches else None,
+            "peak_rss_mb": {
+                "per_worker": rss_by_slot,
+                "pool_total": round(sum(rss_by_slot.values()), 2),
+            }
+            if rss_by_slot
+            else None,
         }

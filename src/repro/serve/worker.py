@@ -16,9 +16,16 @@ restart cost stays flat in graph size.
 
 Protocol on the pipe (all plain picklable dicts):
 
-* parent -> worker: ``{"seq": n, "request": <canonical request>}``;
+* parent -> worker: ``{"seq": n, "request": <canonical request>}`` —
+  the request may carry a ``"trace"`` key (the client's trace id),
+  which the worker binds around execution so its spans stitch into the
+  request's end-to-end trace;
 * worker -> parent: ``{"seq": n, "result": payload}`` or
-  ``{"seq": n, "error": <ServeError payload>}``.
+  ``{"seq": n, "error": <ServeError payload>}``.  Result replies carry
+  a ``"worker"`` meta dict (popped by the parent agent, never sent to
+  clients) with the worker's pid, scenario-cache stats, a live metrics
+  snapshot and its peak RSS — the piggyback channel that merges
+  worker-side telemetry into the parent without extra IPC.
 
 The ``seq`` echo lets the parent discard stale replies after it has
 already timed out a request — the pipe stays usable without a restart.
@@ -29,6 +36,7 @@ touches the segment's lifetime: the parent owns it.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict
 
 from repro.serve import engine
@@ -39,10 +47,13 @@ from repro.serve.scenario import ScenarioCache
 def worker_main(conn, handle, scenario_capacity: int = 64) -> None:
     """Blocking request loop; returns (exiting the process) on EOF."""
     from repro.obs import trace as obs_trace
+    from repro.obs.memory import peak_rss_mb
+    from repro.obs.metrics import get_registry
 
     obs_trace.maybe_init_worker()
     graph = handle.materialize()
     scenarios = ScenarioCache(graph, capacity=scenario_capacity)
+    registry = get_registry()
     try:
         while True:
             try:
@@ -52,22 +63,39 @@ def worker_main(conn, handle, scenario_capacity: int = 64) -> None:
             if message is None:  # explicit stop sentinel
                 break
             reply: Dict[str, Any] = {"seq": message.get("seq")}
+            request = message.get("request") or {}
+            op = request.get("op", "?")
+            trace_id = request.get("trace")
+            outcome = "error"
+            t0 = time.perf_counter()
             try:
-                with obs_trace.span(
-                    "serve.execute", op=message["request"].get("op", "?")
-                ):
-                    result = engine.execute(graph, message["request"], scenarios)
+                with obs_trace.trace_context(trace_id):
+                    with obs_trace.span("serve.execute", op=op):
+                        result = engine.execute(graph, request, scenarios)
+                outcome = (
+                    "degraded" if result.get("status") == "degraded" else "ok"
+                )
                 result["worker"] = {
                     "pid": os.getpid(),
                     "cache": scenarios.stats(),
                 }
                 reply["result"] = result
             except ServeError as error:
+                outcome = "timeout" if error.code == "timeout" else "error"
                 reply["error"] = error.to_payload()
             except Exception as error:  # noqa: BLE001 - must not kill the loop
                 reply["error"] = ServeError(
                     "internal", f"{type(error).__name__}: {error}"
                 ).to_payload()
+            if op != "ping":
+                registry.histogram(
+                    "serve.execute.latency_seconds", endpoint=op, outcome=outcome
+                ).observe(time.perf_counter() - t0)
+            if "result" in reply:
+                # telemetry piggybacks on every result reply: the
+                # parent pops it, so the wire payload stays unchanged.
+                reply["result"]["worker"]["metrics"] = registry.snapshot()
+                reply["result"]["worker"]["rss_mb"] = peak_rss_mb()
             try:
                 conn.send(reply)
             except (BrokenPipeError, OSError):

@@ -1,0 +1,162 @@
+"""Perf-regression gate: ``repro obs diff`` and its noise handling."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import (
+    diff_files,
+    diff_timings,
+    flatten_timings,
+    render_diff,
+)
+
+OLD_BENCH = {
+    "benchmark": "fastbuild",
+    "rows": [
+        {"spec": "A(n=4)", "servers": 1024, "fast_s": 0.010, "object_s": 0.200,
+         "speedup": 20.0},
+        {"spec": "A(n=8)", "servers": 163_840, "fast_s": 0.900,
+         "kernel_s": {"bitpack": 0.050, "dense": 0.400}},
+    ],
+}
+
+
+def _bench(scale_key=None, factor=1.0, uniform=1.0):
+    """OLD_BENCH with every timing scaled; one key optionally extra-scaled."""
+    new = json.loads(json.dumps(OLD_BENCH))
+    for row in new["rows"]:
+        for key, value in list(row.items()):
+            if key.endswith("_s"):
+                if isinstance(value, dict):
+                    for sub in value:
+                        value[sub] *= uniform
+                        if scale_key == f"{row['spec']}.{key}.{sub}":
+                            value[sub] *= factor
+                else:
+                    row[key] *= uniform
+                    if scale_key == f"{row['spec']}.{key}":
+                        row[key] *= factor
+    return new
+
+
+class TestFlatten:
+    def test_only_timing_leaves_gate(self):
+        timings = flatten_timings(OLD_BENCH)
+        assert "A(n=4).fast_s" in timings
+        assert "A(n=8).kernel_s.bitpack" in timings
+        # counts and ratios are informational, never compared
+        assert not any("servers" in k or "speedup" in k for k in timings)
+
+    def test_metrics_snapshot_flattens_histograms(self):
+        snapshot = {
+            "histograms": [
+                {
+                    "name": "serve.request.latency_seconds",
+                    "labels": {"endpoint": "route", "outcome": "ok"},
+                    "count": 4,
+                    "sum": 0.4,
+                    "q": {"p50": 0.1, "p99": 0.2},
+                }
+            ]
+        }
+        timings = flatten_timings(snapshot)
+        key = "serve.request.latency_seconds{endpoint=route,outcome=ok}"
+        assert timings[f"{key}.mean_s"] == pytest.approx(0.1)
+        assert timings[f"{key}.p99_s"] == pytest.approx(0.2)
+
+
+class TestThresholds:
+    def test_identical_snapshots_pass(self):
+        result = diff_timings(flatten_timings(OLD_BENCH), flatten_timings(OLD_BENCH))
+        assert result.ok and not result.regressions
+
+    def test_2x_slowdown_is_caught(self):
+        new = _bench(scale_key="A(n=8).fast_s", factor=2.0)
+        result = diff_timings(flatten_timings(OLD_BENCH), flatten_timings(new))
+        assert [e.key for e in result.regressions] == ["A(n=8).fast_s"]
+
+    def test_small_relative_noise_passes(self):
+        new = _bench(uniform=1.10)  # 10% jitter, threshold 25%
+        result = diff_timings(flatten_timings(OLD_BENCH), flatten_timings(new))
+        assert result.ok
+
+    def test_absolute_floor_ignores_microsecond_jitter(self):
+        old = {"x.fast_s": 0.000010}
+        new = {"x.fast_s": 0.000020}  # 2x, but only 10 microseconds
+        assert diff_timings(old, new).ok
+        assert not diff_timings(old, new, min_abs_s=0.000001).ok
+
+    def test_calibration_forgives_a_uniformly_slower_machine(self):
+        new = _bench(uniform=1.6)  # every timing 1.6x: a slower runner
+        flat_old, flat_new = flatten_timings(OLD_BENCH), flatten_timings(new)
+        assert not diff_timings(flat_old, flat_new).ok
+        calibrated = diff_timings(flat_old, flat_new, calibrate=True)
+        assert calibrated.ok
+        assert calibrated.calibration == pytest.approx(1.6)
+
+    def test_calibration_still_catches_a_lone_regression(self):
+        new = _bench(scale_key="A(n=8).fast_s", factor=2.5, uniform=1.6)
+        result = diff_timings(
+            flatten_timings(OLD_BENCH), flatten_timings(new), calibrate=True
+        )
+        assert [e.key for e in result.regressions] == ["A(n=8).fast_s"]
+
+    def test_disjoint_keys_are_noted_not_gated(self):
+        result = diff_timings({"a.fast_s": 1.0}, {"b.fast_s": 1.0})
+        assert result.ok
+        assert result.only_old == ["a.fast_s"]
+        assert result.only_new == ["b.fast_s"]
+
+
+class TestRender:
+    def test_report_flags_regressions_loudly(self, tmp_path):
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(OLD_BENCH))
+        new_path.write_text(json.dumps(_bench(scale_key="A(n=4).fast_s", factor=3.0)))
+        result = diff_files(str(old_path), str(new_path))
+        text = render_diff(str(old_path), str(new_path), result, threshold=0.25)
+        assert "REGRESSED" in text
+        assert text.splitlines()[-1].startswith("FAIL: 1 regression")
+        # the regression sorts first
+        first_row = text.splitlines()[3]
+        assert "A(n=4).fast_s" in first_row
+
+    def test_clean_report_says_ok(self, tmp_path):
+        path = tmp_path / "same.json"
+        path.write_text(json.dumps(OLD_BENCH))
+        result = diff_files(str(path), str(path))
+        text = render_diff(str(path), str(path), result, threshold=0.25)
+        assert text.splitlines()[-1].startswith("OK")
+
+
+class TestCli:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(OLD_BENCH))
+        assert main(["obs", "diff", str(path), str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_injected_2x_slowdown(self, tmp_path, capsys):
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(OLD_BENCH))
+        new_path.write_text(json.dumps(_bench(scale_key="A(n=8).fast_s", factor=2.0)))
+        assert main(["obs", "diff", str(old_path), str(new_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_calibrate_flag(self, tmp_path, capsys):
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(OLD_BENCH))
+        new_path.write_text(json.dumps(_bench(uniform=1.6)))
+        assert main(["obs", "diff", str(old_path), str(new_path)]) == 1
+        assert (
+            main(["obs", "diff", str(old_path), str(new_path), "--calibrate"]) == 0
+        )
+        assert "calibration" in capsys.readouterr().out
+
+    def test_missing_file_is_a_cli_error(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(OLD_BENCH))
+        assert main(["obs", "diff", str(tmp_path / "nope.json"), str(path)]) == 2
+        assert "repro: error" in capsys.readouterr().err

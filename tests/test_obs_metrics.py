@@ -1,0 +1,247 @@
+"""Metrics registry: histograms, quantiles, merge algebra, exposition."""
+
+import json
+import math
+import random
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    OVERFLOW_BUCKET,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exposition_problems,
+    get_registry,
+    merge_snapshots,
+    metric_name,
+    render_prometheus,
+    set_registry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestBuckets:
+    def test_bounds_are_strictly_increasing(self):
+        assert all(a < b for a, b in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]))
+
+    def test_bounds_cover_the_serving_range(self):
+        # Microseconds to minutes: every latency the daemon can see.
+        assert BUCKET_BOUNDS[0] <= 2e-6
+        assert BUCKET_BOUNDS[-1] >= 100.0
+
+    def test_relative_error_is_bounded(self):
+        # Log-linear with 4 sub-buckets per octave: the bucket upper
+        # edge overestimates a value by at most ~25%.
+        for bound, nxt in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+            assert nxt / bound <= 1.26
+
+
+class TestHistogramEdgeCases:
+    """Satellite: the awkward inputs that break naive quantile code."""
+
+    def test_zero_observations(self, registry):
+        hist = registry.histogram("empty.seconds")
+        snap = registry.snapshot()
+        (entry,) = snap["histograms"]
+        assert entry["count"] == 0
+        assert entry["sum"] == 0.0
+        assert set(entry["q"]) == {"p50", "p90", "p99", "p999"}
+        assert all(v is None for v in entry["q"].values())
+        assert hist.quantile(0.5) is None
+
+    def test_single_observation(self, registry):
+        registry.histogram("one.seconds").observe(0.25)
+        (entry,) = registry.snapshot()["histograms"]
+        assert entry["count"] == 1
+        assert entry["sum"] == pytest.approx(0.25)
+        # Every quantile of a single sample is that sample's bucket edge.
+        values = set(entry["q"].values())
+        assert len(values) == 1
+        (edge,) = values
+        assert 0.25 <= edge <= 0.25 * 1.26
+
+    def test_below_first_bound_lands_in_first_bucket(self, registry):
+        hist = registry.histogram("tiny.seconds")
+        hist.observe(0.0)
+        hist.observe(1e-12)
+        hist.observe(-1.0)  # clocks can misbehave; never crash
+        (entry,) = registry.snapshot()["histograms"]
+        assert entry["count"] == 3
+        assert entry["buckets"] == {"0": 3}
+        assert hist.quantile(0.99) == BUCKET_BOUNDS[0]
+
+    def test_above_last_bound_goes_to_overflow(self, registry):
+        hist = registry.histogram("huge.seconds")
+        hist.observe(10_000.0)
+        (entry,) = registry.snapshot()["histograms"]
+        assert entry["buckets"] == {str(OVERFLOW_BUCKET): 1}
+        # Overflow quantiles report the observed max, not +Inf.
+        assert hist.quantile(0.5) == 10_000.0
+        assert entry["max"] == 10_000.0
+
+    def test_quantiles_are_monotone_under_random_inputs(self, registry):
+        rng = random.Random(1234)
+        hist = registry.histogram("rand.seconds")
+        for _ in range(2_000):
+            hist.observe(rng.lognormvariate(-6.0, 2.5))
+        qs = [hist.quantile(q) for q in (0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0)]
+        assert all(v is not None for v in qs)
+        assert qs == sorted(qs)
+
+    def test_quantile_brackets_exact_value(self, registry):
+        rng = random.Random(7)
+        samples = [rng.uniform(0.001, 0.1) for _ in range(5_000)]
+        hist = registry.histogram("exact.seconds")
+        for s in samples:
+            hist.observe(s)
+        samples.sort()
+        for q in (0.5, 0.9, 0.99):
+            exact = samples[min(len(samples) - 1, int(q * len(samples)))]
+            approx = hist.quantile(q)
+            # Bucket upper edge: never below the exact value's bucket
+            # lower edge, never more than one relative step above.
+            assert approx >= exact / 1.26
+            assert approx <= exact * 1.26
+
+
+class TestMergeAlgebra:
+    @staticmethod
+    def _filled(seed):
+        registry = MetricsRegistry()
+        rng = random.Random(seed)
+        for _ in range(rng.randint(5, 50)):
+            registry.histogram("h.seconds", endpoint="route").observe(
+                rng.lognormvariate(-7, 2)
+            )
+        registry.counter("c.things", kind="a").inc(rng.randint(1, 9))
+        registry.gauge("g.depth").set(rng.random())
+        return registry.snapshot()
+
+    def test_merge_is_associative(self):
+        a, b, c = (self._filled(s) for s in (1, 2, 3))
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        # Gauges are last-wins so both orders end at c's value; counters
+        # and histograms must be exactly equal either way.
+        assert left == right
+
+    def test_merge_sums_counts_and_buckets(self):
+        a = self._filled(4)
+        merged = merge_snapshots(a, a)
+        (ha,) = a["histograms"]
+        (hm,) = merged["histograms"]
+        assert hm["count"] == 2 * ha["count"]
+        assert hm["sum"] == pytest.approx(2 * ha["sum"])
+        assert hm["buckets"] == {k: 2 * v for k, v in ha["buckets"].items()}
+        (ca,), (cm,) = a["counters"], merged["counters"]
+        assert cm["value"] == 2 * ca["value"]
+
+    def test_merge_skips_none_and_empty(self):
+        a = self._filled(5)
+        assert merge_snapshots(a, None) == merge_snapshots(None, a)
+        assert merge_snapshots() == {
+            "schema": 1, "counters": [], "gauges": [], "histograms": []
+        }
+
+    def test_merge_keeps_labels_distinct(self):
+        a = MetricsRegistry()
+        a.counter("c", endpoint="route").inc()
+        b = MetricsRegistry()
+        b.counter("c", endpoint="whatif").inc()
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert len(merged["counters"]) == 2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x", a="1") is registry.counter("x", a="1")
+        assert registry.counter("x", a="1") is not registry.counter("x", a="2")
+
+    def test_gauge_set_overwrites(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        (entry,) = registry.snapshot()["gauges"]
+        assert entry["value"] == 1.5
+
+    def test_snapshot_is_json_serialisable(self, registry):
+        registry.histogram("h.seconds").observe(0.01)
+        registry.counter("c").inc()
+        registry.gauge("g").set(math.pi)
+        json.dumps(registry.snapshot())
+
+    def test_concurrent_observes_lose_nothing(self, registry):
+        hist = registry.histogram("hot.seconds")
+        counter = registry.counter("hot.count")
+
+        def pound():
+            for _ in range(10_000):
+                hist.observe(0.001)
+                counter.inc()
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()
+        (h,) = snap["histograms"]
+        (c,) = snap["counters"]
+        assert h["count"] == 40_000
+        assert c["value"] == 40_000
+
+    def test_process_global_swap(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestExposition:
+    def test_render_is_well_formed(self, registry):
+        registry.histogram(
+            "serve.request.latency_seconds", endpoint="route", outcome="ok"
+        ).observe(0.01)
+        registry.counter("serve.requests", endpoint="route", outcome="ok").inc()
+        registry.gauge("serve.queue.depth").set(0)
+        text = render_prometheus(registry.snapshot())
+        assert exposition_problems(text) == []
+        assert 'repro_serve_request_latency_seconds_bucket{endpoint="route"' in text
+        assert "repro_serve_requests_total" in text
+
+    def test_bucket_counts_are_cumulative_and_inf_matches_count(self, registry):
+        hist = registry.histogram("h.seconds")
+        for v in (1e-9, 0.001, 0.01, 0.1, 1.0, 1e6):
+            hist.observe(v)
+        text = render_prometheus(registry.snapshot())
+        assert exposition_problems(text) == []
+        bucket_values = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_h_seconds_bucket")
+        ]
+        assert bucket_values == sorted(bucket_values)
+        assert bucket_values[-1] == 6.0  # the +Inf bucket equals _count
+
+    def test_label_escaping(self, registry):
+        registry.counter("c", path='we"ird\\label').inc()
+        text = render_prometheus(registry.snapshot())
+        assert exposition_problems(text) == []
+        assert '\\"' in text
+
+    def test_metric_name_sanitisation(self):
+        assert metric_name("serve.bfs.seconds") == "repro_serve_bfs_seconds"
+
+    def test_validator_catches_garbage(self):
+        assert exposition_problems("not a metric line at all{") != []

@@ -8,10 +8,15 @@ import pytest
 from repro.cli import main
 from repro.obs.report import (
     cache_hit_lines,
+    follow_trace,
     load_trace,
     render_report,
+    render_tail_event,
+    render_trace,
     report_files,
+    report_trace_id,
     summarize,
+    trace_spans,
     validate_trace,
 )
 
@@ -201,8 +206,10 @@ class TestCli:
         assert out.count("=== trace:") == 2
 
     def test_obs_report_missing_file(self, capsys):
-        assert main(["obs", "report", "/nonexistent/trace.jsonl"]) == 1
-        assert "no such trace" in capsys.readouterr().out
+        # A not-yet-written trace is a normal operational state, not an
+        # error: dashboards must see "no events" and a zero exit.
+        assert main(["obs", "report", "/nonexistent/trace.jsonl"]) == 0
+        assert "no events" in capsys.readouterr().out
 
     def test_obs_report_reports_schema_problems(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
@@ -284,3 +291,210 @@ class TestHarnessIntegration:
             "F11", quick=True, out_dir=str(tmp_path), verbose=False, profile=True
         )
         assert (tmp_path / "f11.prof").exists()
+
+
+def _traced_span(pid, sid, t, dur, name, trace=None, parent=None, seq=0, **tags):
+    if trace is not None:
+        tags["trace"] = trace
+    return {
+        "ev": "span", "t": t, "dur": dur, "name": name, "sid": sid,
+        "parent": parent, "tags": tags, "pid": pid, "seq": seq,
+    }
+
+
+class TestTraceStitching:
+    """``--trace-id``: one request's spans across processes, as a tree."""
+
+    def _request_events(self):
+        # client pid 300, server pid 100, worker pid 201 — one request.
+        return [
+            _traced_span(300, 1, 10.0, 0.050, "serve.client.request",
+                         trace="abc123", seq=0, method="POST", path="/route"),
+            _traced_span(100, 7, 10.010, 0.004, "serve.queue",
+                         trace="abc123", seq=0, op="route", slot=0),
+            _traced_span(201, 5, 10.015, 0.030, "serve.execute",
+                         trace="abc123", seq=0, op="route"),
+            _traced_span(201, 6, 10.016, 0.025, "serve.bfs",
+                         trace="abc123", parent=5, seq=1, op="route"),
+            # unrelated request that must not leak into the stitch
+            _traced_span(201, 9, 10.5, 0.010, "serve.execute",
+                         trace="zzz999", seq=2, op="distance"),
+            # untraced background span
+            _traced_span(100, 8, 10.6, 0.001, "housekeeping", seq=1),
+        ]
+
+    def test_trace_spans_filters_and_sorts(self):
+        spans = trace_spans(self._request_events(), "abc123")
+        assert [s["name"] for s in spans] == [
+            "serve.client.request", "serve.queue", "serve.execute", "serve.bfs",
+        ]
+
+    def test_render_trace_tree(self):
+        spans = trace_spans(self._request_events(), "abc123")
+        text = render_trace("abc123", spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace abc123: 4 span(s) across 3 process(es)")
+        # serve.bfs nests under serve.execute (same pid, parent sid)
+        bfs_line = next(line for line in lines if "serve.bfs" in line)
+        execute_line = next(line for line in lines if "serve.execute" in line)
+        assert bfs_line.index("serve.bfs") > execute_line.index("serve.execute")
+        # offsets are relative to the trace start (client span at 0)
+        client_line = next(
+            line for line in lines if "serve.client.request" in line
+        )
+        assert client_line.split()[0] == "0.00"
+        # the stitch tag itself is not displayed as a span tag
+        assert "trace=" not in text
+
+    def test_report_trace_id_across_files(self, tmp_path):
+        events = self._request_events()
+        path_a = tmp_path / "client.trace.jsonl"
+        path_b = tmp_path / "server.trace.jsonl"
+        with open(path_a, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(events[0]) + "\n")
+        with open(path_b, "w", encoding="utf-8") as handle:
+            for event in events[1:]:
+                handle.write(json.dumps(event) + "\n")
+        text, count = report_trace_id([str(path_a), str(path_b)], "abc123")
+        assert count == 4
+        assert "serve.client.request" in text and "serve.bfs" in text
+
+    def test_unknown_trace_id_renders_no_spans(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self._request_events():
+                handle.write(json.dumps(event) + "\n")
+        text, count = report_trace_id([str(path)], "not-a-trace")
+        assert count == 0
+        assert "no spans" in text
+
+
+class TestMemorySection:
+    def test_rss_by_pid_tracks_workers(self, tmp_path):
+        events = _fixture_events()
+        events.append({"ev": "rss", "t": 5.0, "rss_mb": 70.0, "peak_mb": 80.0,
+                       "pid": WORKER_A, "seq": 90})
+        events.append({"ev": "rss", "t": 6.0, "rss_mb": 75.0, "peak_mb": 85.0,
+                       "pid": WORKER_A, "seq": 91})
+        summary = summarize(events)
+        assert summary.rss_by_pid[MAIN_PID] == 155.5
+        assert summary.rss_by_pid[WORKER_A] == 85.0
+        text = render_report("x.jsonl", summary)
+        assert "memory (peak RSS per process):" in text
+        assert "main" in text and "worker" in text
+        assert "pool total" in text
+
+    def test_single_process_trace_has_no_memory_section(self):
+        summary = summarize(_fixture_events())
+        assert len(summary.rss_by_pid) == 1
+        text = render_report("x.jsonl", summary)
+        assert "memory (peak RSS per process):" not in text
+
+
+class TestTail:
+    def test_follow_yields_appended_events_and_stops_at_max(self, tmp_path):
+        path = str(tmp_path / "live.jsonl")
+        events = _fixture_events()[:4]
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+        seen = list(
+            follow_trace(path, poll_s=0.01, timeout_s=2.0, max_events=4)
+        )
+        assert [e["ev"] for e in seen] == [e["ev"] for e in events]
+
+    def test_follow_holds_back_partial_lines(self, tmp_path):
+        path = str(tmp_path / "live.jsonl")
+        whole = json.dumps(_fixture_events()[0])
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(whole + "\n")
+            handle.write('{"ev": "span", "t": 1.0, "na')  # writer mid-line
+        follower = follow_trace(path, poll_s=0.01, timeout_s=0.2)
+        first = next(follower)
+        assert first["ev"] == "meta"
+        # the partial tail is held back, then the follower times out
+        assert list(follower) == []
+
+    def test_follow_times_out_on_missing_file(self, tmp_path):
+        path = str(tmp_path / "never-written.jsonl")
+        assert list(follow_trace(path, poll_s=0.01, timeout_s=0.1)) == []
+
+    def test_follow_picks_up_shards(self, tmp_path):
+        path = str(tmp_path / "live.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(_fixture_events()[0]) + "\n")
+        shard = f"{path}.shard-201"
+        with open(shard, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(_traced_span(201, 1, 2.0, 0.1, "worker-span")) + "\n"
+            )
+        seen = list(follow_trace(path, poll_s=0.01, timeout_s=0.5, max_events=2))
+        assert {e["ev"] for e in seen} == {"meta", "span"}
+
+    def test_render_tail_event_forms(self):
+        span_line = render_tail_event(
+            _traced_span(7, 1, 0.0, 0.0123, "serve.execute", op="route")
+        )
+        assert "serve.execute" in span_line and "12.30 ms" in span_line
+        warn_line = render_tail_event(
+            {"ev": "warning", "pid": 7, "kind": "truncated-shard",
+             "message": "skipped 1", "data": {}}
+        )
+        assert "truncated-shard" in warn_line
+        rss_line = render_tail_event(
+            {"ev": "rss", "pid": 7, "rss_mb": 10.0, "peak_mb": 12.0}
+        )
+        assert "12.0 MB" in rss_line
+        assert render_tail_event({"ev": "counters", "pid": 7, "values": {}}) is None
+
+
+class TestCliTelemetry:
+    def test_obs_report_empty_trace_prints_no_events_exit_zero(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "report", str(empty)]) == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_obs_report_missing_trace_prints_no_events_exit_zero(
+        self, tmp_path, capsys
+    ):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_obs_report_trace_id_flag(self, tmp_path, capsys):
+        path = tmp_path / "t.trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    _traced_span(1, 1, 0.0, 0.1, "serve.client.request",
+                                 trace="feed42")
+                )
+                + "\n"
+            )
+        assert main(["obs", "report", str(path), "--trace-id", "feed42"]) == 0
+        out = capsys.readouterr().out
+        assert "trace feed42" in out and "serve.client.request" in out
+
+    def test_obs_report_unknown_trace_id_is_no_events(self, tmp_path, capsys):
+        path = tmp_path / "t.trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(_traced_span(1, 1, 0.0, 0.1, "x", trace="real"))
+                + "\n"
+            )
+        assert main(["obs", "report", str(path), "--trace-id", "ghost"]) == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_obs_tail_cli(self, tmp_path, capsys):
+        path = tmp_path / "t.trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in _fixture_events()[:3]:
+                handle.write(json.dumps(event) + "\n")
+        assert main(
+            ["obs", "tail", str(path), "--poll", "0.01", "--timeout", "0.1",
+             "--max-events", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "meta" in out and "span" in out

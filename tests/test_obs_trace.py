@@ -292,6 +292,159 @@ def _emit_child_span():
     get_tracer().close()
 
 
+class TestTraceContext:
+    def test_mint_is_unique_and_header_safe(self):
+        from repro.serve.protocol import normalize_trace_id
+
+        ids = {obs_trace.mint_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(normalize_trace_id(i) == i for i in ids)
+
+    def test_context_nests_and_restores(self):
+        assert obs_trace.current_trace_id() is None
+        with obs_trace.trace_context("outer-id"):
+            assert obs_trace.current_trace_id() == "outer-id"
+            with obs_trace.trace_context("inner-id"):
+                assert obs_trace.current_trace_id() == "inner-id"
+            assert obs_trace.current_trace_id() == "outer-id"
+        assert obs_trace.current_trace_id() is None
+
+    def test_none_context_unbinds(self):
+        # Workers enter trace_context(request.get("trace")) unguarded;
+        # a request without an id must not inherit a stale one.
+        with obs_trace.trace_context("kept"):
+            with obs_trace.trace_context(None):
+                assert obs_trace.current_trace_id() is None
+            assert obs_trace.current_trace_id() == "kept"
+
+    def test_spans_are_tagged_with_the_active_trace(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path)
+        previous = set_tracer(tracer)
+        try:
+            with obs_trace.trace_context("req-1"):
+                with obs_trace.span("traced"):
+                    pass
+            with obs_trace.span("untraced"):
+                pass
+        finally:
+            set_tracer(previous)
+            tracer.close()
+        spans = {e["name"]: e for e in load_trace(path) if e["ev"] == "span"}
+        assert spans["traced"]["tags"]["trace"] == "req-1"
+        assert "trace" not in spans["untraced"]["tags"]
+
+    def test_record_span_emits_retroactive_span(self, tmp_path):
+        import time as _time
+
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path)
+        previous = set_tracer(tracer)
+        try:
+            t0 = _time.perf_counter() - 0.05
+            with obs_trace.trace_context("req-2"):
+                obs_trace.record_span("serve.queue", t0, 0.05, op="route", slot=0)
+        finally:
+            set_tracer(previous)
+            tracer.close()
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        (span,) = [e for e in events if e["ev"] == "span"]
+        assert span["name"] == "serve.queue"
+        assert span["dur"] == pytest.approx(0.05)
+        assert span["tags"]["trace"] == "req-2"
+        assert span["tags"]["slot"] == 0
+
+    def test_record_span_is_noop_when_disabled(self):
+        set_tracer(NULL_TRACER)
+        obs_trace.record_span("nothing", 0.0, 1.0)  # must not raise
+
+
+class TestTruncatedShards:
+    """Satellite: a worker SIGKILLed mid-write must not corrupt the merge."""
+
+    def test_truncated_final_line_yields_warning_event(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                '{"ev": "meta", "t": 0.0, "pid": 1, "seq": 0, '
+                '"schema": 1, "tags": {}}\n'
+            )
+        shard = f"{path}.shard-4242"
+        with open(shard, "w", encoding="utf-8") as handle:
+            handle.write(
+                '{"ev": "span", "t": 1.0, "dur": 0.1, "name": "work", '
+                '"sid": 1, "parent": null, "tags": {}, "pid": 4242, "seq": 0}\n'
+            )
+            handle.write('{"ev": "span", "t": 2.0, "dur": 0.2, "na')  # killed here
+        assert merge_shards(path) == 1
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        (warning,) = [e for e in events if e["ev"] == "warning"]
+        assert warning["kind"] == "truncated-shard"
+        assert warning["pid"] == 4242
+        assert warning["data"]["skipped"] == 1
+        # surviving events still merge in order
+        assert [e["ev"] for e in events] == ["meta", "span", "warning"]
+
+    def test_intact_shards_produce_no_warning(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                '{"ev": "meta", "t": 0.0, "pid": 1, "seq": 0, '
+                '"schema": 1, "tags": {}}\n'
+            )
+        TestShards._write_shard(f"{path}.shard-7", 7, t0=1.0)
+        assert merge_shards(path) == 1
+        assert [e for e in load_trace(path) if e["ev"] == "warning"] == []
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork + SIGKILL")
+    def test_sigkill_mid_write_is_survivable(self, tmp_path):
+        """A real writer killed mid-line: merge skips the tail, warns."""
+        import signal
+
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path=path)
+        previous = set_tracer(tracer)
+        try:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            proc = ctx.Process(target=_write_then_die_mid_line)
+            proc.start()
+            proc.join(timeout=30)
+            assert proc.exitcode == -signal.SIGKILL
+        finally:
+            set_tracer(previous)
+            tracer.close()  # close merges the child's shard, tail and all
+        assert not [
+            name for name in os.listdir(tmp_path) if ".shard-" in name
+        ], "shard must be consumed by the close-time merge"
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        survivors = [
+            e for e in events if e["ev"] == "span" and e["name"] == "whole-span"
+        ]
+        assert len(survivors) == 1
+        (warning,) = [e for e in events if e["ev"] == "warning"]
+        assert warning["kind"] == "truncated-shard"
+
+
+def _write_then_die_mid_line():
+    """Child body: one whole event, then SIGKILL self mid-record."""
+    import signal
+
+    with obs_trace.span("whole-span"):
+        pass
+    tracer = get_tracer()
+    tracer._handle.flush()
+    # Start a record but never finish the line, then die like an
+    # OOM-killed worker would: no atexit, no flush, no close.
+    tracer._handle.write('{"ev": "span", "t": 9.9, "dur": 0.1, "name"')
+    tracer._handle.flush()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 class TestEnvResolution:
     def test_trace_env_off(self, monkeypatch):
         monkeypatch.delenv(obs_trace.TRACE_ENV, raising=False)
