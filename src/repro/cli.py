@@ -367,6 +367,134 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: matrix families accepted by ``repro traffic`` — kept in lockstep with
+#: repro.traffic.MATRICES (asserted by the test suite) so the parser
+#: stays importable without numpy.
+TRAFFIC_PATTERNS = ("all_to_all", "hot_rack", "incast", "job", "permutation", "uniform")
+
+#: --faults classes, mapped onto random_index_failures keywords.
+_FAULT_CLASSES = {
+    "server": "server_fraction",
+    "switch": "switch_fraction",
+    "link": "link_fraction",
+}
+
+
+def _parse_matrix_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    """``NAME=VALUE`` generator overrides; ints stay ints (counts), the
+    rest must parse as floats (fractions)."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise CliError(f"bad matrix parameter {pair!r}; expected name=value")
+        name, _, value = pair.partition("=")
+        try:
+            params[name] = int(value)
+        except ValueError:
+            try:
+                params[name] = float(value)
+            except ValueError:
+                raise CliError(
+                    f"matrix parameter {name!r} must be a number, got {value!r}"
+                )
+    return params
+
+
+def _parse_faults(text: Optional[str]) -> Dict[str, float]:
+    """``server=0.02,switch=0.01,link=0.005`` -> fault-plan fractions."""
+    fractions: Dict[str, float] = {}
+    if not text:
+        return fractions
+    for item in text.split(","):
+        if "=" not in item:
+            raise CliError(f"bad --faults item {item!r}; expected class=fraction")
+        name, _, value = item.partition("=")
+        key = _FAULT_CLASSES.get(name.strip())
+        if key is None:
+            raise CliError(
+                f"unknown fault class {name!r}; expected one of "
+                f"{', '.join(sorted(_FAULT_CLASSES))}"
+            )
+        try:
+            fractions[key] = float(value)
+        except ValueError:
+            raise CliError(f"fault fraction for {name!r} must be a number, got {value!r}")
+    return fractions
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    """``traffic``: flow-level max-min engine on the compiled graph."""
+    import json
+    import time
+
+    from repro.faults.journal import TrialJournal
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import peak_rss_mb
+    from repro.obs import trace as obs_trace
+    from repro.traffic import run_traffic
+
+    if args.trials < 1:
+        raise CliError(f"--trials must be >= 1, got {args.trials}")
+    spec = create(args.kind, **_parse_params(args.param))
+    matrix_params = _parse_matrix_params(args.matrix_param)
+    fault_fractions = _parse_faults(args.faults)
+
+    import re
+
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "", spec.label)
+    journal = None
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        journal_file = os.path.join(args.out, f"traffic-{slug}.journal.jsonl")
+        if not args.resume and os.path.exists(journal_file):
+            os.unlink(journal_file)
+        journal = TrialJournal(journal_file)
+
+    tracer = obs_trace.Tracer(path=args.trace) if args.trace else None
+    previous = obs_trace.set_tracer(tracer) if tracer else None
+    try:
+        started = time.perf_counter()
+        graph = spec.compiled(memmap_dir=args.memmap)
+        compiled_at = time.perf_counter()
+        table = run_traffic(
+            graph,
+            spec.label,
+            args.pattern,
+            trials=args.trials,
+            seed=args.seed,
+            pattern_params=matrix_params,
+            fault_fractions=fault_fractions,
+            fault_seed=args.fault_seed,
+            fct=args.fct,
+            workers=args.workers,
+            journal=journal,
+        )
+        finished = time.perf_counter()
+    finally:
+        if journal is not None:
+            journal.close()
+        if tracer is not None:
+            obs_trace.set_tracer(previous)
+            tracer.close()
+    print(table.render())
+    print(f"  compile {compiled_at - started:.3f}s, "
+          f"trials {finished - compiled_at:.3f}s")
+    rss = peak_rss_mb()
+    if rss is not None:
+        print(f"  peak RSS: {rss:.1f} MB")
+    if args.out:
+        csv_path = os.path.join(args.out, f"traffic_{slug}_{args.pattern}.csv")
+        table.to_csv(csv_path)
+        print(f"  rows written to {csv_path}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(obs_metrics.get_registry().snapshot(), handle, indent=2)
+        print(f"  metrics snapshot written to {args.metrics}")
+    if args.trace:
+        print(f"  trace written to {args.trace}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: the always-on topology query daemon (docs/OPERATIONS.md)."""
     from repro.obs import trace as obs_trace
@@ -659,6 +787,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL span trace of the serving session",
     )
     serve.set_defaults(fn=_cmd_serve)
+
+    traffic = sub.add_parser(
+        "traffic", help="flow-level traffic engine on the compiled graph"
+    )
+    traffic.add_argument("kind", choices=available())
+    traffic.add_argument("--param", "-p", action="append", default=[], metavar="NAME=INT")
+    traffic.add_argument(
+        "--pattern",
+        choices=TRAFFIC_PATTERNS,
+        default="permutation",
+        help="traffic-matrix family (default permutation)",
+    )
+    traffic.add_argument(
+        "--matrix-param",
+        "-m",
+        action="append",
+        default=[],
+        metavar="NAME=NUM",
+        help="generator override, e.g. fan_in=128 or hot_fraction=0.8",
+    )
+    traffic.add_argument("--trials", type=int, default=1, help="independent matrices")
+    traffic.add_argument("--seed", type=int, default=0, help="matrix seed stream")
+    traffic.add_argument(
+        "--faults",
+        default=None,
+        metavar="CLASS=FRAC,...",
+        help="degrade each trial, e.g. server=0.02,switch=0.01,link=0.005",
+    )
+    traffic.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault draw seed stream (default: --seed)",
+    )
+    traffic.add_argument(
+        "--fct", action="store_true", help="also compute fluid completion times"
+    )
+    traffic.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for multi-trial fan-out (0 = all cores; default 1)",
+    )
+    traffic.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write the per-trial CSV and the resumable journal here",
+    )
+    traffic.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay journaled trials from --out instead of recomputing",
+    )
+    traffic.add_argument(
+        "--memmap",
+        default=None,
+        metavar="DIR",
+        help="back the CSR arrays with memory-mapped files in DIR",
+    )
+    traffic.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span trace of compile + trials",
+    )
+    traffic.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the metrics-registry snapshot (rate/FCT histograms) as JSON",
+    )
+    traffic.set_defaults(fn=_cmd_traffic)
 
     sub.add_parser("experiments", help="list the evaluation suite").set_defaults(
         fn=_cmd_experiments

@@ -1,10 +1,20 @@
 """F7 — flow-level throughput under the evaluation's traffic patterns.
 
 Runs identical workloads (random permutation, sampled all-to-all,
-hotspot) over every topology with its native routing and reports the
-max-min fair allocation: per-server aggregate throughput, minimum flow
-rate and Jain fairness — the "extensive simulations" core of the paper.
-Per-server normalisation makes instances of different sizes comparable.
+hot-rack skew) over every topology with its native routing and reports
+the max-min fair allocation: per-server aggregate throughput, minimum
+flow rate and Jain fairness — the "extensive simulations" core of the
+paper.  Per-server normalisation makes instances of different sizes
+comparable.
+
+The workloads come from the :mod:`repro.traffic` matrix generators:
+because they are drawn over server *ordinals*, two topologies with the
+same server count receive bit-identical flow sets — a stronger
+"identical workloads" guarantee than the legacy name-based draws.  The
+allocation runs through the vectorized engine
+(:func:`repro.traffic.engine.max_min_rates`), which is bit-for-bit
+equal to the legacy :func:`repro.sim.flow.max_min_allocation` oracle
+(the test suite asserts this parity on F7's own quick topologies).
 """
 
 from __future__ import annotations
@@ -16,10 +26,13 @@ from repro.core import AbcccSpec
 from repro.experiments.harness import register
 from repro.metrics.bottleneck import aggregate_bottleneck_throughput, load_stats
 from repro.routing.ecmp import EcmpRouter
-from repro.sim.flow import max_min_allocation, route_all
+from repro.sim.flow import route_all
 from repro.sim.results import ResultTable
-from repro.sim.traffic import all_to_all_traffic, hotspot_traffic, permutation_traffic
+from repro.topology.compiled import compile_graph
 from repro.topology.spec import TopologySpec
+from repro.traffic.engine import max_min_rates
+from repro.traffic.matrix import TrafficMatrix, generate_matrix
+from repro.traffic.routes import RouteSet
 
 
 def _specs(quick: bool) -> List[TopologySpec]:
@@ -43,20 +56,22 @@ def _router_for(spec: TopologySpec, net) -> Callable:
     return spec.route
 
 
-def _workloads(net, quick: bool) -> List[Tuple[str, Sequence]]:
-    servers = net.servers
+def _workloads(num_servers: int, quick: bool) -> List[Tuple[str, TrafficMatrix]]:
     a2a_cap = 300 if quick else 1500
     return [
-        ("permutation", permutation_traffic(servers, seed=11)),
-        ("all_to_all", all_to_all_traffic(servers, max_flows=a2a_cap, seed=11)),
+        ("permutation", generate_matrix("permutation", num_servers, seed=11)),
         (
-            "hotspot",
-            hotspot_traffic(
-                servers,
-                num_flows=min(len(servers) * 2, 400),
-                num_hotspots=max(len(servers) // 32, 1),
-                hot_fraction=0.7,
+            "all_to_all",
+            generate_matrix("all_to_all", num_servers, seed=11, max_flows=a2a_cap),
+        ),
+        (
+            "hot_rack",
+            generate_matrix(
+                "hot_rack",
+                num_servers,
                 seed=11,
+                num_flows=min(num_servers * 2, 400),
+                hot_fraction=0.7,
             ),
         ),
     ]
@@ -64,10 +79,11 @@ def _workloads(net, quick: bool) -> List[Tuple[str, Sequence]]:
 
 @register(
     "F7",
-    "Max-min fair throughput under permutation / all-to-all / hotspot",
+    "Max-min fair throughput under permutation / all-to-all / hot-rack",
     "per-server throughput ordering: fat-tree ~ bcube > abccc(s=3) > "
     "abccc(s=2)=bccc > ficonn, tracking per-server bisection 1/(2c); "
-    "hotspot compresses every topology toward the receivers' NIC limit.",
+    "hot-rack skew compresses every topology toward the receivers' NIC "
+    "limit.",
 )
 def run(quick: bool = False) -> List[ResultTable]:
     table = ResultTable(
@@ -87,10 +103,14 @@ def run(quick: bool = False) -> List[ResultTable]:
     )
     for spec in _specs(quick):
         net = spec.build()
+        graph = compile_graph(net)
         router = _router_for(spec, net)
-        for pattern, flows in _workloads(net, quick):
+        servers = net.servers
+        for pattern, matrix in _workloads(len(servers), quick):
+            flows = matrix.flows(servers)
             routes = route_all(net, flows, router)
-            allocation = max_min_allocation(net, flows, routes)
+            route_set = RouteSet.from_name_routes(graph, flows, routes)
+            allocation = max_min_rates(route_set)
             stats = load_stats(net, routes.values())
             abt = aggregate_bottleneck_throughput(net, routes.values())
             table.add_row(
@@ -106,7 +126,8 @@ def run(quick: bool = False) -> List[ResultTable]:
                 max_link_load=stats.max_load,
             )
     table.add_note(
-        "agg_per_server in link-capacity units; all topologies see the "
-        "same seeded workloads over their own server lists."
+        "agg_per_server in link-capacity units; topologies with equal "
+        "server counts see bit-identical ordinal workloads "
+        "(repro.traffic matrices), allocated by the vectorized engine."
     )
     return [table]

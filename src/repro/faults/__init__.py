@@ -32,12 +32,14 @@ from repro.faults.plan import (
     FaultModel,
     FaultPlan,
     FaultRoundingWarning,
+    IndexFaultPlan,
     child_seed,
     churn_events,
     explicit_failures,
     rack_assignment,
     rack_failures,
     random_failures,
+    random_index_failures,
     seed_stream,
 )
 from repro.faults.sweep import (
@@ -54,6 +56,7 @@ __all__ = [
     "FaultModel",
     "FaultPlan",
     "FaultRoundingWarning",
+    "IndexFaultPlan",
     "LevelStats",
     "MaskedGraph",
     "TrialJournal",
@@ -68,6 +71,7 @@ __all__ = [
     "rack_assignment",
     "rack_failures",
     "random_failures",
+    "random_index_failures",
     "seed_stream",
     "set_active_journal",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from array import array
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.faults.plan import FailureScenario, FaultPlan
 from repro.topology.compiled import (
@@ -42,7 +42,14 @@ def _scenario_of(scenario) -> FailureScenario:
 class MaskedGraph:
     """A compiled graph with one failure scenario overlaid as masks."""
 
-    __slots__ = ("graph", "node_alive", "dead_entries", "_labels", "_sweep_view")
+    __slots__ = (
+        "graph",
+        "node_alive",
+        "dead_entries",
+        "dead_edge_ids",
+        "_labels",
+        "_sweep_view",
+    )
 
     def __init__(self, graph: CompiledGraph, scenario) -> None:
         scenario = _scenario_of(scenario)
@@ -63,6 +70,7 @@ class MaskedGraph:
             for i in dead_nodes:
                 self.node_alive[i] = False
         dead_entries: Set[int] = set()
+        dead_edge_ids: List[int] = []
         for u_name, v_name in scenario.dead_links:
             u, v = index.get(u_name), index.get(v_name)
             if u is None or v is None:
@@ -72,9 +80,61 @@ class MaskedGraph:
                 dead_entries.add(graph.entry_index(v, u))
             except KeyError:
                 continue  # legacy subgraph_without ignores missing links too
+            try:
+                dead_edge_ids.append(graph.edge_id(u, v))
+            except KeyError:  # pragma: no cover - entry without edge row
+                pass
         self.dead_entries: Optional[Set[int]] = dead_entries or None
+        self.dead_edge_ids: Tuple[int, ...] = tuple(dead_edge_ids)
         self._labels = None
         self._sweep_view: Optional[CSRGraphView] = None
+
+    @classmethod
+    def from_indices(
+        cls,
+        graph: CompiledGraph,
+        dead_nodes: Sequence[int] = (),
+        dead_edges: Sequence[int] = (),
+    ) -> "MaskedGraph":
+        """Overlay a failure draw given as node ids and edge ids.
+
+        The name-free constructor for lazy-name fast graphs (apply an
+        :class:`~repro.faults.plan.IndexFaultPlan`, or any id-space
+        draw): no name is ever resolved or materialised.  ``dead_edges``
+        are positions into ``edge_u``/``edge_v``; both CSR entries of
+        each edge are masked, so sweeps and component labels see the
+        same degraded adjacency the name path would produce.
+        """
+        masked = cls.__new__(cls)
+        masked.graph = graph
+        dead_node_list = [int(i) for i in dead_nodes]
+        if HAVE_NUMPY:
+            alive = _np.ones(graph.num_nodes, dtype=bool)
+            alive[dead_node_list] = False
+            masked.node_alive = alive
+        else:
+            masked.node_alive = [True] * graph.num_nodes
+            for i in dead_node_list:
+                masked.node_alive[i] = False
+        dead_entries: Set[int] = set()
+        edge_u, edge_v = graph.edge_u, graph.edge_v
+        for e in dead_edges:
+            u, v = int(edge_u[int(e)]), int(edge_v[int(e)])
+            dead_entries.add(graph.entry_index(u, v))
+            dead_entries.add(graph.entry_index(v, u))
+        masked.dead_entries = dead_entries or None
+        masked.dead_edge_ids = tuple(int(e) for e in dead_edges)
+        masked._labels = None
+        masked._sweep_view = None
+        return masked
+
+    @classmethod
+    def from_plan(cls, graph: CompiledGraph, plan) -> "MaskedGraph":
+        """Apply either plan flavor: name-based scenarios route through
+        the name-resolving constructor, index plans stay in id space."""
+        if hasattr(plan, "dead_nodes"):
+            return cls.from_indices(graph, plan.dead_nodes, plan.dead_edges)
+        return cls(graph, plan)
 
     # ------------------------------------------------------------------
     def component_labels(self):

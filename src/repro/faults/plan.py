@@ -279,6 +279,107 @@ def explicit_failures(
 
 
 # ----------------------------------------------------------------------
+# index-based plans (lazy-name fast graphs never resolve a name)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexFaultPlan:
+    """A failure draw expressed in node ids and edge ids, with provenance.
+
+    The fast-built graphs keep their name tables lazy; resolving a
+    scenario's name strings would materialise exactly what the fast path
+    avoids.  An :class:`IndexFaultPlan` stays in the compiled id space:
+    ``dead_nodes`` are node ids (servers or switches), ``dead_edges``
+    are positions into ``edge_u``/``edge_v``.  Apply with
+    :meth:`repro.faults.mask.MaskedGraph.from_indices`.
+    """
+
+    model: str
+    dead_nodes: Tuple[int, ...]
+    dead_edges: Tuple[int, ...]
+    seed: Optional[int]
+    requested: Mapping[str, float] = field(default_factory=dict)
+    effective: Mapping[str, int] = field(default_factory=dict)
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.dead_nodes or self.dead_edges)
+
+
+def random_index_failures(
+    graph,
+    server_fraction: float = 0.0,
+    switch_fraction: float = 0.0,
+    link_fraction: float = 0.0,
+    seed: int = 0,
+) -> IndexFaultPlan:
+    """Uniform random failures drawn directly over a compiled graph.
+
+    The populations are the graph's server node ids, switch node ids
+    (every non-server node) and edge ids; each class draws from its own
+    :func:`child_seed` PCG64 stream, so the plan is stable across
+    processes and independent of draw order.  Nonzero fractions floor at
+    one dead component (:class:`FaultRoundingWarning`), matching
+    :func:`random_failures`.
+
+    This is the name-free twin of :func:`random_failures`, not a
+    stream-compatible replacement: the name-based protocol samples
+    sorted *name* lists with one shared ``random.Random``.
+    """
+    from repro.topology.compiled import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        raise RuntimeError("random_index_failures requires numpy")
+    import numpy as np
+
+    for name, fraction in (
+        ("server", server_fraction),
+        ("switch", switch_fraction),
+        ("link", link_fraction),
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"{name}_fraction must be in [0, 1], got {fraction}")
+
+    servers = np.sort(np.asarray(graph.server_indices, dtype=np.int64))
+    is_server = np.zeros(graph.num_nodes, dtype=bool)
+    is_server[servers] = True
+    switches = np.flatnonzero(~is_server)
+    num_edges = len(graph.edge_u)
+    notes: List[str] = []
+
+    def _draw(population, fraction: float, kind: str, label: str):
+        count = _dead_count(fraction, len(population), kind, notes)
+        if not count:
+            return np.empty(0, dtype=np.int64)
+        rng = np.random.Generator(np.random.PCG64(child_seed(seed, "faults", label)))
+        return np.sort(population[rng.choice(len(population), count, replace=False)])
+
+    dead_servers = _draw(servers, server_fraction, "server", "servers")
+    dead_switches = _draw(switches, switch_fraction, "switch", "switches")
+    dead_edges = _draw(
+        np.arange(num_edges, dtype=np.int64), link_fraction, "link", "links"
+    )
+    return IndexFaultPlan(
+        model="random-index",
+        dead_nodes=tuple(int(i) for i in dead_servers)
+        + tuple(int(i) for i in dead_switches),
+        dead_edges=tuple(int(e) for e in dead_edges),
+        seed=seed,
+        requested={
+            "server_fraction": server_fraction,
+            "switch_fraction": switch_fraction,
+            "link_fraction": link_fraction,
+        },
+        effective={
+            "dead_servers": int(len(dead_servers)),
+            "dead_switches": int(len(dead_switches)),
+            "dead_links": int(len(dead_edges)),
+        },
+        notes=tuple(notes),
+    )
+
+
+# ----------------------------------------------------------------------
 # level-parameterised models (what a degradation sweep iterates over)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -149,6 +149,37 @@ class Histogram:
             if value > self.max:
                 self.max = value
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Bulk observe: one bucket pass for a whole array of values.
+
+        The traffic engine records 10^5-flow rate distributions per
+        trial; per-value ``observe`` calls would dominate the trial.
+        With numpy this is a vectorized ``searchsorted`` + ``bincount``
+        (identical bucketing to ``bisect_left``); otherwise it loops.
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        if np is None or len(values) < 32:
+            for value in values:
+                self.observe(value)
+            return
+        arr = np.asarray(values, dtype=np.float64)
+        indices = np.searchsorted(BUCKET_BOUNDS, arr, side="left")
+        counts = np.bincount(indices, minlength=OVERFLOW_BUCKET + 1)
+        total = float(arr.sum())
+        peak = float(arr.max()) if arr.size else 0.0
+        with self._lock:
+            for index in np.flatnonzero(counts):
+                self.buckets[int(index)] = self.buckets.get(int(index), 0) + int(
+                    counts[index]
+                )
+            self.count += int(arr.size)
+            self.sum += total
+            if peak > self.max:
+                self.max = peak
+
     def quantile(self, q: float) -> Optional[float]:
         """Upper bound of the bucket the ``q``-quantile falls in.
 

@@ -4,13 +4,26 @@ A *pattern* is a list of :class:`Flow` endpoint pairs.  All generators are
 deterministic for a given seed, and operate on the server list of any
 topology, so identical workloads can be applied across topologies — the
 discipline the paper's "extensive simulations" comparisons need.
+
+Endpoints are opaque hashable ids: server *name strings* on the object
+graph, or *integer ordinals* (``range(num_servers)``, a numpy index
+array) on the compiled CSR path — every generator accepts either, so
+the same code drives :func:`repro.sim.flow.route_all` and the
+batch-native :mod:`repro.traffic` engine.  For large-scale seeded
+matrices prefer :mod:`repro.traffic.matrix`, whose PCG64 streams are
+process-stable; these ``random.Random`` generators remain the
+small-scale, name-friendly originals.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
+
+#: a server id: a name string on the object graph, an integer ordinal on
+#: the compiled path.  Only equality/hashability is assumed.
+ServerId = Any
 
 
 @dataclass(frozen=True)
@@ -18,8 +31,8 @@ class Flow:
     """One unidirectional traffic demand."""
 
     flow_id: str
-    src: str
-    dst: str
+    src: ServerId
+    dst: ServerId
     size: float = 1.0  # abstract data volume (packets for the packet sim)
 
     def __post_init__(self) -> None:
@@ -29,7 +42,7 @@ class Flow:
             raise ValueError(f"flow {self.flow_id}: size must be positive")
 
 
-def permutation_traffic(servers: Sequence[str], seed: int = 0) -> List[Flow]:
+def permutation_traffic(servers: Sequence[ServerId], seed: int = 0) -> List[Flow]:
     """A random server permutation with no fixed points (derangement).
 
     Every server sends exactly one flow and receives exactly one flow —
@@ -52,7 +65,7 @@ def permutation_traffic(servers: Sequence[str], seed: int = 0) -> List[Flow]:
 
 
 def all_to_all_traffic(
-    servers: Sequence[str], max_flows: Optional[int] = None, seed: int = 0
+    servers: Sequence[ServerId], max_flows: Optional[int] = None, seed: int = 0
 ) -> List[Flow]:
     """Every ordered pair — optionally subsampled to ``max_flows``.
 
@@ -67,7 +80,7 @@ def all_to_all_traffic(
 
 
 def uniform_random_traffic(
-    servers: Sequence[str], num_flows: int, seed: int = 0
+    servers: Sequence[ServerId], num_flows: int, seed: int = 0
 ) -> List[Flow]:
     """``num_flows`` source/destination pairs drawn uniformly."""
     servers = list(servers)
@@ -82,7 +95,7 @@ def uniform_random_traffic(
 
 
 def hotspot_traffic(
-    servers: Sequence[str],
+    servers: Sequence[ServerId],
     num_flows: int,
     num_hotspots: int = 1,
     hot_fraction: float = 0.7,
@@ -112,7 +125,7 @@ def hotspot_traffic(
 
 
 def shuffle_traffic(
-    servers: Sequence[str],
+    servers: Sequence[ServerId],
     num_mappers: int,
     num_reducers: int,
     seed: int = 0,
@@ -134,7 +147,7 @@ def shuffle_traffic(
     ]
 
 
-def one_to_all_traffic(servers: Sequence[str], source: Optional[str] = None) -> List[Flow]:
+def one_to_all_traffic(servers: Sequence[ServerId], source: Optional[ServerId] = None) -> List[Flow]:
     """The broadcast demand set: one flow from ``source`` to every other."""
     servers = list(servers)
     src = source if source is not None else servers[0]

@@ -291,3 +291,80 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "F11" in out
         assert (tmp_path / "f11.csv").exists()
+
+
+class TestTraffic:
+    ARGS = ["traffic", "abccc", "-p", "n=3", "-p", "k=1", "-p", "s=2"]
+
+    def test_patterns_in_lockstep_with_engine(self):
+        # cli.TRAFFIC_PATTERNS is a numpy-free mirror of the registry
+        from repro import cli
+        from repro.traffic import MATRICES
+
+        assert cli.TRAFFIC_PATTERNS == tuple(sorted(MATRICES))
+
+    def test_healthy_run_prints_table(self, capsys):
+        assert main(self.ARGS + ["--pattern", "permutation", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Traffic: permutation" in out
+        assert "agg_per_server" in out
+        assert "compile" in out and "trials" in out
+
+    def test_degraded_run_with_fct_and_outputs(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            self.ARGS
+            + [
+                "--pattern", "incast",
+                "--trials", "2",
+                "--faults", "switch=0.05,link=0.01",
+                "--fct",
+                "--out", str(tmp_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        csvs = list(tmp_path.glob("traffic_*_incast.csv"))
+        assert len(csvs) == 1
+        assert metrics_path.exists()
+        import json
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot  # histograms were recorded
+
+    def test_resume_replays_journal(self, capsys, tmp_path):
+        args = self.ARGS + [
+            "--pattern", "uniform", "--trials", "2", "--out", str(tmp_path)
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        # replayed table is identical (elapsed_s comes from the journal)
+        table_lines = lambda text: [
+            line for line in text.splitlines() if line.startswith("|")
+        ]
+        assert table_lines(first) == table_lines(second)
+
+    def test_bad_faults_exit_2(self, capsys):
+        assert main(self.ARGS + ["--faults", "rack=0.5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "rack" in err
+        assert "Traceback" not in err
+
+    def test_bad_matrix_param_exit_2(self, capsys):
+        assert main(self.ARGS + ["-m", "fan_in"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+
+    def test_bad_trials_exit_2(self, capsys):
+        assert main(self.ARGS + ["--trials", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--trials" in err
+
+    def test_unknown_pattern_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--pattern", "nope"])

@@ -129,3 +129,57 @@ class TestOneToAll:
     def test_unknown_source(self):
         with pytest.raises(ValueError, match="not a server"):
             one_to_all_traffic(SERVERS, source="ghost")
+
+
+class TestIntegerServerIds:
+    """Generators accept any opaque hashable ids — ordinals included.
+
+    The large-scale :mod:`repro.traffic` path hands CSR server ordinals
+    straight to these generators for small-scale cross-checks; name
+    strings must never be assumed.
+    """
+
+    def test_permutation_over_range(self):
+        flows = permutation_traffic(range(10), seed=3)
+        assert len(flows) == 10
+        assert all(isinstance(f.src, int) for f in flows)
+        assert all(f.src != f.dst for f in flows)
+
+    def test_all_to_all_over_ints(self):
+        flows = all_to_all_traffic(list(range(5)), seed=0)
+        assert len(flows) == 5 * 4
+        assert {(f.src, f.dst) for f in flows} == {
+            (a, b) for a in range(5) for b in range(5) if a != b
+        }
+
+    def test_uniform_and_hotspot_over_ints(self):
+        uniform = uniform_random_traffic(range(8), num_flows=20, seed=1)
+        hot = hotspot_traffic(range(8), num_flows=20, seed=1)
+        for flows in (uniform, hot):
+            assert len(flows) == 20
+            assert all(0 <= f.src < 8 and 0 <= f.dst < 8 for f in flows)
+            assert all(f.src != f.dst for f in flows)
+
+    def test_shuffle_and_one_to_all_over_ints(self):
+        shuffle = shuffle_traffic(range(9), num_mappers=3, num_reducers=2, seed=2)
+        assert len(shuffle) == 6
+        broadcast = one_to_all_traffic(range(6), source=4)
+        assert len(broadcast) == 5
+        assert all(f.src == 4 for f in broadcast)
+
+    def test_numpy_integer_ids(self):
+        import numpy as np
+
+        ids = np.arange(7)
+        flows = permutation_traffic(ids, seed=5)
+        assert len(flows) == 7
+        # numpy scalars stay hashable and comparable
+        assert all(f.src != f.dst for f in flows)
+
+    def test_same_seed_same_flows_regardless_of_id_type(self):
+        by_ordinal = permutation_traffic(range(12), seed=9)
+        by_name = permutation_traffic([f"s{i}" for i in range(12)], seed=9)
+        # the drawn permutation is positionally identical
+        names = [f"s{i}" for i in range(12)]
+        assert [names[f.src] for f in by_ordinal] == [f.src for f in by_name]
+        assert [names[f.dst] for f in by_ordinal] == [f.dst for f in by_name]

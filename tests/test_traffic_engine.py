@@ -1,0 +1,136 @@
+"""Vectorized max-min + FCT: bit parity with the legacy oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import BcubeSpec, FatTreeSpec
+from repro.core import AbcccSpec
+from repro.routing.batch import batch_routes
+from repro.sim.flow import max_min_allocation, route_all
+from repro.topology.compiled import compile_graph
+from repro.topology.fastbuild import fast_compiled
+from repro.traffic import (
+    RouteSet,
+    fluid_fct,
+    generate_matrix,
+    max_min_rates,
+)
+
+PARITY_PATTERNS = (
+    ("permutation", {}),
+    ("all_to_all", {"max_flows": 300}),
+)
+
+
+def _legacy(spec, matrix):
+    """Oracle rates through the legacy dict-walking stack, flow order."""
+    net = spec.build()
+    servers = net.servers
+    flows = matrix.flows(servers)
+    routes = route_all(net, flows, spec.route)
+    allocation = max_min_allocation(net, flows, routes)
+    rates = np.array([allocation.rates[f.flow_id] for f in flows])
+    return flows, routes, net, rates
+
+
+class TestOracleParity:
+    """The ISSUE acceptance bar: bit-for-bit equal to sim.flow."""
+
+    @pytest.mark.parametrize("pattern,params", PARITY_PATTERNS)
+    @pytest.mark.parametrize("spec", [AbcccSpec(3, 1, 2), AbcccSpec(2, 2, 2)])
+    def test_full_stack_bit_parity_on_fast_abccc(self, spec, pattern, params):
+        """Arithmetic batch routes + vectorized filler == legacy stack."""
+        graph = fast_compiled(spec)
+        matrix = generate_matrix(pattern, graph.num_servers, seed=11, **params)
+        allocation = max_min_rates(batch_routes(graph, matrix))
+        _, _, _, legacy = _legacy(spec, matrix)
+        assert np.array_equal(np.sort(allocation.rates), np.sort(legacy))
+
+    @pytest.mark.parametrize("pattern,params", PARITY_PATTERNS)
+    @pytest.mark.parametrize(
+        "spec", [AbcccSpec(3, 1, 2), BcubeSpec(3, 1), FatTreeSpec(4)]
+    )
+    def test_allocator_bit_parity_on_legacy_routes(self, spec, pattern, params):
+        """Same routes in => same per-flow rates out, unsorted."""
+        net = spec.build()
+        graph = compile_graph(net)
+        matrix = generate_matrix(pattern, net.num_servers, seed=11, **params)
+        flows, routes, _, legacy = _legacy(spec, matrix)
+        route_set = RouteSet.from_name_routes(graph, flows, routes)
+        allocation = max_min_rates(route_set)
+        assert np.array_equal(allocation.rates, legacy)
+
+    def test_bottlenecks_are_saturated_edges(self):
+        graph = fast_compiled(AbcccSpec(3, 2, 2))
+        matrix = generate_matrix("permutation", graph.num_servers, seed=4)
+        routes = batch_routes(graph, matrix)
+        allocation = max_min_rates(routes)
+        assert (allocation.bottleneck_edges >= 0).all()
+        # each flow's bottleneck lies on its own route
+        offsets = routes.offsets
+        for i in range(matrix.num_flows):
+            hops = routes.edge_ids[offsets[i] : offsets[i + 1]]
+            assert allocation.bottleneck_edges[i] in hops
+
+
+class TestAllocationStats:
+    def test_unreachable_flows_rate_zero_and_excluded(self):
+        graph = fast_compiled(AbcccSpec(3, 1, 2))
+        matrix = generate_matrix("permutation", graph.num_servers, seed=0)
+        routes = batch_routes(graph, matrix)
+        # mark two flows unreachable by hand
+        unreachable = np.zeros(matrix.num_flows, dtype=bool)
+        unreachable[[0, 5]] = True
+        hacked = RouteSet(
+            graph=graph,
+            src_nodes=routes.src_nodes,
+            dst_nodes=routes.dst_nodes,
+            edge_ids=routes.edge_ids,
+            offsets=routes.offsets,
+            unreachable=unreachable,
+        )
+        allocation = max_min_rates(hacked)
+        assert allocation.rates[0] == 0.0 and allocation.rates[5] == 0.0
+        assert allocation.num_unreachable == 2
+        assert allocation.min_rate > 0.0  # stats over served flows only
+
+    def test_jain_in_unit_interval_and_percentiles_sorted(self):
+        graph = fast_compiled(AbcccSpec(3, 2, 2))
+        matrix = generate_matrix("uniform", graph.num_servers, seed=8)
+        allocation = max_min_rates(batch_routes(graph, matrix))
+        assert 0.0 < allocation.jain_fairness <= 1.0
+        percentiles = allocation.rate_percentiles((0.01, 0.5, 0.99))
+        assert percentiles[0.01] <= percentiles[0.5] <= percentiles[0.99]
+        assert allocation.min_rate <= allocation.mean_rate <= allocation.max_rate
+
+
+class TestFluidFct:
+    def test_single_flow_completes_at_size_over_rate(self):
+        graph = fast_compiled(AbcccSpec(3, 1, 2))
+        matrix = generate_matrix("permutation", graph.num_servers, seed=1)
+        routes = batch_routes(graph, matrix)
+        allocation = max_min_rates(routes)
+        stats = fluid_fct(routes, np.full(matrix.num_flows, 2.0))
+        # the slowest flow finishes no earlier than size / its static rate
+        assert stats.max_fct >= 2.0 / allocation.rates.max() - 1e-9
+        assert np.isfinite(stats.completion_times).all()
+        assert stats.num_completed == matrix.num_flows
+
+    def test_rates_only_improve_as_flows_retire(self):
+        """Completion order respects size/rate dominance: a flow with the
+        same route but half the size never finishes later."""
+        graph = fast_compiled(AbcccSpec(3, 1, 2))
+        matrix = generate_matrix("permutation", graph.num_servers, seed=2)
+        routes = batch_routes(graph, matrix)
+        small = fluid_fct(routes, np.full(matrix.num_flows, 1.0))
+        large = fluid_fct(routes, np.full(matrix.num_flows, 3.0))
+        assert (large.completion_times >= small.completion_times - 1e-9).all()
+
+    def test_sizes_length_checked(self):
+        graph = fast_compiled(AbcccSpec(3, 1, 2))
+        matrix = generate_matrix("permutation", graph.num_servers, seed=0)
+        routes = batch_routes(graph, matrix)
+        with pytest.raises(ValueError, match="one entry per flow"):
+            fluid_fct(routes, np.ones(3))

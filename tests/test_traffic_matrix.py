@@ -1,0 +1,206 @@
+"""Traffic-matrix generators: determinism, degenerate inputs, bridges."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    MATRICES,
+    TrafficError,
+    TrafficMatrix,
+    all_to_all_matrix,
+    default_params,
+    generate_matrix,
+    hot_rack_matrix,
+    incast_matrix,
+    job_matrix,
+    permutation_matrix,
+    uniform_matrix,
+)
+
+
+def _digest(matrix: TrafficMatrix) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(matrix.src).tobytes())
+    h.update(np.ascontiguousarray(matrix.dst).tobytes())
+    h.update(np.ascontiguousarray(matrix.size).tobytes())
+    return h.hexdigest()
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("pattern", sorted(MATRICES))
+    def test_no_self_flows_and_in_range(self, pattern):
+        m = generate_matrix(pattern, 96, seed=3)
+        assert m.num_flows > 0
+        assert not np.any(m.src == m.dst)
+        for arr in (m.src, m.dst):
+            assert arr.min() >= 0 and arr.max() < 96
+        assert np.all(m.size > 0)
+
+    @pytest.mark.parametrize("pattern", sorted(MATRICES))
+    def test_same_seed_same_matrix(self, pattern):
+        a = generate_matrix(pattern, 64, seed=9)
+        b = generate_matrix(pattern, 64, seed=9)
+        assert np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+
+    @pytest.mark.parametrize("pattern", sorted(MATRICES))
+    def test_different_seed_different_matrix(self, pattern):
+        a = generate_matrix(pattern, 64, seed=1)
+        b = generate_matrix(pattern, 64, seed=2)
+        assert not (
+            np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+        )
+
+    def test_below_two_servers_rejected(self):
+        for pattern in sorted(MATRICES):
+            with pytest.raises(TrafficError):
+                generate_matrix(pattern, 1, seed=0)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(TrafficError, match="unknown traffic pattern"):
+            generate_matrix("nope", 16)
+
+    def test_matrix_validates_self_flows(self):
+        with pytest.raises(TrafficError, match="src == dst"):
+            TrafficMatrix(
+                pattern="x",
+                num_servers=4,
+                src=np.array([1]),
+                dst=np.array([1]),
+                size=np.array([1.0]),
+                seed=0,
+            )
+
+
+class TestCrossProcessDeterminism:
+    """The PCG64 child-seed streams must match across interpreters."""
+
+    def test_subprocess_reproduces_digests(self):
+        patterns = sorted(MATRICES)
+        local = {p: _digest(generate_matrix(p, 80, seed=42)) for p in patterns}
+        script = (
+            "import json\n"
+            "from repro.traffic import generate_matrix\n"
+            "import tests.test_traffic_matrix as t\n"
+            "out = {p: t._digest(generate_matrix(p, 80, seed=42)) for p in %r}\n"
+            "print(json.dumps(out))\n" % (patterns,)
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        import json
+
+        assert json.loads(result.stdout) == local
+
+
+class TestPermutation:
+    def test_is_derangement_every_server(self):
+        m = permutation_matrix(50, seed=7)
+        assert np.array_equal(np.sort(m.src), np.arange(50))
+        assert np.array_equal(np.sort(m.dst), np.arange(50))
+        assert not np.any(m.src == m.dst)
+
+    def test_two_servers(self):
+        m = permutation_matrix(2, seed=0)
+        assert sorted(zip(m.src.tolist(), m.dst.tolist())) == [(0, 1), (1, 0)]
+
+    def test_many_seeds_always_derangements(self):
+        for seed in range(40):
+            m = permutation_matrix(13, seed=seed)
+            assert not np.any(m.src == m.dst)
+            assert np.array_equal(np.sort(m.dst), np.arange(13))
+
+
+class TestAllToAll:
+    def test_full_square(self):
+        m = all_to_all_matrix(7, seed=0)
+        assert m.num_flows == 7 * 6
+        pairs = set(zip(m.src.tolist(), m.dst.tolist()))
+        assert len(pairs) == 42
+
+    def test_subsample_unique_pairs(self):
+        m = all_to_all_matrix(30, max_flows=100, seed=5)
+        assert m.num_flows == 100
+        pairs = set(zip(m.src.tolist(), m.dst.tolist()))
+        assert len(pairs) == 100  # sampled without replacement
+
+    def test_two_servers(self):
+        m = all_to_all_matrix(2, seed=0)
+        assert m.num_flows == 2
+
+
+class TestIncast:
+    def test_fan_in_larger_than_cluster_clamped(self):
+        m = incast_matrix(10, fan_in=500, num_targets=1, seed=3)
+        assert m.num_flows == 9  # clamped to num_servers - 1
+        assert m.notes  # the clamp is recorded
+        assert "clamp" in " ".join(m.notes)
+
+    def test_senders_exclude_target(self):
+        m = incast_matrix(64, fan_in=16, num_targets=4, seed=1)
+        assert not np.any(m.src == m.dst)
+        assert len(np.unique(m.dst)) == 4
+
+    def test_two_servers(self):
+        m = incast_matrix(2, fan_in=5, num_targets=1, seed=0)
+        assert m.num_flows == 1
+
+
+class TestHotRack:
+    def test_single_rack_topology_falls_back(self):
+        # rack_size >= num_servers: every server is "hot"
+        m = hot_rack_matrix(8, num_flows=40, rack_size=8, num_hot_racks=1, seed=2)
+        assert m.num_flows == 40
+        assert not np.any(m.src == m.dst)
+        assert any("single-rack" in note for note in m.notes)
+
+    def test_hot_fraction_skews_destinations(self):
+        m = hot_rack_matrix(
+            200, num_flows=2000, rack_size=20, num_hot_racks=1, hot_fraction=0.9, seed=4
+        )
+        per_rack = np.bincount(m.dst // 20, minlength=10)
+        assert per_rack.max() > 1500  # ~90% of 2000 into the one hot rack
+
+    def test_two_servers(self):
+        m = hot_rack_matrix(2, num_flows=6, rack_size=1, seed=0)
+        assert m.num_flows == 6
+        assert not np.any(m.src == m.dst)
+
+
+class TestJob:
+    def test_reuses_job_generators_deterministically(self):
+        a = job_matrix(64, num_jobs=6, seed=11)
+        b = job_matrix(64, num_jobs=6, seed=11)
+        assert np.array_equal(a.src, b.src)
+        assert a.num_flows > 0
+
+    def test_scale_clamped_to_cluster(self):
+        m = job_matrix(4, num_jobs=3, scale=64, seed=0)
+        assert m.num_flows > 0
+        assert any("clamp" in note for note in m.notes)
+
+
+class TestBridges:
+    def test_flows_bridge_carries_names(self):
+        m = uniform_matrix(6, num_flows=10, seed=0)
+        names = [f"srv{i}" for i in range(6)]
+        flows = m.flows(names)
+        assert len(flows) == 10
+        assert all(f.src.startswith("srv") for f in flows)
+
+    def test_flows_bridge_raw_ordinals(self):
+        m = uniform_matrix(6, num_flows=10, seed=0)
+        flows = m.flows()
+        assert all(isinstance(f.src, int) for f in flows)
+
+    def test_default_params_cover_all_patterns(self):
+        for pattern in MATRICES:
+            params = default_params(pattern, 1000)
+            generate_matrix(pattern, 1000, seed=0, **params)
